@@ -1,0 +1,147 @@
+//! The breakeven-speedup metric (paper Eq. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::inclusive::InclusiveCosts;
+
+/// Fixed SoC-bus model converting offloaded bytes into transfer cycles.
+///
+/// The paper computes "the hardware offload time … as the time to
+/// communicate data to and from the accelerator assuming a fixed SoC bus
+/// bandwidth".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusModel {
+    /// Bus bandwidth in bytes per estimated CPU cycle.
+    pub bytes_per_cycle: f64,
+    /// Fixed per-offload latency in cycles (request setup, DMA kickoff).
+    pub fixed_latency_cycles: f64,
+}
+
+impl BusModel {
+    /// A plausible SoC bus: 8 bytes/cycle, 100-cycle setup.
+    pub const fn soc_default() -> Self {
+        BusModel {
+            bytes_per_cycle: 8.0,
+            fixed_latency_cycles: 100.0,
+        }
+    }
+
+    /// Cycles needed to move `bytes` across the bus.
+    pub fn transfer_cycles(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.fixed_latency_cycles + bytes as f64 / self.bytes_per_cycle
+    }
+}
+
+impl Default for BusModel {
+    fn default() -> Self {
+        BusModel::soc_default()
+    }
+}
+
+/// Computes the breakeven speedup (Eq. 1):
+///
+/// ```text
+/// S_breakeven = t_sw / (t_sw − (t_comm:ip:accel + t_comm:op:accel))
+/// ```
+///
+/// `t_sw` is the software execution time of the candidate (estimated
+/// cycles of the merged sub-tree); `t_comm` the input/output data-offload
+/// cost. "Any computational speedup obtained in excess of the
+/// breakeven-speedup will result in an overall improvement."
+///
+/// Returns `f64::INFINITY` when communication costs meet or exceed the
+/// software time (offloading can never pay off), and `NAN` never.
+///
+/// # Example
+///
+/// ```
+/// use sigil_analysis::breakeven_speedup;
+///
+/// // 1000 cycles of software time, 50 cycles of offload traffic each way:
+/// let s = breakeven_speedup(1000.0, 50.0, 50.0);
+/// assert!((s - 1000.0 / 900.0).abs() < 1e-12);
+///
+/// // Communication-dominated candidates can never pay off:
+/// assert_eq!(breakeven_speedup(100.0, 80.0, 30.0), f64::INFINITY);
+/// ```
+pub fn breakeven_speedup(t_sw: f64, t_comm_in: f64, t_comm_out: f64) -> f64 {
+    if t_sw <= 0.0 {
+        return f64::INFINITY;
+    }
+    let comm = t_comm_in + t_comm_out;
+    if comm >= t_sw {
+        f64::INFINITY
+    } else {
+        t_sw / (t_sw - comm)
+    }
+}
+
+/// Breakeven speedup of a merged sub-tree under a bus model, with `t_sw`
+/// provided by the caller (estimated cycles of the sub-tree).
+pub fn breakeven_for(inclusive: &InclusiveCosts, t_sw_cycles: u64, bus: &BusModel) -> f64 {
+    breakeven_speedup(
+        t_sw_cycles as f64,
+        bus.transfer_cycles(inclusive.comm_in_unique),
+        bus.transfer_cycles(inclusive.comm_out_unique),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_communication_gives_breakeven_one() {
+        assert_eq!(breakeven_speedup(1000.0, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn small_communication_gives_slightly_above_one() {
+        let s = breakeven_speedup(1000.0, 5.0, 5.0);
+        assert!((s - 1000.0 / 990.0).abs() < 1e-12);
+        assert!(s > 1.0 && s < 1.02);
+    }
+
+    #[test]
+    fn communication_dominates_gives_infinity() {
+        assert_eq!(breakeven_speedup(100.0, 60.0, 50.0), f64::INFINITY);
+        assert_eq!(breakeven_speedup(100.0, 100.0, 0.0), f64::INFINITY);
+        assert_eq!(breakeven_speedup(0.0, 0.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn breakeven_is_monotonic_in_communication() {
+        let mut last = breakeven_speedup(1000.0, 0.0, 0.0);
+        for comm in [10.0, 100.0, 500.0, 900.0] {
+            let s = breakeven_speedup(1000.0, comm, 0.0);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn bus_model_charges_latency_plus_bytes() {
+        let bus = BusModel::soc_default();
+        assert_eq!(bus.transfer_cycles(0), 0.0);
+        assert_eq!(bus.transfer_cycles(800), 100.0 + 100.0);
+    }
+
+    #[test]
+    fn breakeven_for_combines_bus_and_cycles() {
+        let inclusive = InclusiveCosts {
+            comm_in_unique: 80,
+            comm_out_unique: 0,
+            ..InclusiveCosts::default()
+        };
+        let bus = BusModel {
+            bytes_per_cycle: 8.0,
+            fixed_latency_cycles: 0.0,
+        };
+        // t_comm = 10 cycles, t_sw = 100 → 100/90.
+        let s = breakeven_for(&inclusive, 100, &bus);
+        assert!((s - 100.0 / 90.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Accelerator-buffer sizing from reuse lifetimes (paper §IV-B2).
+//!
+//! "The re-use data captured by Sigil shows how many data bytes need to
+//! stay in an accelerator's local buffer after being consumed once. This
+//! will help determine buffer sizes based on an execution schedule for
+//! the function. For example, Cong et al. use the concept of BB-curves
+//! that indicate tradeoffs in increasing local buffer area for an
+//! accelerated function against external bandwidth pressure."
+//!
+//! This module derives that buffer/bandwidth curve from a function's
+//! reuse-lifetime histogram: a buffer that retains data for up to `L`
+//! retired ops captures every reuse with lifetime ≤ `L`; reuses with
+//! longer lifetimes fall out of the buffer and must be re-fetched over
+//! the external interface.
+
+use serde::{Deserialize, Serialize};
+use sigil_core::Profile;
+
+/// One point of the buffer/bandwidth trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferPoint {
+    /// Retention window: the buffer keeps a byte for this many retired
+    /// ops after its first read.
+    pub retention_ops: u64,
+    /// Reused byte-records whose whole reuse lifetime fits the window —
+    /// served from the local buffer.
+    pub buffered_bytes: u64,
+    /// Reused byte-records whose lifetime exceeds the window — re-fetched
+    /// externally.
+    pub refetched_bytes: u64,
+}
+
+impl BufferPoint {
+    /// Fraction of reuse traffic absorbed by the buffer, in `[0, 1]`.
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.buffered_bytes + self.refetched_bytes;
+        if total == 0 {
+            1.0
+        } else {
+            self.buffered_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// The buffer/bandwidth curve of one function (merged over its
+/// contexts), one point per non-empty lifetime bin plus the all-external
+/// origin. Requires a reuse-mode profile.
+///
+/// Returns `None` if the profile lacks reuse data or the function never
+/// reused a byte.
+///
+/// # Example
+///
+/// ```
+/// use sigil_analysis::bb_curve;
+/// use sigil_core::{SigilConfig, SigilProfiler};
+/// use sigil_trace::{Engine, OpClass};
+///
+/// let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_reuse_mode()));
+/// engine.scoped_named("main", |e| {
+///     e.scoped_named("w", |e| e.write(0x0, 8));
+///     e.scoped_named("kernel", |e| {
+///         e.read(0x0, 8);
+///         e.op(OpClass::IntArith, 50);
+///         e.read(0x0, 8); // quick reuse
+///     });
+/// });
+/// let (p, s) = engine.finish_with_symbols();
+/// let profile = p.into_profile(s);
+///
+/// let curve = bb_curve(&profile, "kernel").expect("kernel reuses data");
+/// assert_eq!(curve.last().unwrap().refetched_bytes, 0);
+/// ```
+pub fn bb_curve(profile: &Profile, function: &str) -> Option<Vec<BufferPoint>> {
+    let reuse = profile.context_reuse_by_name(function)?;
+    let total = reuse.histogram.total();
+    if total == 0 {
+        return None;
+    }
+    let mut points = vec![BufferPoint {
+        retention_ops: 0,
+        buffered_bytes: 0,
+        refetched_bytes: total,
+    }];
+    let mut cumulative = 0u64;
+    for (bin_start, count) in reuse.histogram.iter() {
+        cumulative += count;
+        points.push(BufferPoint {
+            // Retaining through the end of this bin captures all its
+            // records.
+            retention_ops: bin_start + reuse.histogram.bin_size,
+            buffered_bytes: cumulative,
+            refetched_bytes: total - cumulative,
+        });
+    }
+    Some(points)
+}
+
+/// The smallest retention window that absorbs at least `fraction` of the
+/// function's reuse traffic (e.g. `0.95` for a 95% local-hit target).
+///
+/// Returns `None` under the same conditions as [`bb_curve`].
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `[0, 1]`.
+pub fn retention_for_hit_fraction(
+    profile: &Profile,
+    function: &str,
+    fraction: f64,
+) -> Option<u64> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
+    let curve = bb_curve(profile, function)?;
+    curve
+        .iter()
+        .find(|p| p.hit_fraction() >= fraction)
+        .map(|p| p.retention_ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_core::{SigilConfig, SigilProfiler};
+    use sigil_trace::{Engine, OpClass};
+
+    fn reuse_profile() -> Profile {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_reuse_mode()));
+        engine.scoped_named("main", |e| {
+            e.scoped_named("prep", |e| e.write(0x0, 16));
+            e.scoped_named("kernel", |e| {
+                // 8 bytes reused quickly (lifetime < 1000)…
+                e.read(0x0, 8);
+                e.op(OpClass::IntArith, 10);
+                e.read(0x0, 8);
+                // …and 8 bytes reused after a long gap (lifetime ≈ 5000).
+                e.read(0x8, 8);
+                e.op(OpClass::IntArith, 5000);
+                e.read(0x8, 8);
+            });
+        });
+        let (p, s) = engine.finish_with_symbols();
+        p.into_profile(s)
+    }
+
+    #[test]
+    fn curve_is_monotonic_and_exhaustive() {
+        let profile = reuse_profile();
+        let curve = bb_curve(&profile, "kernel").expect("kernel reuses");
+        assert!(curve.len() >= 3);
+        assert_eq!(curve[0].buffered_bytes, 0);
+        for pair in curve.windows(2) {
+            assert!(pair[0].retention_ops < pair[1].retention_ops);
+            assert!(pair[0].buffered_bytes <= pair[1].buffered_bytes);
+            assert!(pair[0].refetched_bytes >= pair[1].refetched_bytes);
+        }
+        let last = curve.last().expect("non-empty");
+        assert_eq!(last.refetched_bytes, 0, "largest window buffers all");
+        assert_eq!(last.hit_fraction(), 1.0);
+    }
+
+    #[test]
+    fn short_window_captures_only_quick_reuse() {
+        let profile = reuse_profile();
+        let curve = bb_curve(&profile, "kernel").expect("kernel reuses");
+        // A 1000-op window buffers the 8 quick bytes, not the slow ones.
+        let small = curve
+            .iter()
+            .find(|p| p.retention_ops == 1000)
+            .expect("bin 0 point");
+        assert_eq!(small.buffered_bytes, 8);
+        assert_eq!(small.refetched_bytes, 8);
+        assert!((small.hit_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_targets() {
+        let profile = reuse_profile();
+        let half = retention_for_hit_fraction(&profile, "kernel", 0.5).expect("reaches 50%");
+        let all = retention_for_hit_fraction(&profile, "kernel", 1.0).expect("reaches 100%");
+        assert!(half <= all);
+        assert_eq!(half, 1000);
+        assert!(all >= 5000);
+    }
+
+    #[test]
+    fn requires_reuse_mode_and_actual_reuse() {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+        engine.scoped_named("f", |e| e.op(OpClass::IntArith, 1));
+        let (p, s) = engine.finish_with_symbols();
+        let plain = p.into_profile(s);
+        assert!(bb_curve(&plain, "f").is_none());
+
+        let profile = reuse_profile();
+        assert!(bb_curve(&profile, "prep").is_none(), "prep never reused");
+        assert!(bb_curve(&profile, "missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn invalid_fraction_rejected() {
+        let profile = reuse_profile();
+        let _ = retention_for_hit_fraction(&profile, "kernel", 1.5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Reuse post-processing for Figures 8–12.
+
+use serde::{Deserialize, Serialize};
+use sigil_callgrind::ContextId;
+use sigil_core::{LifetimeHistogram, Profile};
+
+/// One row of the per-function reuse ranking (Figure 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseRow {
+    /// The context.
+    pub ctx: ContextId,
+    /// Display label: the function name, suffixed with `(k)` when the
+    /// same function appears through several contexts — matching the
+    /// paper's `conv_gen(1)` convention.
+    pub label: String,
+    /// Records (data bytes) reused at least once in this context.
+    pub reused_bytes: u64,
+    /// Total byte records attributed to this context.
+    pub total_bytes: u64,
+    /// Average reuse lifetime of a reused byte, in retired ops.
+    pub avg_lifetime: f64,
+}
+
+/// Ranks contexts by their contribution to total data reuse, descending
+/// (the paper "sort\[s\] the functions … based on their contribution to
+/// the total amount of data re-use").
+///
+/// Returns `None` when the profile was not collected in reuse mode.
+pub fn function_reuse_rows(profile: &Profile) -> Option<Vec<ReuseRow>> {
+    use std::collections::HashMap;
+    let reuse = profile.reuse.as_ref()?;
+    let tree = &profile.callgrind.tree;
+    let symbols = profile.symbols();
+
+    // Count how many communicating contexts share each function name, to
+    // decide whether the `(k)` suffix is needed.
+    let mut name_counts: HashMap<String, u32> = HashMap::new();
+    for row in reuse {
+        if row.total_bytes() == 0 {
+            continue;
+        }
+        if let Some(func) = tree.node(row.ctx).func {
+            let name = symbols
+                .get_name(func)
+                .map_or_else(|| func.to_string(), str::to_owned);
+            *name_counts.entry(name).or_insert(0) += 1;
+        }
+    }
+
+    let mut seen: HashMap<String, u32> = HashMap::new();
+    let mut rows: Vec<ReuseRow> = reuse
+        .iter()
+        .filter(|row| row.total_bytes() > 0)
+        .filter_map(|row| {
+            let func = tree.node(row.ctx).func?;
+            let base = symbols
+                .get_name(func)
+                .map_or_else(|| func.to_string(), str::to_owned);
+            let occurrence = seen.entry(base.clone()).or_insert(0);
+            *occurrence += 1;
+            let label = if name_counts.get(&base).copied().unwrap_or(0) > 1 {
+                format!("{base}({occurrence})")
+            } else {
+                base
+            };
+            Some(ReuseRow {
+                ctx: row.ctx,
+                label,
+                reused_bytes: row.reused_bytes,
+                total_bytes: row.total_bytes(),
+                avg_lifetime: row.avg_reused_lifetime(),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.reused_bytes
+            .cmp(&a.reused_bytes)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    Some(rows)
+}
+
+/// Whole-program reuse-count breakdown as percentages `(0, 1-9, >9)` of
+/// byte records (Figure 8). `None` without reuse mode or with no data.
+pub fn reuse_breakdown_percent(profile: &Profile) -> Option<[f64; 3]> {
+    let (zero, low, high) = profile.reuse_breakdown()?;
+    let total = zero + low + high;
+    if total == 0 {
+        return None;
+    }
+    let pct = |x: u64| 100.0 * x as f64 / total as f64;
+    Some([pct(zero), pct(low), pct(high)])
+}
+
+/// The merged lifetime histogram of the function named `name`
+/// (Figures 10/11). `None` without reuse mode or if the function has no
+/// reuse records.
+pub fn lifetime_histogram_of(profile: &Profile, name: &str) -> Option<LifetimeHistogram> {
+    let merged = profile.context_reuse_by_name(name)?;
+    if merged.histogram.total() == 0 {
+        return None;
+    }
+    Some(merged.histogram)
+}
+
+/// Line-granularity reuse breakdown as percentages over the Figure 12
+/// buckets. `None` without line mode or with no touched lines.
+pub fn line_breakdown_percent(profile: &Profile) -> Option<[f64; 5]> {
+    let lines = profile.lines.as_ref()?;
+    let total: u64 = lines.buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut out = [0.0; 5];
+    for (i, &count) in lines.buckets.iter().enumerate() {
+        out[i] = 100.0 * count as f64 / total as f64;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_core::{SigilConfig, SigilProfiler};
+    use sigil_trace::{Engine, OpClass};
+
+    fn reuse_profile() -> Profile {
+        let mut engine = Engine::new(SigilProfiler::new(
+            SigilConfig::default().with_reuse_mode().with_line_mode(64),
+        ));
+        engine.scoped_named("main", |e| {
+            // `hot` re-reads its buffer many times (high reuse, long
+            // lifetimes); `cold` reads each byte once.
+            e.scoped_named("prep", |e| {
+                e.write(0x0, 32);
+                e.write(0x100, 32);
+            });
+            e.scoped_named("hot", |e| {
+                for _ in 0..12 {
+                    e.read(0x0, 32);
+                    e.op(OpClass::FloatArith, 500);
+                }
+            });
+            e.scoped_named("cold", |e| e.read(0x100, 32));
+        });
+        let (p, s) = engine.finish_with_symbols();
+        p.into_profile(s)
+    }
+
+    #[test]
+    fn rows_rank_hot_function_first() {
+        let rows = function_reuse_rows(&reuse_profile()).expect("reuse mode");
+        assert_eq!(rows[0].label, "hot");
+        assert_eq!(rows[0].reused_bytes, 32);
+        assert!(rows[0].avg_lifetime > 0.0);
+        let cold = rows.iter().find(|r| r.label == "cold").expect("cold row");
+        assert_eq!(cold.reused_bytes, 0);
+        assert_eq!(cold.total_bytes, 32);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_hundred() {
+        let pct = reuse_breakdown_percent(&reuse_profile()).expect("reuse data");
+        let sum: f64 = pct.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(pct[2] > 0.0, ">9 reuse bucket populated by `hot`");
+    }
+
+    #[test]
+    fn histogram_extraction_by_name() {
+        let hist = lifetime_histogram_of(&reuse_profile(), "hot").expect("hot reuses");
+        assert_eq!(hist.total(), 32);
+        assert!(hist.max_lifetime_bin().expect("nonempty") >= 5000);
+        assert!(lifetime_histogram_of(&reuse_profile(), "cold").is_none());
+        assert!(lifetime_histogram_of(&reuse_profile(), "missing").is_none());
+    }
+
+    #[test]
+    fn line_breakdown_covers_buckets() {
+        let pct = line_breakdown_percent(&reuse_profile()).expect("line mode");
+        let sum: f64 = pct.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyses_require_matching_modes() {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+        engine.scoped_named("f", |e| e.op(OpClass::IntArith, 1));
+        let (p, s) = engine.finish_with_symbols();
+        let plain = p.into_profile(s);
+        assert!(function_reuse_rows(&plain).is_none());
+        assert!(reuse_breakdown_percent(&plain).is_none());
+        assert!(line_breakdown_percent(&plain).is_none());
+    }
+
+    #[test]
+    fn repeated_contexts_get_numbered_labels() {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_reuse_mode()));
+        engine.scoped_named("main", |e| {
+            e.scoped_named("p", |e| {
+                e.scoped_named("conv_gen", |e| {
+                    e.write(0x0, 8);
+                    e.read(0x0, 8);
+                });
+            });
+            e.scoped_named("q", |e| {
+                e.scoped_named("conv_gen", |e| {
+                    e.write(0x100, 8);
+                    e.read(0x100, 8);
+                });
+            });
+        });
+        let (p, s) = engine.finish_with_symbols();
+        let profile = p.into_profile(s);
+        let rows = function_reuse_rows(&profile).expect("reuse mode");
+        let labels: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.label.starts_with("conv_gen"))
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels.len(), 2);
+        assert!(labels.contains(&"conv_gen(1)"));
+        assert!(labels.contains(&"conv_gen(2)"));
+    }
+}

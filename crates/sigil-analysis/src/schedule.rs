@@ -1,0 +1,321 @@
+//! Mapping dependency chains onto cores (paper §IV-C).
+//!
+//! "Besides highlighting the theoretical parallelism, we can use critical
+//! path information to build an optimal schedule for the program. The
+//! functions in parallel paths in a program can be mapped onto multiple
+//! cores such that dependencies are respected. A software developer may
+//! have a fixed number of scheduling slots based on the number of
+//! available cores."
+//!
+//! This module implements that mapping as a classic list scheduler over
+//! the fragment dependency graph: fragments become ready when all their
+//! predecessors finish, and each ready fragment is placed on the core
+//! that can start it earliest. The resulting makespan interpolates
+//! between the serial length (1 core) and the critical-path length
+//! (unbounded cores).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sigil_core::Profile;
+use sigil_trace::CallNumber;
+
+use crate::critical_path::{CriticalPathError, DependencyGraph};
+
+/// One fragment placed on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index of the fragment in the dependency graph.
+    pub fragment: usize,
+    /// The dynamic call the fragment belongs to.
+    pub call: CallNumber,
+    /// Core the fragment runs on.
+    pub core: usize,
+    /// Start time in retired-op units.
+    pub start: u64,
+    /// End time in retired-op units.
+    pub end: u64,
+}
+
+/// A complete schedule of the execution onto `cores` cores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Number of cores scheduled onto.
+    pub cores: usize,
+    /// Every fragment placement, in start-time order.
+    pub placements: Vec<Placement>,
+    /// Total retired ops (work).
+    pub serial_ops: u64,
+    /// Time the last fragment finishes.
+    pub makespan: u64,
+}
+
+impl Schedule {
+    /// Speedup over serial execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            1.0
+        } else {
+            self.serial_ops as f64 / self.makespan as f64
+        }
+    }
+
+    /// Fraction of core-time doing useful work, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.makespan.saturating_mul(self.cores as u64);
+        if capacity == 0 {
+            1.0
+        } else {
+            self.serial_ops as f64 / capacity as f64
+        }
+    }
+
+    /// Busy ops per core.
+    pub fn per_core_load(&self) -> Vec<u64> {
+        let mut load = vec![0u64; self.cores];
+        for p in &self.placements {
+            load[p.core] += p.end - p.start;
+        }
+        load
+    }
+}
+
+/// List-schedules the dependency graph of `profile`'s event file onto
+/// `cores` cores. Fragments of the same dynamic call stay ordered (they
+/// are chained in the graph); independent fragments fill idle cores.
+///
+/// # Example
+///
+/// ```
+/// use sigil_analysis::schedule::schedule;
+/// use sigil_core::{SigilConfig, SigilProfiler};
+/// use sigil_trace::{Engine, OpClass};
+///
+/// let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_events()));
+/// engine.scoped_named("main", |e| {
+///     e.scoped_named("left", |e| e.op(OpClass::IntArith, 1000));
+///     e.scoped_named("right", |e| e.op(OpClass::IntArith, 1000));
+/// });
+/// let (p, s) = engine.finish_with_symbols();
+/// let profile = p.into_profile(s);
+///
+/// // Two independent kernels nearly halve on two cores.
+/// let two = schedule(&profile, 2).expect("events recorded");
+/// assert!(two.speedup() > 1.8);
+/// ```
+///
+/// # Errors
+///
+/// Fails if the profile has no event file or no compute work.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn schedule(profile: &Profile, cores: usize) -> Result<Schedule, CriticalPathError> {
+    assert!(cores > 0, "need at least one core");
+    let events = profile
+        .events
+        .as_ref()
+        .ok_or(CriticalPathError::MissingEvents)?;
+    let graph = DependencyGraph::from_event_file(events);
+    if graph.serial_ops() == 0 {
+        return Err(CriticalPathError::EmptyEventFile);
+    }
+    let nodes = graph.nodes();
+
+    // Earliest-ready time per fragment: when every predecessor has
+    // finished *in the schedule* (not the unbounded-core graph times).
+    let mut sched_finish: Vec<u64> = vec![0; nodes.len()];
+    let mut core_free: Vec<u64> = vec![0; cores];
+    let mut placements = Vec::with_capacity(nodes.len());
+    // Keep fragments of one call on a stable core when possible: map
+    // call → last core used.
+    let mut call_core: HashMap<CallNumber, usize> = HashMap::new();
+
+    // Nodes are already in a valid topological order (creation order):
+    // every predecessor index is smaller.
+    for (idx, node) in nodes.iter().enumerate() {
+        let ready = node
+            .order_pred
+            .map_or(0, |p| sched_finish[p])
+            .max(node.data_pred.map_or(0, |p| sched_finish[p]));
+        // Prefer the call's previous core (locality), else the core that
+        // frees up first.
+        let preferred = call_core.get(&node.call).copied();
+        let core = preferred
+            .filter(|&c| core_free[c] <= ready)
+            .unwrap_or_else(|| {
+                core_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &free)| free)
+                    .map(|(i, _)| i)
+                    .expect("at least one core")
+            });
+        let start = ready.max(core_free[core]);
+        let end = start + node.self_ops;
+        core_free[core] = end;
+        sched_finish[idx] = end;
+        call_core.insert(node.call, core);
+        if node.self_ops > 0 {
+            placements.push(Placement {
+                fragment: idx,
+                call: node.call,
+                core,
+                start,
+                end,
+            });
+        }
+    }
+    placements.sort_by_key(|p| (p.start, p.core));
+    let makespan = placements.iter().map(|p| p.end).max().unwrap_or(0);
+    Ok(Schedule {
+        cores,
+        placements,
+        serial_ops: graph.serial_ops(),
+        makespan,
+    })
+}
+
+/// Sweeps core counts, returning `(cores, speedup)` pairs — the
+/// scaling curve a developer would use to pick a slot count.
+///
+/// # Errors
+///
+/// Fails if the profile has no event file or no compute work.
+pub fn scaling_curve(
+    profile: &Profile,
+    core_counts: &[usize],
+) -> Result<Vec<(usize, f64)>, CriticalPathError> {
+    core_counts
+        .iter()
+        .map(|&c| schedule(profile, c).map(|s| (c, s.speedup())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical_path::CriticalPath;
+    use sigil_core::{SigilConfig, SigilProfiler};
+    use sigil_trace::{Engine, OpClass};
+
+    fn fanout_profile(workers: usize) -> Profile {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_events()));
+        engine.scoped_named("main", |e| {
+            for w in 0..workers {
+                e.scoped_named(&format!("worker{w}"), |e| {
+                    e.op(OpClass::IntArith, 1000);
+                });
+            }
+        });
+        let (p, s) = engine.finish_with_symbols();
+        p.into_profile(s)
+    }
+
+    #[test]
+    fn one_core_is_serial() {
+        let profile = fanout_profile(4);
+        let s = schedule(&profile, 1).expect("events");
+        assert_eq!(s.makespan, s.serial_ops);
+        assert!((s.speedup() - 1.0).abs() < 1e-9);
+        assert!((s.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_cores_never_hurt() {
+        let profile = fanout_profile(6);
+        let mut last = 0.0;
+        for cores in [1, 2, 4, 8] {
+            let s = schedule(&profile, cores).expect("events");
+            assert!(
+                s.speedup() >= last - 1e-9,
+                "speedup regressed at {cores} cores"
+            );
+            last = s.speedup();
+        }
+    }
+
+    #[test]
+    fn unbounded_cores_approach_critical_path() {
+        let profile = fanout_profile(4);
+        let cp = CriticalPath::from_profile(&profile).expect("events");
+        let s = schedule(&profile, 64).expect("events");
+        assert!(
+            s.makespan <= cp.length_ops + cp.serial_ops / 100 + 1,
+            "list schedule ({}) should approach the critical path ({})",
+            s.makespan,
+            cp.length_ops
+        );
+        assert!((s.speedup() - cp.max_parallelism()).abs() / cp.max_parallelism() < 0.05);
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_events()));
+        engine.scoped_named("main", |e| {
+            e.scoped_named("producer", |e| {
+                e.op(OpClass::IntArith, 500);
+                e.write(0x0, 8);
+            });
+            e.scoped_named("consumer", |e| {
+                e.read(0x0, 8);
+                e.op(OpClass::IntArith, 500);
+            });
+        });
+        let (p, s) = engine.finish_with_symbols();
+        let profile = p.into_profile(s);
+        let sched = schedule(&profile, 4).expect("events");
+        // With a hard dependency, 4 cores cannot beat the 2-fragment
+        // chain: makespan >= 1000.
+        assert!(sched.makespan >= 1000, "got {}", sched.makespan);
+        // Placements never overlap on a core.
+        for core in 0..sched.cores {
+            let mut spans: Vec<(u64, u64)> = sched
+                .placements
+                .iter()
+                .filter(|p| p.core == core)
+                .map(|p| (p.start, p.end))
+                .collect();
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "overlap on core {core}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_core_load_sums_to_work() {
+        let profile = fanout_profile(5);
+        let s = schedule(&profile, 3).expect("events");
+        let total: u64 = s.per_core_load().iter().sum();
+        assert_eq!(total, s.serial_ops);
+    }
+
+    #[test]
+    fn scaling_curve_is_ordered() {
+        let profile = fanout_profile(8);
+        let curve = scaling_curve(&profile, &[1, 2, 4]).expect("events");
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].1 <= curve[2].1 + 1e-9);
+    }
+
+    #[test]
+    fn requires_event_file() {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+        engine.scoped_named("f", |e| e.op(OpClass::IntArith, 1));
+        let (p, s) = engine.finish_with_symbols();
+        let profile = p.into_profile(s);
+        assert!(matches!(
+            schedule(&profile, 2),
+            Err(CriticalPathError::MissingEvents)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let profile = fanout_profile(1);
+        let _ = schedule(&profile, 0);
+    }
+}

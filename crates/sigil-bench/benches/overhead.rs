@@ -1,0 +1,77 @@
+//! Criterion companion to Figures 4/5: per-benchmark cost of a native
+//! (null-observer) run vs Callgrind-like profiling vs full Sigil
+//! profiling of the same trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_callgrind::{CallgrindConfig, CallgrindProfiler};
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_trace::observer::NullObserver;
+use sigil_trace::Engine;
+use sigil_workloads::{Benchmark, InputSize};
+
+const BENCHES: [Benchmark; 3] = [
+    Benchmark::Blackscholes,
+    Benchmark::Streamcluster,
+    Benchmark::Dedup,
+];
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    for bench in BENCHES {
+        group.bench_with_input(
+            BenchmarkId::new("native", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let mut engine = Engine::new(NullObserver);
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    engine.finish()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("callgrind", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let mut engine =
+                        Engine::new(CallgrindProfiler::new(CallgrindConfig::default()));
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    let (p, s) = engine.finish_with_symbols();
+                    p.into_profile(s)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sigil", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    let (p, s) = engine.finish_with_symbols();
+                    p.into_profile(s)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sigil_reuse", bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let mut engine = Engine::new(SigilProfiler::new(
+                        SigilConfig::default().with_reuse_mode(),
+                    ));
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    let (p, s) = engine.finish_with_symbols();
+                    p.into_profile(s)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation of the shadow-memory design (DESIGN.md): the paper's
+//! two-level chunked table vs a naive flat `HashMap<addr, object>`
+//! shadow, on sequential and strided access patterns; plus the cost of
+//! the FIFO limiter.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_mem::{EvictionPolicy, ShadowObject, ShadowTable};
+use sigil_trace::CallNumber;
+
+const TOUCHES: u64 = 100_000;
+
+fn sequential_addrs() -> impl Iterator<Item = u64> {
+    0..TOUCHES
+}
+
+fn strided_addrs() -> impl Iterator<Item = u64> {
+    // A large-stride pattern confined to a 4 MiB region (1024 chunks):
+    // hostile to chunk locality without ballooning resident shadow state.
+    (0..TOUCHES).map(|i| (i * 4097) % (1 << 22))
+}
+
+fn run_table(addrs: impl Iterator<Item = u64>, table: &mut ShadowTable<ShadowObject>) {
+    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1));
+    for addr in addrs {
+        table.slot_mut(addr).record_write(owner);
+    }
+}
+
+fn run_hashmap(addrs: impl Iterator<Item = u64>, map: &mut HashMap<u64, ShadowObject>) {
+    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1));
+    for addr in addrs {
+        map.entry(addr).or_default().record_write(owner);
+    }
+}
+
+fn shadow_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_ablation");
+    group.sample_size(20);
+
+    for (pattern, gen) in [("sequential", true), ("strided", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("two_level_table", pattern),
+            &gen,
+            |b, &sequential| {
+                b.iter(|| {
+                    let mut table = ShadowTable::new();
+                    if sequential {
+                        run_table(sequential_addrs(), &mut table);
+                    } else {
+                        run_table(strided_addrs(), &mut table);
+                    }
+                    table.chunk_count()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat_hashmap", pattern),
+            &gen,
+            |b, &sequential| {
+                b.iter(|| {
+                    let mut map = HashMap::new();
+                    if sequential {
+                        run_hashmap(sequential_addrs(), &mut map);
+                    } else {
+                        run_hashmap(strided_addrs(), &mut map);
+                    }
+                    map.len()
+                });
+            },
+        );
+    }
+
+    // Eviction churn: every touch lands in a new chunk, so the limiter
+    // evicts constantly. Fewer touches keep the worst case measurable.
+    for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+        group.bench_with_input(
+            BenchmarkId::new("limited_strided", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut table: ShadowTable<ShadowObject> =
+                        ShadowTable::with_chunk_limit(64, policy);
+                    run_table(strided_addrs().take(TOUCHES as usize / 20), &mut table);
+                    table.evicted_chunks()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shadow_ablation);
+criterion_main!(benches);

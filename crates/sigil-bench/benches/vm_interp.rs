@@ -1,0 +1,46 @@
+//! VM interpretation cost: the DBI stand-in running guest kernels under
+//! no instrumentation vs full Sigil — the per-primitive profiling cost on
+//! genuinely interpreted (rather than directly generated) event streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_trace::observer::NullObserver;
+use sigil_trace::Engine;
+use sigil_vm::Interpreter;
+use sigil_workloads::vm_kernels;
+
+fn vm_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_interp");
+    group.sample_size(20);
+
+    let programs = [
+        ("vector_add_4k", vm_kernels::vector_add(4096)),
+        ("fibonacci_18", vm_kernels::fibonacci(18)),
+        ("dot_product_4k", vm_kernels::dot_product(4096)),
+    ];
+
+    for (name, program) in &programs {
+        group.bench_with_input(BenchmarkId::new("native", name), program, |b, program| {
+            b.iter(|| {
+                let mut engine = Engine::new(NullObserver);
+                Interpreter::new(program)
+                    .run(&mut engine)
+                    .expect("kernel runs clean")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sigil", name), program, |b, program| {
+            b.iter(|| {
+                let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+                Interpreter::new(program)
+                    .run(&mut engine)
+                    .expect("kernel runs clean");
+                let (p, s) = engine.finish_with_symbols();
+                p.into_profile(s)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vm_interp);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Runs every figure/table binary's logic in sequence by spawning the
+//! sibling binaries. Convenience wrapper for regenerating the whole
+//! evaluation (`cargo run --release -p sigil-bench --bin all_figures`).
+
+use std::process::{Command, ExitCode};
+
+const TARGETS: [&str; 17] = [
+    "fig04_slowdown",
+    "fig05_relative_slowdown",
+    "fig06_memory",
+    "fig07_coverage",
+    "table2_breakeven_top",
+    "table3_breakeven_bottom",
+    "fig08_reuse_bytes",
+    "fig09_vips_lifetimes",
+    "fig10_conv_gen_hist",
+    "fig11_xyz2lab_hist",
+    "fig12_reuse_lines",
+    "fig13_parallelism",
+    "ablation_memlimit",
+    "ext_comm_critpath",
+    "ext_bb_curve",
+    "ext_schedule",
+    "ext_reuse_distance",
+];
+
+fn main() -> ExitCode {
+    let current = std::env::current_exe().expect("current exe path");
+    let bindir = current.parent().expect("exe has a parent dir");
+    for target in TARGETS {
+        let path = bindir.join(target);
+        if !path.exists() {
+            eprintln!(
+                "error: `{target}` not built; run `cargo build --release -p sigil-bench --bins` first"
+            );
+            return ExitCode::FAILURE;
+        }
+        let status = Command::new(&path).status().expect("spawn figure binary");
+        if !status.success() {
+            eprintln!("error: `{target}` failed with {status}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,60 @@
+//! **Extension (paper §IV-B2)**: buffer/bandwidth (BB-curve-style)
+//! trade-off for the vips deep-dive functions — how much accelerator
+//! buffer retention is needed to absorb each function's data reuse
+//! locally instead of re-fetching over the external interface.
+
+use sigil_analysis::buffer::{bb_curve, retention_for_hit_fraction};
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Extension: buffer-retention vs external-refetch curve (vips)",
+        "§IV-B2: reuse data determines accelerator buffer sizes (Cong et al. BB-curves)",
+    );
+    let p = profile(
+        Benchmark::Vips,
+        InputSize::SimSmall,
+        SigilConfig::default().with_reuse_mode(),
+    );
+    for function in ["conv_gen", "imb_XYZ2Lab", "affine_gen"] {
+        let Some(curve) = bb_curve(&p, function) else {
+            println!("{function}: no reuse records");
+            continue;
+        };
+        println!("\n{function}:");
+        println!(
+            "{:>16} {:>12} {:>12} {:>8}",
+            "retention (ops)", "buffered B", "refetch B", "hit%"
+        );
+        for point in &curve {
+            println!(
+                "{:>16} {:>12} {:>12} {:>7.1}%",
+                point.retention_ops,
+                point.buffered_bytes,
+                point.refetched_bytes,
+                100.0 * point.hit_fraction()
+            );
+        }
+        for target in [0.5, 0.9, 1.0] {
+            if let Some(window) = retention_for_hit_fraction(&p, function, target) {
+                println!(
+                    "  -> {:.0}% local hits need a {window}-op retention window",
+                    target * 100.0
+                );
+            }
+        }
+    }
+    csv_header("function,retention_ops,buffered_bytes,refetched_bytes");
+    for function in ["conv_gen", "imb_XYZ2Lab", "affine_gen"] {
+        if let Some(curve) = bb_curve(&p, function) {
+            for point in curve {
+                println!(
+                    "{function},{},{},{}",
+                    point.retention_ops, point.buffered_bytes, point.refetched_bytes
+                );
+            }
+        }
+    }
+}

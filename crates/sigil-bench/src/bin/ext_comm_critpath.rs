@@ -1,0 +1,48 @@
+//! **Extension (paper §IV-C future work)**: critical paths with
+//! communication edges charged — "we do not employ more sophisticated
+//! critical path analysis … which also take communication edges into
+//! account". This binary compares the paper's free-transfer parallelism
+//! limit against a bus-charged one.
+
+use sigil_analysis::critical_path::{CommModel, CriticalPath};
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Extension: communication-aware critical paths",
+        "charging transfers (100-op setup, 8 B/op) shrinks the extractable parallelism",
+    );
+    let bus = CommModel {
+        fixed_ops: 100,
+        bytes_per_op: 8.0,
+    };
+    println!(
+        "{:>14} {:>12} {:>14} {:>10}",
+        "benchmark", "free", "bus-charged", "shrink"
+    );
+    let mut csv = Vec::new();
+    for bench in Benchmark::ALL {
+        let p = profile(
+            bench,
+            InputSize::SimSmall,
+            SigilConfig::default().with_events(),
+        );
+        let free = CriticalPath::from_profile(&p).expect("events enabled");
+        let charged = CriticalPath::from_profile_with(&p, &bus).expect("events enabled");
+        let shrink = free.max_parallelism() / charged.max_parallelism().max(1e-9);
+        println!(
+            "{:>14} {:>11.2}x {:>13.2}x {:>9.2}x",
+            bench.name(),
+            free.max_parallelism(),
+            charged.max_parallelism(),
+            shrink
+        );
+        csv.push((bench, free.max_parallelism(), charged.max_parallelism()));
+    }
+    csv_header("benchmark,free_parallelism,charged_parallelism");
+    for (bench, free, charged) in csv {
+        println!("{},{free:.4},{charged:.4}", bench.name());
+    }
+}

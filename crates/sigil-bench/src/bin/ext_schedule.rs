@@ -1,0 +1,51 @@
+//! **Extension (paper §IV-C)**: mapping dependency chains onto a fixed
+//! number of cores — "A software developer may have a fixed number of
+//! scheduling slots based on the number of available cores. The
+//! developer can map dependency chains onto these slots."
+//!
+//! For each benchmark, list-schedule the fragment dependency graph onto
+//! 1/2/4/8/16 cores and report the realizable speedup next to the
+//! Figure 13 theoretical limit.
+
+use sigil_analysis::critical_path::CriticalPath;
+use sigil_analysis::schedule::scaling_curve;
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+const CORES: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    header(
+        "Extension: dependency chains scheduled onto fixed core counts",
+        "realizable speedups saturate at the Figure 13 theoretical limit",
+    );
+    println!(
+        "{:>14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "benchmark", "1c", "2c", "4c", "8c", "16c", "limit"
+    );
+    let mut csv = Vec::new();
+    for bench in Benchmark::ALL {
+        let p = profile(
+            bench,
+            InputSize::SimSmall,
+            SigilConfig::default().with_events(),
+        );
+        let curve = scaling_curve(&p, &CORES).expect("events enabled");
+        let limit = CriticalPath::from_profile(&p)
+            .expect("events enabled")
+            .max_parallelism();
+        print!("{:>14}", bench.name());
+        for &(_, speedup) in &curve {
+            print!(" {speedup:>6.2}x");
+        }
+        println!(" {limit:>8.2}x");
+        csv.push((bench, curve, limit));
+    }
+    csv_header("benchmark,cores,speedup,limit");
+    for (bench, curve, limit) in csv {
+        for (cores, speedup) in curve {
+            println!("{},{cores},{speedup:.4},{limit:.4}", bench.name());
+        }
+    }
+}

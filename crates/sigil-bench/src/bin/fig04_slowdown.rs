@@ -1,0 +1,53 @@
+//! **Figure 4**: slowdown of Sigil and Callgrind relative to native runs
+//! for baseline function-level profiling (simsmall inputs).
+//!
+//! Paper: Sigil's slowdown is "much larger compared to Callgrind; the
+//! average slowdown being 580x for simsmall inputs" on real Valgrind DBI.
+//! Our substrate pays no binary-translation cost, so absolute ratios are
+//! smaller, but the ordering Sigil ≫ Callgrind ≫ native must hold.
+
+use sigil_bench::{csv_header, header, measure_overhead};
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Figure 4: slowdown of Sigil and Callgrind relative to native (simsmall)",
+        "Sigil >> Callgrind >> 1; Sigil average 580x on Valgrind-based DBI",
+    );
+    println!(
+        "{:>14} {:>12} {:>16} {:>14}",
+        "benchmark", "sigil x", "callgrind x", "sigil/callgrind"
+    );
+    let mut rows = Vec::new();
+    for bench in Benchmark::parsec() {
+        let row = measure_overhead(bench, InputSize::SimSmall, 3);
+        println!(
+            "{:>14} {:>12.1} {:>16.1} {:>14.1}",
+            bench.name(),
+            row.sigil_slowdown(),
+            row.callgrind_slowdown(),
+            row.relative_slowdown()
+        );
+        rows.push(row);
+    }
+    let geo = |f: &dyn Fn(&sigil_bench::OverheadRow) -> f64| -> f64 {
+        let product: f64 = rows.iter().map(|r| f(r).ln()).sum();
+        (product / rows.len() as f64).exp()
+    };
+    println!(
+        "{:>14} {:>12.1} {:>16.1} {:>14.1}",
+        "geomean",
+        geo(&|r| r.sigil_slowdown()),
+        geo(&|r| r.callgrind_slowdown()),
+        geo(&|r| r.relative_slowdown())
+    );
+    csv_header("benchmark,sigil_slowdown,callgrind_slowdown");
+    for row in &rows {
+        println!(
+            "{},{:.3},{:.3}",
+            row.bench.name(),
+            row.sigil_slowdown(),
+            row.callgrind_slowdown()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! **Figure 7**: normalized execution-time coverage of the leaf nodes of
+//! the trimmed calltree, per benchmark.
+//!
+//! Paper: "many applications spend over 50% of their execution in the
+//! leaf nodes of the trimmed call tree. The exceptions are Canneal,
+//! Ferret and Swaptions, whose candidate functions show low coverage."
+
+use sigil_analysis::partition::{trim_calltree, PartitionConfig};
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Figure 7: coverage of trimmed-calltree leaf nodes (simsmall)",
+        "most benchmarks >50%; canneal/ferret/swaptions low",
+    );
+    println!("{:>14} {:>10} {:>8}", "benchmark", "coverage", "leaves");
+    let config = PartitionConfig::default();
+    let mut csv = Vec::new();
+    for bench in Benchmark::parsec() {
+        let p = profile(bench, InputSize::SimSmall, SigilConfig::default());
+        let trimmed = trim_calltree(&p, &config);
+        println!(
+            "{:>14} {:>9.1}% {:>8}",
+            bench.name(),
+            trimmed.coverage * 100.0,
+            trimmed.leaves.len()
+        );
+        csv.push((bench, trimmed.coverage, trimmed.leaves.len()));
+    }
+    csv_header("benchmark,coverage,leaf_count");
+    for (bench, cov, n) in csv {
+        println!("{},{cov:.4},{n}", bench.name());
+    }
+}

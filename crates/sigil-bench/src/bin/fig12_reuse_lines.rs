@@ -1,0 +1,58 @@
+//! **Figure 12**: breakdown of memory lines by reuse count
+//! (`<10`, `<100`, `<1000`, `<10000`, `>10000`), 64-byte lines.
+//!
+//! Paper: "While almost all benchmarks have lines re-used more than
+//! 10,000 times, Dedup, Bodytrack and Streamcluster have a significant
+//! number of lines that are re-used fewer times."
+
+use sigil_analysis::reuse_analysis::line_breakdown_percent;
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::{LineReport, SigilConfig};
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Figure 12: memory lines by reuse count (simsmall, 64-byte lines)",
+        "streaming benchmarks (dedup/bodytrack/streamcluster) have many low-reuse lines",
+    );
+    println!(
+        "{:>14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark",
+        LineReport::LABELS[0],
+        LineReport::LABELS[1],
+        LineReport::LABELS[2],
+        LineReport::LABELS[3],
+        LineReport::LABELS[4]
+    );
+    let mut csv = Vec::new();
+    for bench in Benchmark::parsec() {
+        let p = profile(
+            bench,
+            InputSize::SimSmall,
+            SigilConfig::default().with_line_mode(64),
+        );
+        let pct = line_breakdown_percent(&p).expect("line mode enabled");
+        println!(
+            "{:>14} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            bench.name(),
+            pct[0],
+            pct[1],
+            pct[2],
+            pct[3],
+            pct[4]
+        );
+        csv.push((bench, pct));
+    }
+    csv_header("benchmark,lt10,lt100,lt1000,lt10000,ge10000");
+    for (bench, pct) in csv {
+        println!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            bench.name(),
+            pct[0],
+            pct[1],
+            pct[2],
+            pct[3],
+            pct[4]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! **Figure 13**: maximum theoretical function-level parallelism
+//! (serial length / critical-path length) for PARSEC benchmarks and
+//! SPEC's libquantum.
+//!
+//! Paper: streamcluster and libquantum sit at the high end (many short
+//! independent paths); fluidanimate is near 1 because `ComputeForces`
+//! forms one long serial chain contributing ~90% of the ops. The
+//! streamcluster critical path runs
+//! `drand48_iterate → nrand48_r → lrand48 → pkmedian → localSearch →
+//! streamCluster → main`.
+
+use sigil_analysis::critical_path::CriticalPath;
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn main() {
+    header(
+        "Figure 13: maximum function-level parallelism (simsmall)",
+        "streamcluster & libquantum high; fluidanimate ~1 (ComputeForces chain)",
+    );
+    println!(
+        "{:>14} {:>14} {:>14} {:>12}",
+        "benchmark", "serial ops", "critical path", "parallelism"
+    );
+    let mut csv = Vec::new();
+    for bench in Benchmark::ALL {
+        let p = profile(
+            bench,
+            InputSize::SimSmall,
+            SigilConfig::default().with_events(),
+        );
+        let cp = CriticalPath::from_profile(&p).expect("events enabled");
+        println!(
+            "{:>14} {:>14} {:>14} {:>11.2}x",
+            bench.name(),
+            cp.serial_ops,
+            cp.length_ops,
+            cp.max_parallelism()
+        );
+        if bench == Benchmark::Streamcluster || bench == Benchmark::Fluidanimate {
+            println!("    path: {}", cp.function_names(&p).join(" -> "));
+        }
+        csv.push((bench, cp.serial_ops, cp.length_ops, cp.max_parallelism()));
+    }
+    csv_header("benchmark,serial_ops,critical_path_ops,max_parallelism");
+    for (bench, serial, path, speedup) in csv {
+        println!("{},{serial},{path},{speedup:.4}", bench.name());
+    }
+}

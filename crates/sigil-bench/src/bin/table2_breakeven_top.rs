@@ -1,0 +1,43 @@
+//! **Table II**: breakeven speedup for the top 5 functions of
+//! blackscholes, bodytrack, canneal and dedup (simsmall).
+//!
+//! Paper: the top functions are math-library calls and dense kernels
+//! (`strtof`, `_ieee754_*`, `FlexImage::Set`,
+//! `ImageMeasurements::ImageErrorInside`, `mul`, `memchr`,
+//! `netlist::swap_locations`, `sha1_block_data_order`, `adler32`,
+//! `_tr_flush_block`) with breakeven speedups close to 1.
+
+use sigil_analysis::partition::{rank_functions, PartitionConfig};
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+const TABLE_BENCHES: [Benchmark; 4] = [
+    Benchmark::Blackscholes,
+    Benchmark::Bodytrack,
+    Benchmark::Canneal,
+    Benchmark::Dedup,
+];
+
+fn main() {
+    header(
+        "Table II: breakeven speedup, top 5 functions per benchmark (simsmall)",
+        "top candidates are compute-dense kernels/math calls with S(be) close to 1",
+    );
+    let config = PartitionConfig::default();
+    let mut csv = Vec::new();
+    for bench in TABLE_BENCHES {
+        let p = profile(bench, InputSize::SimSmall, SigilConfig::default());
+        let ranked = rank_functions(&p, &config);
+        println!("\n{}:", bench.name());
+        println!("{:>10}  function", "S(be)");
+        for row in ranked.iter().take(5) {
+            println!("{:>10.3}  {}", row.breakeven, row.name);
+            csv.push((bench, row.name.clone(), row.breakeven));
+        }
+    }
+    csv_header("benchmark,function,breakeven");
+    for (bench, name, s) in csv {
+        println!("{},{name},{s:.4}", bench.name());
+    }
+}

@@ -1,0 +1,42 @@
+//! **Table III**: breakeven speedup for the worst 5 functions of
+//! blackscholes, bodytrack, canneal and dedup (simsmall).
+//!
+//! Paper: "the functions are mostly utility functions such as
+//! constructors (e.g. std::vector), destructors (e.g. free) and
+//! initializers (e.g. std::string::assign). These same functions also
+//! exhibit less computational intensity" — breakeven 1.1 to 7.5.
+
+use sigil_analysis::partition::{rank_functions, PartitionConfig};
+use sigil_bench::{csv_header, header, profile};
+use sigil_core::SigilConfig;
+use sigil_workloads::{Benchmark, InputSize};
+
+const TABLE_BENCHES: [Benchmark; 4] = [
+    Benchmark::Blackscholes,
+    Benchmark::Bodytrack,
+    Benchmark::Canneal,
+    Benchmark::Dedup,
+];
+
+fn main() {
+    header(
+        "Table III: breakeven speedup, worst 5 functions per benchmark (simsmall)",
+        "worst candidates are utility functions (ctors/dtors/initializers), S(be) 1.1-7.5",
+    );
+    let config = PartitionConfig::default();
+    let mut csv = Vec::new();
+    for bench in TABLE_BENCHES {
+        let p = profile(bench, InputSize::SimSmall, SigilConfig::default());
+        let ranked = rank_functions(&p, &config);
+        println!("\n{}:", bench.name());
+        println!("{:>10}  function", "S(be)");
+        for row in ranked.iter().rev().take(5).collect::<Vec<_>>().into_iter().rev() {
+            println!("{:>10.3}  {}", row.breakeven, row.name);
+            csv.push((bench, row.name.clone(), row.breakeven));
+        }
+    }
+    csv_header("benchmark,function,breakeven");
+    for (bench, name, s) in csv {
+        println!("{},{name},{s:.4}", bench.name());
+    }
+}

@@ -1,0 +1,157 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md`'s experiment index).
+//!
+//! Each `src/bin/figNN_*.rs` / `src/bin/tableN_*.rs` binary prints the
+//! same rows/series the paper reports, as an aligned text table followed
+//! by a CSV block (for plotting). `src/bin/all_figures.rs` runs the lot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use sigil_callgrind::{CallgrindConfig, CallgrindProfiler};
+use sigil_core::{Profile, SigilConfig, SigilProfiler};
+use sigil_trace::observer::NullObserver;
+use sigil_trace::Engine;
+use sigil_workloads::{Benchmark, InputSize};
+
+/// Collects a Sigil profile of `bench` at `size` under `config`.
+pub fn profile(bench: Benchmark, size: InputSize, config: SigilConfig) -> Profile {
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    bench.run(size, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+/// Times one closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// One row of the overhead comparison (Figures 4 and 5).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadRow {
+    /// The benchmark measured.
+    pub bench: Benchmark,
+    /// Input size used.
+    pub size: InputSize,
+    /// Wall time of the uninstrumented (null-observer) run.
+    pub native: Duration,
+    /// Wall time under the Callgrind-like profiler.
+    pub callgrind: Duration,
+    /// Wall time under the full Sigil profiler.
+    pub sigil: Duration,
+}
+
+impl OverheadRow {
+    /// Sigil's slowdown relative to native.
+    pub fn sigil_slowdown(&self) -> f64 {
+        ratio(self.sigil, self.native)
+    }
+
+    /// Callgrind's slowdown relative to native.
+    pub fn callgrind_slowdown(&self) -> f64 {
+        ratio(self.callgrind, self.native)
+    }
+
+    /// Sigil's slowdown relative to Callgrind (Figure 5's metric).
+    pub fn relative_slowdown(&self) -> f64 {
+        ratio(self.sigil, self.callgrind)
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+}
+
+/// Measures the three-way overhead of one benchmark. `reps` repetitions
+/// of the *native* run are used (instrumented runs are long enough to
+/// time once).
+pub fn measure_overhead(bench: Benchmark, size: InputSize, reps: u32) -> OverheadRow {
+    // Native: the workload generator running flat out into a no-op sink.
+    let reps = reps.max(1);
+    let (_, native_total) = time(|| {
+        for _ in 0..reps {
+            let mut engine = Engine::new(NullObserver);
+            bench.run(size, &mut engine);
+            let _ = engine.finish();
+        }
+    });
+    let native = native_total / reps;
+
+    let (_, callgrind) = time(|| {
+        let mut engine = Engine::new(CallgrindProfiler::new(CallgrindConfig::default()));
+        bench.run(size, &mut engine);
+        let (profiler, symbols) = engine.finish_with_symbols();
+        std::hint::black_box(profiler.into_profile(symbols));
+    });
+
+    let (_, sigil) = time(|| {
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+        bench.run(size, &mut engine);
+        let (profiler, symbols) = engine.finish_with_symbols();
+        std::hint::black_box(profiler.into_profile(symbols));
+    });
+
+    OverheadRow {
+        bench,
+        size,
+        native,
+        callgrind,
+        sigil,
+    }
+}
+
+/// Prints a figure header.
+pub fn header(figure: &str, paper_says: &str) {
+    println!("================================================================");
+    println!("{figure}");
+    println!("paper: {paper_says}");
+    println!("================================================================");
+}
+
+/// Prints a CSV block delimiter plus its header row.
+pub fn csv_header(columns: &str) {
+    println!("--- csv ---");
+    println!("{columns}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_helper_produces_nonempty_profile() {
+        let p = profile(
+            Benchmark::Blackscholes,
+            InputSize::SimSmall,
+            SigilConfig::default(),
+        );
+        assert!(p.callgrind.total_ops > 0);
+        assert!(!p.edges.is_empty());
+    }
+
+    #[test]
+    fn overhead_row_ratios() {
+        let row = OverheadRow {
+            bench: Benchmark::Vips,
+            size: InputSize::SimSmall,
+            native: Duration::from_millis(10),
+            callgrind: Duration::from_millis(40),
+            sigil: Duration::from_millis(200),
+        };
+        assert!((row.callgrind_slowdown() - 4.0).abs() < 1e-9);
+        assert!((row.sigil_slowdown() - 20.0).abs() < 1e-9);
+        assert!((row.relative_slowdown() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_overhead_orders_sensibly() {
+        let row = measure_overhead(Benchmark::Streamcluster, InputSize::SimSmall, 2);
+        // Sigil must cost more than the null-observer run.
+        assert!(row.sigil > row.native);
+    }
+}

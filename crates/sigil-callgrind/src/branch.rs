@@ -1,0 +1,155 @@
+//! Bimodal branch predictor (Callgrind's `--branch-sim` analogue).
+
+/// A table of 2-bit saturating counters indexed by a hash of the branch
+/// site, used to estimate the branch-misprediction counts that feed the
+/// cycle-estimation formula.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit counters: 0,1 predict not-taken; 2,3 predict taken.
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Default table size (entries).
+    pub const DEFAULT_ENTRIES: usize = 16 * 1024;
+
+    /// Creates a predictor with the default table size.
+    pub fn new() -> Self {
+        BranchPredictor::with_entries(Self::DEFAULT_ENTRIES)
+    }
+
+    /// Creates a predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a non-zero power of two.
+    pub fn with_entries(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entry count must be a non-zero power of two"
+        );
+        BranchPredictor {
+            // Initialize to 1 (weakly not-taken), a common reset state.
+            counters: vec![1u8; entries],
+            predictions: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn slot(&self, site: u64) -> usize {
+        // Fibonacci hashing spreads clustered site ids across the table.
+        let hash = site.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hash >> 32) as usize & (self.counters.len() - 1)
+    }
+
+    /// Predicts the branch at `site`, updates the counter with the actual
+    /// `taken` outcome, and returns `true` iff the prediction was wrong.
+    pub fn predict_and_update(&mut self, site: u64, taken: bool) -> bool {
+        let slot = self.slot(site);
+        let counter = &mut self.counters[slot];
+        let predicted_taken = *counter >= 2;
+        let mispredicted = predicted_taken != taken;
+        *counter = if taken {
+            (*counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
+        self.predictions += 1;
+        if mispredicted {
+            self.mispredicts += 1;
+        }
+        mispredicted
+    }
+
+    /// Total branches predicted.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate in `[0, 1]`; 0 when no branches were seen.
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_taken_branch_converges_to_correct() {
+        let mut bp = BranchPredictor::new();
+        for _ in 0..100 {
+            bp.predict_and_update(0x40, true);
+        }
+        // After warmup (at most 2 mispredicts) everything is predicted.
+        assert!(bp.mispredicts() <= 2, "got {}", bp.mispredicts());
+        assert_eq!(bp.predictions(), 100);
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_heavily() {
+        let mut bp = BranchPredictor::new();
+        for i in 0..100 {
+            bp.predict_and_update(0x40, i % 2 == 0);
+        }
+        assert!(
+            bp.miss_rate() > 0.4,
+            "alternating pattern should defeat a bimodal predictor, rate {}",
+            bp.miss_rate()
+        );
+    }
+
+    #[test]
+    fn loop_exit_costs_about_one_miss_per_loop() {
+        let mut bp = BranchPredictor::new();
+        // 10 loops of 50 taken iterations + 1 not-taken exit.
+        for _ in 0..10 {
+            for _ in 0..50 {
+                bp.predict_and_update(0x80, true);
+            }
+            bp.predict_and_update(0x80, false);
+        }
+        // ~1 miss per exit (plus warmup); far fewer than total branches.
+        assert!(bp.mispredicts() <= 10 + 2, "got {}", bp.mispredicts());
+    }
+
+    #[test]
+    fn distinct_sites_do_not_interfere() {
+        let mut bp = BranchPredictor::new();
+        for _ in 0..50 {
+            bp.predict_and_update(0x1, true);
+            bp.predict_and_update(0x2, false);
+        }
+        assert!(bp.mispredicts() <= 4);
+    }
+
+    #[test]
+    fn zero_branches_zero_rate() {
+        let bp = BranchPredictor::new();
+        assert_eq!(bp.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = BranchPredictor::with_entries(1000);
+    }
+}

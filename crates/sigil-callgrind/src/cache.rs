@@ -1,0 +1,351 @@
+//! On-the-fly data-cache simulation (Callgrind's `--cache-sim`).
+
+use serde::{Deserialize, Serialize};
+use sigil_trace::MemAccess;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64 B-line L1D (Callgrind's default-ish geometry).
+    pub const fn l1d_default() -> Self {
+        CacheConfig {
+            size: 32 * 1024,
+            assoc: 8,
+            line_size: 64,
+        }
+    }
+
+    /// An 8 MiB, 16-way, 64 B-line last-level cache.
+    pub const fn ll_default() -> Self {
+        CacheConfig {
+            size: 8 * 1024 * 1024,
+            assoc: 16,
+            line_size: 64,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub const fn sets(&self) -> u32 {
+        self.size / (self.assoc * self.line_size)
+    }
+
+    /// Parses Callgrind's `--D1=<size>,<assoc>,<line>` geometry syntax,
+    /// e.g. `"32768,8,64"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on malformed input or an
+    /// inconsistent geometry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+        let [size, assoc, line_size] = parts.as_slice() else {
+            return Err(format!("expected `size,assoc,line`, got `{spec}`"));
+        };
+        let parse_u32 = |field: &str, what: &str| -> Result<u32, String> {
+            field
+                .parse()
+                .map_err(|_| format!("bad {what} `{field}` in `{spec}`"))
+        };
+        let config = CacheConfig {
+            size: parse_u32(size, "size")?,
+            assoc: parse_u32(assoc, "associativity")?,
+            line_size: parse_u32(line_size, "line size")?,
+        };
+        if !config.line_size.is_power_of_two()
+            || config.assoc == 0
+            || config.line_size == 0
+            || config.size == 0
+            || !config.size.is_multiple_of(config.assoc * config.line_size)
+            || !config.sets().is_power_of_two()
+        {
+            return Err(format!("inconsistent cache geometry `{spec}`"));
+        }
+        Ok(config)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            self.size.is_multiple_of(self.assoc * self.line_size) && self.sets() >= 1,
+            "size must be a positive multiple of assoc * line_size"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
+    }
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// `tags[set * assoc + way]`; `u64::MAX` = invalid. Ways are kept in
+    /// LRU order within each set: way 0 is most recently used.
+    tags: Vec<u64>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size
+    /// or set count, zero ways).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        CacheSim {
+            config,
+            tags: vec![u64::MAX; (config.sets() * config.assoc) as usize],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Touches the line containing `line_addr` (a *line index*, not a byte
+    /// address); returns `true` on a miss.
+    pub fn touch_line(&mut self, line_addr: u64) -> bool {
+        self.accesses += 1;
+        let sets = u64::from(self.config.sets());
+        let assoc = self.config.assoc as usize;
+        let set = (line_addr & (sets - 1)) as usize;
+        let tag = line_addr / sets;
+        let base = set * assoc;
+        let ways = &mut self.tags[base..base + assoc];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            // Hit: move to MRU position.
+            ways[..=pos].rotate_right(1);
+            false
+        } else {
+            // Miss: evict LRU (last way), insert at MRU.
+            ways.rotate_right(1);
+            ways[0] = tag;
+            self.misses += 1;
+            true
+        }
+    }
+
+    /// Total line touches so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// A two-level (L1D + LL) data-cache hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use sigil_callgrind::{CacheConfig, CacheHierarchy};
+/// use sigil_trace::MemAccess;
+///
+/// let mut caches = CacheHierarchy::with_defaults();
+/// let (l1m, llm) = caches.access(MemAccess::new(0x1000, 8));
+/// assert_eq!((l1m, llm), (1, 1), "cold caches miss at both levels");
+/// let (l1m, llm) = caches.access(MemAccess::new(0x1000, 8));
+/// assert_eq!((l1m, llm), (0, 0), "then hit");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheSim,
+    ll: CacheSim,
+}
+
+impl CacheHierarchy {
+    /// Creates a hierarchy from explicit geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two levels disagree on line size (Callgrind has the
+    /// same restriction) or either geometry is invalid.
+    pub fn new(l1: CacheConfig, ll: CacheConfig) -> Self {
+        assert_eq!(
+            l1.line_size, ll.line_size,
+            "L1 and LL must share a line size"
+        );
+        CacheHierarchy {
+            l1: CacheSim::new(l1),
+            ll: CacheSim::new(ll),
+        }
+    }
+
+    /// Creates the default 32 KiB L1D / 8 MiB LL hierarchy.
+    pub fn with_defaults() -> Self {
+        CacheHierarchy::new(CacheConfig::l1d_default(), CacheConfig::ll_default())
+    }
+
+    /// Line size shared by both levels.
+    pub fn line_size(&self) -> u32 {
+        self.l1.config().line_size
+    }
+
+    /// Simulates one data access; a multi-line access touches each covered
+    /// line. Returns `(l1_misses, ll_misses)` incurred by this access.
+    pub fn access(&mut self, access: MemAccess) -> (u64, u64) {
+        let line_size = u64::from(self.line_size());
+        let first = access.addr / line_size;
+        let last = access.end().saturating_sub(1) / line_size;
+        let mut l1_misses = 0;
+        let mut ll_misses = 0;
+        for line in first..=last {
+            if self.l1.touch_line(line) {
+                l1_misses += 1;
+                if self.ll.touch_line(line) {
+                    ll_misses += 1;
+                }
+            }
+        }
+        (l1_misses, ll_misses)
+    }
+
+    /// The L1 level.
+    pub fn l1(&self) -> &CacheSim {
+        &self.l1
+    }
+
+    /// The LL level.
+    pub fn ll(&self) -> &CacheSim {
+        &self.ll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(assoc: u32, lines: u32) -> CacheSim {
+        CacheSim::new(CacheConfig {
+            size: 64 * assoc * lines,
+            assoc,
+            line_size: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny_cache(2, 2);
+        assert!(c.touch_line(0));
+        assert!(!c.touch_line(0));
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        // 1 set (lines=1), 2 ways: lines 0 and 2 map to the same set.
+        let mut c = tiny_cache(2, 1);
+        assert!(c.touch_line(0)); // miss, set = {0}
+        assert!(c.touch_line(1)); // miss, set = {1, 0}
+        assert!(!c.touch_line(0)); // hit, set = {0, 1}
+        assert!(c.touch_line(2)); // miss, evicts 1
+        assert!(!c.touch_line(0)); // 0 survived (was MRU)
+        assert!(c.touch_line(1)); // 1 was evicted
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = tiny_cache(1, 2); // 2 sets, direct mapped
+        assert!(c.touch_line(0));
+        assert!(c.touch_line(2)); // same set as 0, evicts it
+        assert!(c.touch_line(0)); // conflict miss
+        assert!(c.touch_line(1)); // line 1: its own set, cold miss
+        assert!(!c.touch_line(1)); // then a hit
+    }
+
+    #[test]
+    fn hierarchy_ll_absorbs_l1_conflict_misses() {
+        // Tiny L1 (1 set x 1 way), large LL.
+        let l1 = CacheConfig {
+            size: 64,
+            assoc: 1,
+            line_size: 64,
+        };
+        let ll = CacheConfig::ll_default();
+        let mut h = CacheHierarchy::new(l1, ll);
+        let a = MemAccess::new(0, 8);
+        let b = MemAccess::new(64, 8);
+        assert_eq!(h.access(a), (1, 1));
+        assert_eq!(h.access(b), (1, 1));
+        // `a` was evicted from L1 but lives in LL.
+        assert_eq!(h.access(a), (1, 0));
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut h = CacheHierarchy::with_defaults();
+        let (l1m, llm) = h.access(MemAccess::new(60, 8));
+        assert_eq!((l1m, llm), (2, 2));
+    }
+
+    #[test]
+    fn sets_computed_from_geometry() {
+        assert_eq!(CacheConfig::l1d_default().sets(), 64);
+    }
+
+    #[test]
+    fn parse_accepts_callgrind_syntax() {
+        let c = CacheConfig::parse("32768,8,64").expect("valid spec");
+        assert_eq!(c, CacheConfig::l1d_default());
+        let c = CacheConfig::parse(" 8388608 , 16 , 64 ").expect("whitespace ok");
+        assert_eq!(c, CacheConfig::ll_default());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(CacheConfig::parse("32768,8").is_err());
+        assert!(CacheConfig::parse("a,b,c").is_err());
+        assert!(CacheConfig::parse("32768,8,63").is_err(), "non-pow2 line");
+        assert!(CacheConfig::parse("1000,3,64").is_err(), "bad multiple");
+        assert!(CacheConfig::parse("0,1,64").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a line size")]
+    fn mismatched_line_sizes_rejected() {
+        let l1 = CacheConfig {
+            size: 4096,
+            assoc: 1,
+            line_size: 32,
+        };
+        let _ = CacheHierarchy::new(l1, CacheConfig::ll_default());
+    }
+
+    #[test]
+    fn hit_rate_improves_with_locality() {
+        let mut h = CacheHierarchy::with_defaults();
+        // Stream once (cold), then re-walk: second pass should hit.
+        for i in 0..64u64 {
+            h.access(MemAccess::new(i * 64, 8));
+        }
+        let cold_misses = h.l1().misses();
+        for i in 0..64u64 {
+            h.access(MemAccess::new(i * 64, 8));
+        }
+        assert_eq!(h.l1().misses(), cold_misses, "warm pass added no misses");
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-context cost vectors.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+use sigil_trace::OpClass;
+
+/// The cost counters Callgrind keeps per function context.
+///
+/// All counters are *exclusive* (self) costs; inclusive costs over
+/// sub-trees are computed by `sigil-analysis` when trimming calltrees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostVec {
+    /// Retired guest operations of every kind ("instructions", Ir).
+    pub ir: u64,
+    /// Retired compute operations per [`OpClass`] (indexed by
+    /// `OpClass::index()`).
+    pub ops: [u64; 4],
+    /// Data-read accesses (Dr).
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Data-write accesses (Dw).
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// First-level data-cache read misses (D1mr).
+    pub l1_read_misses: u64,
+    /// First-level data-cache write misses (D1mw).
+    pub l1_write_misses: u64,
+    /// Last-level cache read misses (DLmr).
+    pub ll_read_misses: u64,
+    /// Last-level cache write misses (DLmw).
+    pub ll_write_misses: u64,
+    /// Conditional branches executed (Bc).
+    pub branches: u64,
+    /// Conditional branches mispredicted (Bcm).
+    pub mispredicts: u64,
+}
+
+impl CostVec {
+    /// A zero cost vector.
+    pub const fn new() -> Self {
+        CostVec {
+            ir: 0,
+            ops: [0; 4],
+            reads: 0,
+            bytes_read: 0,
+            writes: 0,
+            bytes_written: 0,
+            l1_read_misses: 0,
+            l1_write_misses: 0,
+            ll_read_misses: 0,
+            ll_write_misses: 0,
+            branches: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Total retired compute operations across all classes — the paper's
+    /// per-function "number of operations" used by the partitioning
+    /// heuristic.
+    pub fn ops_total(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Floating-point operations retired.
+    pub fn flops(&self) -> u64 {
+        self.ops[OpClass::FloatArith.index()]
+    }
+
+    /// Total L1 data misses (read + write).
+    pub fn l1_misses(&self) -> u64 {
+        self.l1_read_misses + self.l1_write_misses
+    }
+
+    /// Total last-level misses (read + write).
+    pub fn ll_misses(&self) -> u64 {
+        self.ll_read_misses + self.ll_write_misses
+    }
+
+    /// Total data accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Adds `count` ops of class `class` (also retiring them in `ir`).
+    pub fn add_ops(&mut self, class: OpClass, count: u32) {
+        self.ops[class.index()] += u64::from(count);
+        self.ir += u64::from(count);
+    }
+}
+
+impl AddAssign for CostVec {
+    fn add_assign(&mut self, rhs: CostVec) {
+        self.ir += rhs.ir;
+        for i in 0..self.ops.len() {
+            self.ops[i] += rhs.ops[i];
+        }
+        self.reads += rhs.reads;
+        self.bytes_read += rhs.bytes_read;
+        self.writes += rhs.writes;
+        self.bytes_written += rhs.bytes_written;
+        self.l1_read_misses += rhs.l1_read_misses;
+        self.l1_write_misses += rhs.l1_write_misses;
+        self.ll_read_misses += rhs.ll_read_misses;
+        self.ll_write_misses += rhs.ll_write_misses;
+        self.branches += rhs.branches;
+        self.mispredicts += rhs.mispredicts;
+    }
+}
+
+impl Add for CostVec {
+    type Output = CostVec;
+
+    fn add(mut self, rhs: CostVec) -> CostVec {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for CostVec {
+    fn sum<I: Iterator<Item = CostVec>>(iter: I) -> CostVec {
+        iter.fold(CostVec::new(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_ops_updates_class_and_ir() {
+        let mut c = CostVec::new();
+        c.add_ops(OpClass::FloatArith, 10);
+        c.add_ops(OpClass::IntArith, 5);
+        assert_eq!(c.flops(), 10);
+        assert_eq!(c.ops_total(), 15);
+        assert_eq!(c.ir, 15);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = CostVec::new();
+        a.reads = 3;
+        a.l1_read_misses = 1;
+        let mut b = CostVec::new();
+        b.reads = 4;
+        b.ll_write_misses = 2;
+        let c = a + b;
+        assert_eq!(c.reads, 7);
+        assert_eq!(c.l1_misses(), 1);
+        assert_eq!(c.ll_misses(), 2);
+        assert_eq!(c.accesses(), 7);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            CostVec {
+                ir: 1,
+                ..CostVec::new()
+            },
+            CostVec {
+                ir: 2,
+                ..CostVec::new()
+            },
+        ];
+        let total: CostVec = parts.into_iter().sum();
+        assert_eq!(total.ir, 3);
+    }
+}

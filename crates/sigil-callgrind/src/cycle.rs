@@ -1,0 +1,90 @@
+//! Cycle estimation (Callgrind's `CEst`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::CostVec;
+
+/// Weights for the estimated-cycle formula.
+///
+/// The paper estimates a function's software run time with the same
+/// calculation Callgrind uses: a weighted sum of instruction count, L1
+/// misses, last-level misses and branch mispredictions. KCachegrind's
+/// canonical weights are `CEst = Ir + 10·Bm + 10·L1m + 100·LLm`, which are
+/// the defaults here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Cycles per retired instruction.
+    pub ir_weight: u64,
+    /// Penalty per L1 data miss.
+    pub l1_miss_penalty: u64,
+    /// Penalty per last-level miss.
+    pub ll_miss_penalty: u64,
+    /// Penalty per branch misprediction.
+    pub branch_miss_penalty: u64,
+}
+
+impl CycleModel {
+    /// The canonical Callgrind/KCachegrind weights.
+    pub const fn callgrind_default() -> Self {
+        CycleModel {
+            ir_weight: 1,
+            l1_miss_penalty: 10,
+            ll_miss_penalty: 100,
+            branch_miss_penalty: 10,
+        }
+    }
+
+    /// Estimated cycles for `costs` under this model.
+    pub fn estimate(&self, costs: &CostVec) -> u64 {
+        self.ir_weight * costs.ir
+            + self.l1_miss_penalty * costs.l1_misses()
+            + self.ll_miss_penalty * costs.ll_misses()
+            + self.branch_miss_penalty * costs.mispredicts
+    }
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel::callgrind_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_callgrind_formula() {
+        let costs = CostVec {
+            ir: 1000,
+            l1_read_misses: 3,
+            l1_write_misses: 2,
+            ll_read_misses: 1,
+            ll_write_misses: 0,
+            mispredicts: 7,
+            ..CostVec::new()
+        };
+        let model = CycleModel::default();
+        assert_eq!(model.estimate(&costs), 1000 + 10 * 5 + 100 + 10 * 7);
+    }
+
+    #[test]
+    fn zero_costs_estimate_zero() {
+        assert_eq!(CycleModel::default().estimate(&CostVec::new()), 0);
+    }
+
+    #[test]
+    fn custom_weights_apply() {
+        let model = CycleModel {
+            ir_weight: 2,
+            l1_miss_penalty: 0,
+            ll_miss_penalty: 0,
+            branch_miss_penalty: 0,
+        };
+        let costs = CostVec {
+            ir: 10,
+            ..CostVec::new()
+        };
+        assert_eq!(model.estimate(&costs), 20);
+    }
+}

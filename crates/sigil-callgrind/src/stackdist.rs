@@ -1,0 +1,319 @@
+//! LRU stack-distance (reuse-distance) profiling.
+//!
+//! The paper's line-reuse discussion notes the data "can be used for
+//! re-use distance analysis and to inform cache-replacement policies"
+//! (§IV-B3, citing compiler- and simulation-based prior work). This
+//! module implements the classic Mattson LRU stack-distance algorithm
+//! over cache-line accesses, using a Fenwick tree for O(log n) updates:
+//! the distance of an access is the number of *distinct* lines touched
+//! since the previous access to the same line. A fully-associative LRU
+//! cache of capacity `C` lines hits exactly the accesses with distance
+//! < `C`, so the distance histogram yields miss ratios for every
+//! capacity at once.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sigil_trace::{ExecutionObserver, RuntimeEvent};
+
+/// Fenwick (binary indexed) tree over access slots.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(capacity: usize) -> Self {
+        Fenwick {
+            tree: vec![0; capacity + 1],
+        }
+    }
+
+    fn add(&mut self, mut index: usize, delta: i64) {
+        index += 1;
+        while index < self.tree.len() {
+            self.tree[index] = self.tree[index].wrapping_add_signed(delta);
+            index += index & index.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..=index`.
+    fn prefix(&self, mut index: usize) -> u64 {
+        index += 1;
+        let mut sum = 0;
+        while index > 0 {
+            sum += self.tree[index];
+            index -= index & index.wrapping_neg();
+        }
+        sum
+    }
+
+    fn grow(&mut self, capacity: usize) {
+        if capacity + 1 > self.tree.len() {
+            // Rebuild by replaying marked slots is avoided by growing in
+            // powers of two before any marks exist past the old end.
+            let mut bigger = Fenwick::new(capacity.next_power_of_two());
+            for i in 0..self.tree.len() - 1 {
+                let value = self.prefix(i) - if i == 0 { 0 } else { self.prefix(i - 1) };
+                if value > 0 {
+                    bigger.add(i, value as i64);
+                }
+            }
+            *self = bigger;
+        }
+    }
+}
+
+/// Histogram of LRU stack distances, measured in distinct cache lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    /// `buckets[i]` counts accesses with distance in
+    /// `[2^i - 1, 2^(i+1) - 1)` (bucket 0 holds distance 0, i.e. the
+    /// previous access was the immediately preceding distinct line).
+    pub buckets: Vec<u64>,
+    /// First-ever accesses to a line (infinite distance / cold misses).
+    pub cold: u64,
+    /// Total accesses recorded.
+    pub total: u64,
+}
+
+impl DistanceHistogram {
+    fn record(&mut self, distance: u64) {
+        let bucket = (64 - (distance + 1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.total += 1;
+    }
+
+    fn record_cold(&mut self) {
+        self.cold += 1;
+        self.total += 1;
+    }
+
+    /// Miss ratio of a fully-associative LRU cache with `capacity_lines`
+    /// lines: cold misses plus accesses with distance ≥ capacity.
+    pub fn miss_ratio(&self, capacity_lines: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (bucket, &count) in self.buckets.iter().enumerate() {
+            // Bucket covers distances [2^b - 1, 2^(b+1) - 1); count it a
+            // hit only when the whole bucket fits (conservative).
+            let upper = (1u64 << (bucket + 1)) - 2;
+            if upper < capacity_lines {
+                hits += count;
+            }
+        }
+        1.0 - hits as f64 / self.total as f64
+    }
+}
+
+/// An [`ExecutionObserver`] computing the line-granularity reuse-distance
+/// histogram of an execution.
+///
+/// # Example
+///
+/// ```
+/// use sigil_callgrind::stackdist::ReuseDistanceObserver;
+/// use sigil_trace::{Engine, ExecutionObserver};
+///
+/// let mut engine = Engine::new(ReuseDistanceObserver::new(64));
+/// let f = engine.symbols_mut().intern("f");
+/// engine.call(f);
+/// engine.read(0x000, 8);
+/// engine.read(0x100, 8); // a different line
+/// engine.read(0x000, 8); // distance 1: one distinct line in between
+/// engine.ret();
+/// let hist = engine.finish().into_histogram();
+/// assert_eq!(hist.cold, 2);
+/// assert_eq!(hist.total, 3);
+/// ```
+#[derive(Debug)]
+pub struct ReuseDistanceObserver {
+    line_shift: u32,
+    /// line -> slot of its most recent access.
+    last_slot: HashMap<u64, usize>,
+    /// Fenwick tree marking slots whose line has not been re-accessed.
+    marks: Fenwick,
+    next_slot: usize,
+    histogram: DistanceHistogram,
+}
+
+impl ReuseDistanceObserver {
+    /// Creates an observer for `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_size` is a power of two.
+    pub fn new(line_size: u32) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        ReuseDistanceObserver {
+            line_shift: line_size.trailing_zeros(),
+            last_slot: HashMap::new(),
+            marks: Fenwick::new(1024),
+            next_slot: 0,
+            histogram: DistanceHistogram::default(),
+        }
+    }
+
+    /// Records one access to `line`, returning its LRU stack distance —
+    /// the number of distinct lines touched since the previous access to
+    /// `line` — or `None` for a cold (first) access.
+    pub fn observe_line(&mut self, line: u64) -> Option<u64> {
+        self.marks.grow(self.next_slot + 1);
+        let distance = match self.last_slot.get(&line).copied() {
+            Some(slot) => {
+                // Distinct lines accessed after `slot`: marks in (slot, now).
+                let after_slot = self.marks.prefix(self.next_slot.saturating_sub(1))
+                    - self.marks.prefix(slot);
+                self.histogram.record(after_slot);
+                self.marks.add(slot, -1);
+                Some(after_slot)
+            }
+            None => {
+                self.histogram.record_cold();
+                None
+            }
+        };
+        self.marks.add(self.next_slot, 1);
+        self.last_slot.insert(line, self.next_slot);
+        self.next_slot += 1;
+        distance
+    }
+
+    fn touch_line(&mut self, line: u64) {
+        let _ = self.observe_line(line);
+    }
+
+    /// The histogram accumulated so far.
+    pub fn histogram(&self) -> &DistanceHistogram {
+        &self.histogram
+    }
+
+    /// Consumes the observer, returning the histogram.
+    pub fn into_histogram(self) -> DistanceHistogram {
+        self.histogram
+    }
+}
+
+impl ExecutionObserver for ReuseDistanceObserver {
+    fn on_event(&mut self, event: RuntimeEvent) {
+        if let Some(access) = event.access() {
+            let first = access.addr >> self.line_shift;
+            let last = access.end().saturating_sub(1) >> self.line_shift;
+            for line in first..=last {
+                self.touch_line(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::Engine;
+
+    fn distances(lines: &[u64]) -> DistanceHistogram {
+        let mut obs = ReuseDistanceObserver::new(64);
+        for &line in lines {
+            obs.touch_line(line);
+        }
+        obs.into_histogram()
+    }
+
+    #[test]
+    fn repeated_line_has_distance_zero() {
+        let hist = distances(&[1, 1, 1, 1]);
+        assert_eq!(hist.cold, 1);
+        assert_eq!(hist.buckets[0], 3, "three distance-0 reuses");
+    }
+
+    #[test]
+    fn classic_abcba_pattern() {
+        // a b c b a: b reused at distance 1, a reused at distance 2.
+        let hist = distances(&[10, 20, 30, 20, 10]);
+        assert_eq!(hist.cold, 3);
+        assert_eq!(hist.total, 5);
+        // distance 1 lands in bucket 1 ([1,2]); distance 2 also bucket 1.
+        let reuses: u64 = hist.buckets.iter().sum();
+        assert_eq!(reuses, 2);
+    }
+
+    #[test]
+    fn streaming_never_reuses() {
+        let lines: Vec<u64> = (0..100).collect();
+        let hist = distances(&lines);
+        assert_eq!(hist.cold, 100);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), 0);
+        assert_eq!(hist.miss_ratio(1 << 20), 1.0, "all cold misses");
+    }
+
+    #[test]
+    fn loop_over_working_set_reuses_at_set_size() {
+        // Two sweeps over 16 lines: second sweep reuses at distance 15.
+        let mut lines: Vec<u64> = (0..16).collect();
+        lines.extend(0..16);
+        let hist = distances(&lines);
+        assert_eq!(hist.cold, 16);
+        // Distance 15 → bucket 3 ([7,14])? 15+1=16, log2=4 → bucket 3
+        // covers [7,14], bucket 4 covers [15,30]: 15 lands in bucket 4.
+        assert_eq!(hist.buckets[4], 16);
+        // A 32-line LRU cache captures the second sweep entirely...
+        assert!(hist.miss_ratio(32) <= 0.5 + 1e-9);
+        // ...an 8-line cache captures none of it.
+        assert_eq!(hist.miss_ratio(8), 1.0);
+    }
+
+    #[test]
+    fn miss_ratio_is_monotone_in_capacity() {
+        let mut lines = Vec::new();
+        for sweep in 0..4u64 {
+            for l in 0..64u64 {
+                lines.push(l * (sweep + 1) % 64);
+            }
+        }
+        let hist = distances(&lines);
+        let mut last = 1.0f64;
+        for cap in [1u64, 4, 16, 64, 256, 1024] {
+            let ratio = hist.miss_ratio(cap);
+            assert!(ratio <= last + 1e-12, "capacity {cap}");
+            last = ratio;
+        }
+    }
+
+    #[test]
+    fn observer_sees_reads_and_writes() {
+        let mut engine = Engine::new(ReuseDistanceObserver::new(64));
+        let f = engine.symbols_mut().intern("f");
+        engine.call(f);
+        engine.write(0x00, 8);
+        engine.read(0x00, 8);
+        engine.read(0x40, 8);
+        engine.ret();
+        let hist = engine.finish().into_histogram();
+        assert_eq!(hist.total, 3);
+        assert_eq!(hist.cold, 2);
+    }
+
+    #[test]
+    fn straddling_access_touches_both_lines() {
+        let mut obs = ReuseDistanceObserver::new(64);
+        obs.on_event(RuntimeEvent::Read {
+            access: sigil_trace::MemAccess::new(60, 8),
+        });
+        assert_eq!(obs.histogram().total, 2);
+    }
+
+    #[test]
+    fn fenwick_grow_preserves_marks() {
+        let mut f = Fenwick::new(4);
+        f.add(0, 1);
+        f.add(3, 1);
+        f.grow(100);
+        assert_eq!(f.prefix(3), 2);
+        assert_eq!(f.prefix(0), 1);
+    }
+}

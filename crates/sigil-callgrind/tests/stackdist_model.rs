@@ -1,0 +1,83 @@
+//! Model-based cross-validation of the Fenwick-tree stack-distance
+//! implementation against a naive LRU stack, and against the
+//! set-associative cache simulator configured as fully associative.
+
+use proptest::prelude::*;
+use sigil_callgrind::stackdist::ReuseDistanceObserver;
+use sigil_callgrind::{CacheConfig, CacheSim};
+
+/// Naive O(n) LRU stack: distance = position in the move-to-front list.
+#[derive(Default)]
+struct NaiveStack {
+    stack: Vec<u64>,
+}
+
+impl NaiveStack {
+    fn observe(&mut self, line: u64) -> Option<u64> {
+        match self.stack.iter().position(|&l| l == line) {
+            Some(pos) => {
+                self.stack.remove(pos);
+                self.stack.insert(0, line);
+                Some(pos as u64)
+            }
+            None => {
+                self.stack.insert(0, line);
+                None
+            }
+        }
+    }
+}
+
+fn line_sequence() -> impl Strategy<Value = Vec<u64>> {
+    // Mix of tight loops (small alphabet) and wider sweeps.
+    prop::collection::vec(0u64..48, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fenwick_matches_naive_stack(lines in line_sequence()) {
+        let mut fast = ReuseDistanceObserver::new(64);
+        let mut naive = NaiveStack::default();
+        for &line in &lines {
+            prop_assert_eq!(fast.observe_line(line), naive.observe(line), "line {}", line);
+        }
+    }
+
+    #[test]
+    fn distances_predict_fully_associative_lru_misses(
+        lines in line_sequence(),
+        capacity_pow in 1u32..6,
+    ) {
+        let capacity = 1u64 << capacity_pow; // 2..32 lines
+        // A fully associative LRU cache with `capacity` lines: 1 set.
+        let mut cache = CacheSim::new(CacheConfig {
+            size: 64 * capacity as u32,
+            assoc: capacity as u32,
+            line_size: 64,
+        });
+        let mut exact_misses = 0u64;
+        let mut observer = ReuseDistanceObserver::new(64);
+        for &line in &lines {
+            let dist = observer.observe_line(line);
+            let predicted_miss = match dist {
+                None => true,
+                Some(d) => d >= capacity,
+            };
+            let actual_miss = cache.touch_line(line);
+            prop_assert_eq!(
+                predicted_miss, actual_miss,
+                "line {} distance {:?} capacity {}", line, dist, capacity
+            );
+            if actual_miss {
+                exact_misses += 1;
+            }
+        }
+        // The bucketed histogram's miss_ratio is a conservative
+        // (over-)estimate of the exact ratio.
+        let exact_ratio = exact_misses as f64 / lines.len() as f64;
+        let bucketed = observer.histogram().miss_ratio(capacity);
+        prop_assert!(bucketed >= exact_ratio - 1e-9);
+    }
+}

@@ -1,0 +1,402 @@
+//! `sigil` — command-line driver.
+//!
+//! ```text
+//! sigil profile <benchmark> [--size S] [--reuse] [--lines N] [--events] [--limit N] [--json]
+//! sigil partition <benchmark> [--size S]        # accelerator candidates (Tables II/III)
+//! sigil reuse <benchmark> [--size S]            # reuse breakdown + top functions
+//! sigil critpath <benchmark> [--size S]         # critical path & parallelism limit
+//! sigil schedule <benchmark> [--cores N]        # map dependency chains onto cores
+//! sigil calltree <benchmark> [--size S]         # callgrind-style context tree
+//! sigil dot <benchmark> [--size S]              # control data-flow graph (Graphviz)
+//! sigil run <file.svm> [--reuse] [--lines N]    # assemble + profile a guest program
+//! sigil trace <benchmark> -o <file.sgtr>        # record a platform-independent trace
+//! sigil replay <file.sgtr> [--reuse] [...]      # profile from a recorded trace
+//! sigil list                                    # available benchmarks
+//! ```
+
+use std::process::ExitCode;
+
+use sigil_analysis::critical_path::CriticalPath;
+use sigil_analysis::dot::to_dot;
+use sigil_analysis::partition::{rank_functions, trim_calltree, PartitionConfig};
+use sigil_analysis::reuse_analysis;
+use sigil_analysis::schedule::schedule;
+use sigil_analysis::Cdfg;
+use sigil_core::{report, Profile, SigilConfig, SigilProfiler};
+use sigil_trace::observer::RecordingObserver;
+use sigil_trace::Engine;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn usage() -> &'static str {
+    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|list> [target] [options]\n\
+     options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
+              --limit <chunks> --cores <n> -o <file> --json"
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    /// Benchmark name or file path, depending on the command.
+    target: String,
+    size: InputSize,
+    reuse: bool,
+    lines: Option<u32>,
+    events: bool,
+    limit: Option<usize>,
+    cores: usize,
+    output: Option<String>,
+    json: bool,
+}
+
+impl Options {
+    fn bench(&self) -> Result<Benchmark, String> {
+        self.target.parse().map_err(|e| format!("{e}"))
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let target = args.first().ok_or("missing benchmark or file name")?.clone();
+    let mut opts = Options {
+        target,
+        size: InputSize::SimSmall,
+        reuse: false,
+        lines: None,
+        events: false,
+        limit: None,
+        cores: 4,
+        output: None,
+        json: false,
+    };
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                let value = it.next().ok_or("--size needs a value")?;
+                opts.size = match value.as_str() {
+                    "simsmall" => InputSize::SimSmall,
+                    "simmedium" => InputSize::SimMedium,
+                    "simlarge" => InputSize::SimLarge,
+                    other => return Err(format!("unknown size `{other}`")),
+                };
+            }
+            "--reuse" => opts.reuse = true,
+            "--events" => opts.events = true,
+            "--json" => opts.json = true,
+            "--lines" => {
+                let value = it.next().ok_or("--lines needs a value")?;
+                opts.lines = Some(value.parse().map_err(|_| "bad --lines value")?);
+            }
+            "--limit" => {
+                let value = it.next().ok_or("--limit needs a value")?;
+                opts.limit = Some(value.parse().map_err(|_| "bad --limit value")?);
+            }
+            "--cores" => {
+                let value = it.next().ok_or("--cores needs a value")?;
+                opts.cores = value.parse().map_err(|_| "bad --cores value")?;
+                if opts.cores == 0 {
+                    return Err("--cores must be at least 1".to_owned());
+                }
+            }
+            "-o" | "--output" => {
+                let value = it.next().ok_or("-o needs a file name")?;
+                opts.output = Some(value.clone());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn sigil_config(opts: &Options) -> SigilConfig {
+    let mut config = SigilConfig::default();
+    if opts.reuse {
+        config = config.with_reuse_mode();
+    }
+    if let Some(lines) = opts.lines {
+        config = config.with_line_mode(lines);
+    }
+    if opts.events {
+        config = config.with_events();
+    }
+    if let Some(limit) = opts.limit {
+        config = config.with_shadow_limit(limit);
+    }
+    config
+}
+
+fn collect(opts: &Options) -> Result<Profile, String> {
+    let bench = opts.bench()?;
+    let mut engine = Engine::new(SigilProfiler::new(sigil_config(opts)));
+    bench.run(opts.size, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    Ok(profiler.into_profile(symbols))
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), String> {
+    let profile = collect(opts)?;
+    if opts.json {
+        let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!("# {} ({})", opts.target, opts.size);
+        print!("{}", report::full_report(&profile));
+    }
+    Ok(())
+}
+
+fn cmd_partition(opts: &Options) -> Result<(), String> {
+    let profile = collect(opts)?;
+    let config = PartitionConfig::default();
+    let trimmed = trim_calltree(&profile, &config);
+    println!(
+        "# {} ({}): trimmed calltree, coverage {:.1}%",
+        opts.target,
+        opts.size,
+        trimmed.coverage * 100.0
+    );
+    println!(
+        "{:>10} {:>12} {:>9} {:>12} {:>12}  candidate",
+        "S(be)", "t_sw(cyc)", "cover%", "in(uniq B)", "out(uniq B)"
+    );
+    for leaf in &trimmed.leaves {
+        println!(
+            "{:>10.3} {:>12} {:>8.1}% {:>12} {:>12}  {}",
+            leaf.breakeven,
+            leaf.inclusive_cycles,
+            leaf.coverage * 100.0,
+            leaf.comm_in_unique,
+            leaf.comm_out_unique,
+            leaf.name
+        );
+    }
+    println!("\n# all functions ranked by breakeven (best and worst 5)");
+    let ranked = rank_functions(&profile, &config);
+    for row in ranked.iter().take(5) {
+        println!("  best  {:<32} {:.3}", row.name, row.breakeven);
+    }
+    for row in ranked.iter().rev().take(5).rev() {
+        println!("  worst {:<32} {:.3}", row.name, row.breakeven);
+    }
+    Ok(())
+}
+
+fn cmd_reuse(opts: &Options) -> Result<(), String> {
+    let profile = collect(&Options {
+        reuse: true,
+        lines: opts.lines.or(Some(64)),
+        events: false,
+        json: false,
+        ..opts.clone()
+    })?;
+    println!("# {} ({}): data reuse", opts.target, opts.size);
+    if let Some(pct) = reuse_analysis::reuse_breakdown_percent(&profile) {
+        println!(
+            "byte records:  0 reuses {:.1}% | 1-9 {:.1}% | >9 {:.1}%",
+            pct[0], pct[1], pct[2]
+        );
+    }
+    if let Some(pct) = reuse_analysis::line_breakdown_percent(&profile) {
+        println!(
+            "lines:  <10 {:.1}% | <100 {:.1}% | <1k {:.1}% | <10k {:.1}% | >10k {:.1}%",
+            pct[0], pct[1], pct[2], pct[3], pct[4]
+        );
+    }
+    if let Some(rows) = reuse_analysis::function_reuse_rows(&profile) {
+        println!(
+            "\n{:>12} {:>12} {:>14}  function",
+            "reused B", "total B", "avg lifetime"
+        );
+        for row in rows.iter().take(15) {
+            println!(
+                "{:>12} {:>12} {:>14.0}  {}",
+                row.reused_bytes, row.total_bytes, row.avg_lifetime, row.label
+            );
+        }
+    }
+    Ok(())
+}
+
+fn events_profile(opts: &Options) -> Result<Profile, String> {
+    collect(&Options {
+        events: true,
+        reuse: false,
+        lines: None,
+        json: false,
+        ..opts.clone()
+    })
+}
+
+fn cmd_critpath(opts: &Options) -> Result<(), String> {
+    let profile = events_profile(opts)?;
+    let cp = CriticalPath::from_profile(&profile).map_err(|e| e.to_string())?;
+    println!("# {} ({}): critical path", opts.target, opts.size);
+    println!("serial length  : {} ops", cp.serial_ops);
+    println!("critical path  : {} ops", cp.length_ops);
+    println!("max parallelism: {:.2}x", cp.max_parallelism());
+    println!(
+        "path functions (entry -> leaf): {}",
+        cp.function_names(&profile).join(" -> ")
+    );
+    Ok(())
+}
+
+fn cmd_schedule(opts: &Options) -> Result<(), String> {
+    let profile = events_profile(opts)?;
+    let sched = schedule(&profile, opts.cores).map_err(|e| e.to_string())?;
+    println!(
+        "# {} ({}): list schedule on {} cores",
+        opts.target, opts.size, sched.cores
+    );
+    println!("work      : {} ops", sched.serial_ops);
+    println!("makespan  : {} ops", sched.makespan);
+    println!("speedup   : {:.2}x", sched.speedup());
+    println!("utilization: {:.1}%", sched.utilization() * 100.0);
+    for (core, load) in sched.per_core_load().iter().enumerate() {
+        println!(
+            "  core {core}: {load} busy ops ({:.1}%)",
+            100.0 * *load as f64 / sched.makespan.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_calltree(opts: &Options) -> Result<(), String> {
+    let profile = collect(opts)?;
+    print!(
+        "{}",
+        sigil_callgrind::output::context_tree(&profile.callgrind)
+    );
+    Ok(())
+}
+
+fn cmd_dot(opts: &Options) -> Result<(), String> {
+    let profile = collect(opts)?;
+    print!("{}", to_dot(&Cdfg::from_profile(&profile)));
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let source = std::fs::read_to_string(&opts.target)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.target))?;
+    let program = sigil_vm::assemble(&source).map_err(|e| e.to_string())?;
+    let mut engine = Engine::new(SigilProfiler::new(sigil_config(opts)));
+    let result = sigil_vm::Interpreter::new(&program)
+        .run(&mut engine)
+        .map_err(|e| e.to_string())?;
+    println!("guest returned: {result:?}\n");
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+    print!("{}", report::full_report(&profile));
+    Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let bench = opts.bench()?;
+    let output = opts.output.as_deref().ok_or("trace needs -o <file>")?;
+    let mut engine = Engine::new(RecordingObserver::new());
+    bench.run(opts.size, &mut engine);
+    let (recorder, symbols) = engine.finish_with_symbols();
+    let events = recorder.into_events();
+    let file = std::fs::File::create(output)
+        .map_err(|e| format!("cannot create `{output}`: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    sigil_trace::io::write_trace(&mut writer, &symbols, &events).map_err(|e| e.to_string())?;
+    println!("wrote {} events to {output}", events.len());
+    Ok(())
+}
+
+fn cmd_replay(opts: &Options) -> Result<(), String> {
+    let file = std::fs::File::open(&opts.target)
+        .map_err(|e| format!("cannot open `{}`: {e}", opts.target))?;
+    let mut reader = std::io::BufReader::new(file);
+    let (symbols, events) =
+        sigil_trace::io::read_trace(&mut reader).map_err(|e| e.to_string())?;
+    let mut profiler = SigilProfiler::new(sigil_config(opts));
+    sigil_trace::io::replay(&events, &mut profiler);
+    let profile = profiler.into_profile(symbols);
+    println!("# replayed {} events from {}", events.len(), opts.target);
+    print!("{}", report::full_report(&profile));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if command == "list" {
+        for bench in Benchmark::ALL {
+            println!("{bench}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_options(&args[1..]).and_then(|opts| match command.as_str() {
+        "profile" => cmd_profile(&opts),
+        "partition" => cmd_partition(&opts),
+        "reuse" => cmd_reuse(&opts),
+        "critpath" => cmd_critpath(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "calltree" => cmd_calltree(&opts),
+        "dot" => cmd_dot(&opts),
+        "run" => cmd_run(&opts),
+        "trace" => cmd_trace(&opts),
+        "replay" => cmd_replay(&opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let opts = parse_options(&args(&["vips"])).expect("parses");
+        assert_eq!(opts.target, "vips");
+        assert_eq!(opts.size, InputSize::SimSmall);
+        assert!(!opts.reuse && !opts.events && !opts.json);
+        assert_eq!(opts.cores, 4);
+        assert!(opts.bench().is_ok());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let opts = parse_options(&args(&[
+            "dedup", "--size", "simmedium", "--reuse", "--lines", "128", "--events", "--limit",
+            "32", "--cores", "8", "-o", "out.sgtr", "--json",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.size, InputSize::SimMedium);
+        assert!(opts.reuse && opts.events && opts.json);
+        assert_eq!(opts.lines, Some(128));
+        assert_eq!(opts.limit, Some(32));
+        assert_eq!(opts.cores, 8);
+        assert_eq!(opts.output.as_deref(), Some("out.sgtr"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_options(&args(&[])).is_err());
+        assert!(parse_options(&args(&["vips", "--size", "huge"])).is_err());
+        assert!(parse_options(&args(&["vips", "--bogus"])).is_err());
+        assert!(parse_options(&args(&["vips", "--cores", "0"])).is_err());
+        assert!(parse_options(&args(&["vips", "--lines"])).is_err());
+    }
+
+    #[test]
+    fn unknown_benchmark_surfaces_in_bench_lookup() {
+        let opts = parse_options(&args(&["not-a-benchmark"])).expect("parse is lazy");
+        assert!(opts.bench().is_err());
+    }
+}

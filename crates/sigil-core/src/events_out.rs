@@ -1,0 +1,334 @@
+//! The event-file output representation (paper §II-A, §II-C2).
+//!
+//! "Sigil can represent output data in two ways: (1) by reporting the
+//! aggregates … (2) by recording a list of all of the data transfers that
+//! occur. In the latter representation, a program's essence can be
+//! reconstructed as a sequence of dependent 'events'. These events are
+//! fragments of computation separated by data transfer edges."
+
+use serde::{Deserialize, Serialize};
+use sigil_callgrind::ContextId;
+use sigil_trace::CallNumber;
+
+/// One record of the event file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventRecord {
+    /// A dynamic call: `call` (executing in context `ctx`) was entered
+    /// from `parent_call`.
+    Call {
+        /// The dynamic call of the caller (`CallNumber::ROOT` for the
+        /// program entry).
+        parent_call: CallNumber,
+        /// The new dynamic call.
+        call: CallNumber,
+        /// The function context the new call executes in.
+        ctx: ContextId,
+    },
+    /// A fragment of computation: `ops` retired operations performed by
+    /// `call` since its previous fragment.
+    Compute {
+        /// The dynamic call performing the work.
+        call: CallNumber,
+        /// Its function context.
+        ctx: ContextId,
+        /// Retired operations in this fragment.
+        ops: u64,
+    },
+    /// A data transfer: `to_call` consumed `bytes` unique bytes produced
+    /// by `from_call`.
+    Transfer {
+        /// Producer dynamic call.
+        from_call: CallNumber,
+        /// Consumer dynamic call.
+        to_call: CallNumber,
+        /// Unique bytes moved.
+        bytes: u64,
+    },
+}
+
+/// The execution as an ordered list of dependent events.
+///
+/// Order *between* functions is preserved; order of events *within* a
+/// function fragment is not (the paper makes the same simplification).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventFile {
+    records: Vec<EventRecord>,
+}
+
+impl EventFile {
+    /// Creates an empty event file.
+    pub fn new() -> Self {
+        EventFile::default()
+    }
+
+    /// Appends a call record.
+    pub fn push_call(&mut self, parent_call: CallNumber, call: CallNumber, ctx: ContextId) {
+        self.records.push(EventRecord::Call {
+            parent_call,
+            call,
+            ctx,
+        });
+    }
+
+    /// Appends a compute fragment (no-op when `ops == 0`).
+    pub fn push_compute(&mut self, call: CallNumber, ctx: ContextId, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        self.records.push(EventRecord::Compute { call, ctx, ops });
+    }
+
+    /// Appends a transfer, coalescing with an immediately preceding
+    /// transfer between the same pair of calls.
+    pub fn push_transfer(&mut self, from_call: CallNumber, to_call: CallNumber, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if let Some(EventRecord::Transfer {
+            from_call: f,
+            to_call: t,
+            bytes: b,
+        }) = self.records.last_mut()
+        {
+            if *f == from_call && *t == to_call {
+                *b += bytes;
+                return;
+            }
+        }
+        self.records.push(EventRecord::Transfer {
+            from_call,
+            to_call,
+            bytes,
+        });
+    }
+
+    /// The records, in program order.
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total compute ops across all fragments (the serial length used as
+    /// the numerator of the parallelism limit).
+    pub fn total_ops(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                EventRecord::Compute { ops, .. } => *ops,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total unique bytes transferred.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                EventRecord::Transfer { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Renders the event file in a line-oriented text format, the
+    /// exchange format the paper's "post processing scripts" consume:
+    ///
+    /// ```text
+    /// CALL parent=<n> call=<n> ctx=<n>
+    /// COMP call=<n> ctx=<n> ops=<n>
+    /// XFER from=<n> to=<n> bytes=<n>
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.records.len() * 32);
+        for record in &self.records {
+            match *record {
+                EventRecord::Call {
+                    parent_call,
+                    call,
+                    ctx,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "CALL parent={} call={} ctx={}",
+                        parent_call.as_raw(),
+                        call.as_raw(),
+                        ctx.0
+                    );
+                }
+                EventRecord::Compute { call, ctx, ops } => {
+                    let _ = writeln!(out, "COMP call={} ctx={} ops={ops}", call.as_raw(), ctx.0);
+                }
+                EventRecord::Transfer {
+                    from_call,
+                    to_call,
+                    bytes,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "XFER from={} to={} bytes={bytes}",
+                        from_call.as_raw(),
+                        to_call.as_raw()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`EventFile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `(line_number, message)` for the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, (usize, String)> {
+        fn field(token: Option<&str>, key: &str, line: usize) -> Result<u64, (usize, String)> {
+            let token = token.ok_or_else(|| (line, format!("missing `{key}=` field")))?;
+            let value = token
+                .strip_prefix(key)
+                .and_then(|t| t.strip_prefix('='))
+                .ok_or_else(|| (line, format!("expected `{key}=`, got `{token}`")))?;
+            value
+                .parse()
+                .map_err(|_| (line, format!("bad number in `{token}`")))
+        }
+
+        let mut file = EventFile::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            match parts.next() {
+                Some("CALL") => {
+                    let parent = field(parts.next(), "parent", line)?;
+                    let call = field(parts.next(), "call", line)?;
+                    let ctx = field(parts.next(), "ctx", line)?;
+                    file.records.push(EventRecord::Call {
+                        parent_call: CallNumber::from_raw(parent),
+                        call: CallNumber::from_raw(call),
+                        ctx: ContextId(u32::try_from(ctx).map_err(|_| {
+                            (line, format!("context id {ctx} out of range"))
+                        })?),
+                    });
+                }
+                Some("COMP") => {
+                    let call = field(parts.next(), "call", line)?;
+                    let ctx = field(parts.next(), "ctx", line)?;
+                    let ops = field(parts.next(), "ops", line)?;
+                    file.records.push(EventRecord::Compute {
+                        call: CallNumber::from_raw(call),
+                        ctx: ContextId(u32::try_from(ctx).map_err(|_| {
+                            (line, format!("context id {ctx} out of range"))
+                        })?),
+                        ops,
+                    });
+                }
+                Some("XFER") => {
+                    let from = field(parts.next(), "from", line)?;
+                    let to = field(parts.next(), "to", line)?;
+                    let bytes = field(parts.next(), "bytes", line)?;
+                    file.records.push(EventRecord::Transfer {
+                        from_call: CallNumber::from_raw(from),
+                        to_call: CallNumber::from_raw(to),
+                        bytes,
+                    });
+                }
+                Some(other) => return Err((line, format!("unknown record `{other}`"))),
+                None => {}
+            }
+        }
+        Ok(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(n: u64) -> CallNumber {
+        CallNumber::from_raw(n)
+    }
+
+    #[test]
+    fn transfers_coalesce_when_adjacent() {
+        let mut f = EventFile::new();
+        f.push_transfer(call(1), call(2), 4);
+        f.push_transfer(call(1), call(2), 4);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.total_transfer_bytes(), 8);
+        f.push_transfer(call(1), call(3), 4);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn zero_sized_records_are_dropped() {
+        let mut f = EventFile::new();
+        f.push_compute(call(1), ContextId(1), 0);
+        f.push_transfer(call(1), call(2), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn totals_sum_by_kind() {
+        let mut f = EventFile::new();
+        f.push_call(CallNumber::ROOT, call(1), ContextId(1));
+        f.push_compute(call(1), ContextId(1), 10);
+        f.push_transfer(call(1), call(2), 6);
+        f.push_compute(call(2), ContextId(2), 20);
+        assert_eq!(f.total_ops(), 30);
+        assert_eq!(f.total_transfer_bytes(), 6);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let mut f = EventFile::new();
+        f.push_call(CallNumber::ROOT, call(1), ContextId(1));
+        f.push_compute(call(1), ContextId(1), 42);
+        f.push_transfer(call(1), call(2), 16);
+        let text = f.to_text();
+        assert!(text.contains("CALL parent=0 call=1 ctx=1"));
+        assert!(text.contains("COMP call=1 ctx=1 ops=42"));
+        assert!(text.contains("XFER from=1 to=2 bytes=16"));
+        let parsed = EventFile::from_text(&text).expect("parses");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_reports_errors() {
+        let parsed = EventFile::from_text("# header\n\nCOMP call=1 ctx=0 ops=5\n").expect("ok");
+        assert_eq!(parsed.total_ops(), 5);
+
+        let err = EventFile::from_text("BOGUS x=1\n").unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.1.contains("BOGUS"));
+
+        let err = EventFile::from_text("COMP call=1 ctx=0\n").unwrap_err();
+        assert!(err.1.contains("ops"));
+
+        let err = EventFile::from_text("XFER from=1 to=2 bytes=lots\n").unwrap_err();
+        assert!(err.1.contains("bad number"));
+    }
+
+    #[test]
+    fn interleaved_transfers_do_not_coalesce() {
+        let mut f = EventFile::new();
+        f.push_transfer(call(1), call(2), 4);
+        f.push_compute(call(2), ContextId(2), 1);
+        f.push_transfer(call(1), call(2), 4);
+        assert_eq!(f.len(), 3);
+    }
+}

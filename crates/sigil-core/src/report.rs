@@ -1,0 +1,153 @@
+//! Human-readable text reports of a [`Profile`].
+
+use std::fmt::Write as _;
+
+use crate::profile::Profile;
+
+/// Renders the per-function communication table: calls, cycles, and the
+/// input/output/local × unique/non-unique breakdown, sorted by cycles.
+pub fn communication_table(profile: &Profile, max_rows: usize) -> String {
+    let rows = profile.function_rows();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  function",
+        "calls", "cycles", "in.uniq", "in.reuse", "out.uniq", "out.reuse", "loc.uniq", "loc.reuse"
+    );
+    for row in rows.iter().take(max_rows) {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {}",
+            row.calls,
+            row.cycles,
+            row.comm.input_unique_bytes,
+            row.comm.input_nonunique_bytes,
+            row.comm.output_unique_bytes,
+            row.comm.output_nonunique_bytes,
+            row.comm.local_unique_bytes,
+            row.comm.local_nonunique_bytes,
+            row.name
+        );
+    }
+    out
+}
+
+/// Renders the data-dependency edges with their unique-byte weights, in
+/// descending weight order.
+pub fn edge_table(profile: &Profile, max_rows: usize) -> String {
+    let symbols = profile.symbols();
+    let tree = &profile.callgrind.tree;
+    let mut edges = profile.edges.clone();
+    edges.sort_by_key(|e| std::cmp::Reverse(e.unique_bytes));
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>12} {:>12}  producer -> consumer", "uniq", "reuse");
+    for edge in edges.iter().take(max_rows) {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12}  {} -> {}",
+            edge.unique_bytes,
+            edge.nonunique_bytes,
+            tree.path_label(edge.producer, symbols),
+            tree.path_label(edge.consumer, symbols),
+        );
+    }
+    out
+}
+
+/// Renders the reuse summary (reuse mode only).
+pub fn reuse_summary(profile: &Profile) -> Option<String> {
+    let (zero, low, high) = profile.reuse_breakdown()?;
+    let total = (zero + low + high).max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "data-byte reuse breakdown:");
+    let _ = writeln!(
+        out,
+        "  0 reuses   : {zero:>12} ({:.1}%)",
+        100.0 * zero as f64 / total as f64
+    );
+    let _ = writeln!(
+        out,
+        "  1-9 reuses : {low:>12} ({:.1}%)",
+        100.0 * low as f64 / total as f64
+    );
+    let _ = writeln!(
+        out,
+        "  >9 reuses  : {high:>12} ({:.1}%)",
+        100.0 * high as f64 / total as f64
+    );
+    Some(out)
+}
+
+/// Renders everything: communication table, top edges, optional reuse and
+/// line summaries, and the memory footprint.
+pub fn full_report(profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str("== function communication (top 30) ==\n");
+    out.push_str(&communication_table(profile, 30));
+    out.push_str("\n== data-dependency edges (top 30) ==\n");
+    out.push_str(&edge_table(profile, 30));
+    if let Some(reuse) = reuse_summary(profile) {
+        out.push('\n');
+        out.push_str(&reuse);
+    }
+    if let Some(lines) = &profile.lines {
+        let _ = writeln!(
+            out,
+            "\nline-granularity ({}-byte lines): {} lines touched, buckets {:?}",
+            lines.line_size, lines.touched_lines, lines.buckets
+        );
+    }
+    let _ = writeln!(out, "\nshadow memory: {}", profile.memory);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SigilConfig;
+    use crate::profiler::SigilProfiler;
+    use sigil_trace::Engine;
+
+    fn sample(config: SigilConfig) -> Profile {
+        let mut engine = Engine::new(SigilProfiler::new(config));
+        engine.scoped_named("main", |e| {
+            e.scoped_named("w", |e| e.write(0x40, 8));
+            e.scoped_named("r", |e| {
+                e.read(0x40, 8);
+                e.read(0x40, 8);
+            });
+        });
+        let (p, s) = engine.finish_with_symbols();
+        p.into_profile(s)
+    }
+
+    #[test]
+    fn communication_table_has_rows_for_each_function() {
+        let text = communication_table(&sample(SigilConfig::default()), 10);
+        assert!(text.contains("main"));
+        assert!(text.contains(" w"));
+        assert!(text.contains(" r"));
+    }
+
+    #[test]
+    fn edge_table_shows_paths() {
+        let text = edge_table(&sample(SigilConfig::default()), 10);
+        assert!(text.contains("->"));
+        assert!(text.contains("main"));
+    }
+
+    #[test]
+    fn reuse_summary_requires_reuse_mode() {
+        assert!(reuse_summary(&sample(SigilConfig::default())).is_none());
+        let text =
+            reuse_summary(&sample(SigilConfig::default().with_reuse_mode())).expect("reuse on");
+        assert!(text.contains("0 reuses"));
+    }
+
+    #[test]
+    fn full_report_mentions_memory() {
+        let text = full_report(&sample(SigilConfig::default().with_line_mode(64)));
+        assert!(text.contains("shadow memory"));
+        assert!(text.contains("line-granularity"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Communication counters and edges.
+
+use serde::{Deserialize, Serialize};
+use sigil_callgrind::ContextId;
+
+/// Per-context communication totals, classified along the paper's two
+/// axes: input/output/local × unique/non-unique (§II-A).
+///
+/// All counters are in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Bytes read whose producer is a *different* function, first time
+    /// this call reads them — the true input set.
+    pub input_unique_bytes: u64,
+    /// Bytes re-read from a different producer by the same call.
+    pub input_nonunique_bytes: u64,
+    /// Bytes read that this function itself produced, first read.
+    pub local_unique_bytes: u64,
+    /// Re-reads of self-produced bytes.
+    pub local_nonunique_bytes: u64,
+    /// Bytes this context produced that another function consumed
+    /// (first-time reads by the consumer) — the true output set.
+    pub output_unique_bytes: u64,
+    /// Re-reads by other functions of bytes this context produced.
+    pub output_nonunique_bytes: u64,
+    /// Total bytes read (all classes).
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl CommStats {
+    /// Unique bytes consumed, regardless of producer (input + local).
+    /// This is the "total unique data bytes processed" measure used for
+    /// Figure 9's function ranking.
+    pub fn unique_bytes_consumed(&self) -> u64 {
+        self.input_unique_bytes + self.local_unique_bytes
+    }
+
+    /// Total non-unique (re-read) bytes.
+    pub fn nonunique_bytes(&self) -> u64 {
+        self.input_nonunique_bytes + self.local_nonunique_bytes
+    }
+
+    /// Unique communication crossing the function boundary (the quantity
+    /// the partitioning heuristic charges to an accelerator's bus).
+    pub fn boundary_unique_bytes(&self) -> u64 {
+        self.input_unique_bytes + self.output_unique_bytes
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.input_unique_bytes += other.input_unique_bytes;
+        self.input_nonunique_bytes += other.input_nonunique_bytes;
+        self.local_unique_bytes += other.local_unique_bytes;
+        self.local_nonunique_bytes += other.local_nonunique_bytes;
+        self.output_unique_bytes += other.output_unique_bytes;
+        self.output_nonunique_bytes += other.output_nonunique_bytes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+/// One directed data-dependency edge of the control data-flow graph:
+/// `producer` wrote bytes that `consumer` later read.
+///
+/// These are the dashed edges of the paper's Figure 1, weighted by the
+/// number of bytes needed by the receiving function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommEdge {
+    /// The context that produced the data.
+    pub producer: ContextId,
+    /// The context that consumed it.
+    pub consumer: ContextId,
+    /// First-time-read bytes along this edge (the edge weight used for
+    /// partitioning).
+    pub unique_bytes: u64,
+    /// Re-read bytes along this edge.
+    pub nonunique_bytes: u64,
+}
+
+impl CommEdge {
+    /// Total bytes transferred along this edge.
+    pub fn total_bytes(&self) -> u64 {
+        self.unique_bytes + self.nonunique_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_sums() {
+        let stats = CommStats {
+            input_unique_bytes: 10,
+            input_nonunique_bytes: 3,
+            local_unique_bytes: 5,
+            local_nonunique_bytes: 2,
+            output_unique_bytes: 7,
+            output_nonunique_bytes: 1,
+            bytes_read: 20,
+            bytes_written: 12,
+        };
+        assert_eq!(stats.unique_bytes_consumed(), 15);
+        assert_eq!(stats.nonunique_bytes(), 5);
+        assert_eq!(stats.boundary_unique_bytes(), 17);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = CommStats {
+            input_unique_bytes: 1,
+            bytes_read: 1,
+            ..CommStats::default()
+        };
+        let b = CommStats {
+            input_unique_bytes: 2,
+            output_unique_bytes: 4,
+            bytes_read: 3,
+            ..CommStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.input_unique_bytes, 3);
+        assert_eq!(a.output_unique_bytes, 4);
+        assert_eq!(a.bytes_read, 4);
+    }
+
+    #[test]
+    fn edge_total() {
+        let edge = CommEdge {
+            producer: ContextId(1),
+            consumer: ContextId(2),
+            unique_bytes: 8,
+            nonunique_bytes: 4,
+        };
+        assert_eq!(edge.total_bytes(), 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! The per-byte shadow object (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use sigil_trace::{CallNumber, Timestamp};
+
+/// Identity of the entity that last wrote or read a shadowed byte: a
+/// function (in practice a *function context*, see `sigil-callgrind`)
+/// together with the dynamic call number of that access.
+///
+/// The paper's shadow object stores a "pointer to function" plus a "call
+/// number"; we store a dense context index plus the global call number,
+/// which carries the same information without raw pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Owner {
+    /// Dense index of the owning function context.
+    pub ctx: u32,
+    /// Dynamic call during which the access happened.
+    pub call: CallNumber,
+}
+
+impl Owner {
+    /// Creates an owner record.
+    pub const fn new(ctx: u32, call: CallNumber) -> Self {
+        Owner { ctx, call }
+    }
+}
+
+/// Reuse-mode extension of the shadow object (paper Table I, "Additional
+/// variables for Reuse mode").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseInfo {
+    /// Number of times the byte was accessed beyond its first read
+    /// ("re-use count").
+    pub reuse_count: u64,
+    /// Timestamp of the first read of the current value
+    /// ("re-use lifetime start").
+    pub first_access: Timestamp,
+    /// Timestamp of the latest read of the current value
+    /// ("re-use lifetime finish").
+    pub last_access: Timestamp,
+}
+
+impl ReuseInfo {
+    /// The reuse lifetime: retired-op distance between first and last
+    /// access of the current value.
+    pub const fn lifetime(&self) -> u64 {
+        self.last_access.delta(self.first_access)
+    }
+
+    /// Records a read at `now`, updating count and lifetime bounds.
+    pub fn record_read(&mut self, now: Timestamp, first_read: bool) {
+        if first_read {
+            self.first_access = now;
+        } else {
+            self.reuse_count += 1;
+        }
+        self.last_access = now;
+    }
+
+    /// Resets the record when the byte is overwritten (a new value begins
+    /// a new lifetime).
+    pub fn reset(&mut self) {
+        *self = ReuseInfo::default();
+    }
+}
+
+/// Shadow record for one byte of guest memory (paper Table I).
+///
+/// Baseline variables: last writer, last reader, last reader call. In
+/// reuse mode the [`ReuseInfo`] extension is additionally maintained by
+/// the profiler.
+///
+/// A freshly created shadow object is *invalid*: no writer, no reader.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowObject {
+    /// Function context + call that last wrote this byte; `None` until the
+    /// traced program first writes the byte.
+    pub last_writer: Option<Owner>,
+    /// Function context + call that last read this byte; `None` until the
+    /// first read. The stored call number is the paper's "last reader
+    /// call" field.
+    pub last_reader: Option<Owner>,
+    /// Reuse-mode statistics for the *current value* of the byte.
+    pub reuse: ReuseInfo,
+}
+
+impl ShadowObject {
+    /// Whether the byte has ever been written by the traced program.
+    pub const fn is_written(&self) -> bool {
+        self.last_writer.is_some()
+    }
+
+    /// Marks `writer` as the producer of this byte's current value and
+    /// invalidates reader / reuse history (a write starts a new value).
+    pub fn record_write(&mut self, writer: Owner) {
+        self.last_writer = Some(writer);
+        self.last_reader = None;
+        self.reuse.reset();
+    }
+
+    /// Returns true iff `reader` (same context *and* same dynamic call)
+    /// already read this byte, i.e. a further read is **non-unique**.
+    pub fn is_repeat_read(&self, reader: Owner) -> bool {
+        self.last_reader == Some(reader)
+    }
+
+    /// Marks `reader` as the most recent consumer.
+    pub fn record_read(&mut self, reader: Owner) {
+        self.last_reader = Some(reader);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(ctx: u32, call: u64) -> Owner {
+        Owner::new(ctx, CallNumber::from_raw(call))
+    }
+
+    #[test]
+    fn fresh_object_is_invalid() {
+        let obj = ShadowObject::default();
+        assert!(!obj.is_written());
+        assert_eq!(obj.last_reader, None);
+        assert_eq!(obj.reuse, ReuseInfo::default());
+    }
+
+    #[test]
+    fn write_sets_producer_and_clears_readers() {
+        let mut obj = ShadowObject::default();
+        obj.record_read(owner(1, 5));
+        obj.reuse.record_read(Timestamp::from_raw(10), true);
+        obj.record_write(owner(2, 6));
+        assert_eq!(obj.last_writer, Some(owner(2, 6)));
+        assert_eq!(obj.last_reader, None);
+        assert_eq!(obj.reuse, ReuseInfo::default());
+    }
+
+    #[test]
+    fn repeat_read_requires_same_context_and_call() {
+        let mut obj = ShadowObject::default();
+        obj.record_read(owner(1, 5));
+        assert!(obj.is_repeat_read(owner(1, 5)));
+        // Same function, different dynamic call: unique again.
+        assert!(!obj.is_repeat_read(owner(1, 7)));
+        // Different function, same call number: unique.
+        assert!(!obj.is_repeat_read(owner(2, 5)));
+    }
+
+    #[test]
+    fn reuse_lifetime_spans_first_to_last_read() {
+        let mut info = ReuseInfo::default();
+        info.record_read(Timestamp::from_raw(100), true);
+        assert_eq!(info.lifetime(), 0);
+        assert_eq!(info.reuse_count, 0);
+        info.record_read(Timestamp::from_raw(250), false);
+        info.record_read(Timestamp::from_raw(400), false);
+        assert_eq!(info.reuse_count, 2);
+        assert_eq!(info.lifetime(), 300);
+    }
+
+    #[test]
+    fn reset_clears_reuse_state() {
+        let mut info = ReuseInfo::default();
+        info.record_read(Timestamp::from_raw(5), true);
+        info.record_read(Timestamp::from_raw(9), false);
+        info.reset();
+        assert_eq!(info, ReuseInfo::default());
+    }
+}

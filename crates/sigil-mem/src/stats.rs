@@ -1,0 +1,92 @@
+//! Shadow-memory footprint accounting (drives Figure 6).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the shadow memory footprint.
+///
+/// The paper's Figure 6 plots Sigil's memory usage per workload and input
+/// size; this is the measured quantity in our reproduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Second-level chunks currently resident.
+    pub resident_chunks: u64,
+    /// Shadow slots currently resident (chunks × slots per chunk).
+    pub resident_slots: u64,
+    /// Approximate resident bytes (slots × slot size).
+    pub resident_bytes: u64,
+    /// Chunks evicted by the FIFO/LRU limiter so far.
+    pub evicted_chunks: u64,
+}
+
+impl MemoryStats {
+    /// Resident footprint in mebibytes.
+    pub fn resident_mib(&self) -> f64 {
+        self.resident_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Component-wise sum of two snapshots (e.g. byte table + line table).
+    #[must_use]
+    pub fn combined(self, other: MemoryStats) -> MemoryStats {
+        MemoryStats {
+            resident_chunks: self.resident_chunks + other.resident_chunks,
+            resident_slots: self.resident_slots + other.resident_slots,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            evicted_chunks: self.evicted_chunks + other.evicted_chunks,
+        }
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} MiB resident ({} chunks, {} evicted)",
+            self.resident_mib(),
+            self.resident_chunks,
+            self.evicted_chunks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_conversion() {
+        let stats = MemoryStats {
+            resident_bytes: 2 * 1024 * 1024,
+            ..MemoryStats::default()
+        };
+        assert!((stats.resident_mib() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_adds_componentwise() {
+        let a = MemoryStats {
+            resident_chunks: 1,
+            resident_slots: 10,
+            resident_bytes: 100,
+            evicted_chunks: 2,
+        };
+        let b = MemoryStats {
+            resident_chunks: 3,
+            resident_slots: 30,
+            resident_bytes: 300,
+            evicted_chunks: 4,
+        };
+        let c = a.combined(b);
+        assert_eq!(c.resident_chunks, 4);
+        assert_eq!(c.resident_slots, 40);
+        assert_eq!(c.resident_bytes, 400);
+        assert_eq!(c.evicted_chunks, 6);
+    }
+
+    #[test]
+    fn display_mentions_residency() {
+        let stats = MemoryStats::default();
+        assert!(stats.to_string().contains("resident"));
+    }
+}

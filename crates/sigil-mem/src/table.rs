@@ -1,0 +1,318 @@
+//! The generic two-level shadow table.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use sigil_trace::Addr;
+
+use crate::stats::MemoryStats;
+
+/// Log2 of the number of shadow slots per second-level chunk.
+const CHUNK_BITS: u32 = 12;
+/// Number of shadow slots per second-level chunk (4096).
+pub const CHUNK_SLOTS: usize = 1 << CHUNK_BITS;
+const OFFSET_MASK: u64 = (CHUNK_SLOTS as u64) - 1;
+
+/// Which chunk to evict when the memory limit is exceeded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Evict the least recently *allocated* chunk — the paper's "simple
+    /// FIFO mechanism".
+    #[default]
+    Fifo,
+    /// Evict the least recently *touched* chunk. Slightly closer to the
+    /// paper's stated intent ("least recently touched by the program") at
+    /// the cost of a scan per eviction; compared in the ablation bench.
+    Lru,
+}
+
+#[derive(Debug)]
+struct Chunk<T> {
+    slots: Box<[T]>,
+    last_touch: u64,
+}
+
+/// A sparse, lazily-populated map from guest byte addresses to shadow
+/// slots of type `T`, implemented as a two-level table (paper §II-B).
+///
+/// The first level is keyed by the high address bits, the second level is
+/// a dense chunk of [`CHUNK_SLOTS`] shadow slots covering a contiguous
+/// address range. Chunks are created on first touch with `T::default()`
+/// ("initialized to invalid").
+///
+/// With a chunk limit configured (see [`ShadowTable::with_chunk_limit`])
+/// the table evicts whole chunks according to the [`EvictionPolicy`];
+/// evicted shadow state silently reverts to invalid, exactly as in the
+/// paper's memory-limit command-line option.
+///
+/// # Example
+///
+/// ```
+/// use sigil_mem::ShadowTable;
+///
+/// let mut table: ShadowTable<u32> = ShadowTable::new();
+/// assert_eq!(table.get(0xdead_beef), None);
+/// *table.slot_mut(0xdead_beef) = 7;
+/// assert_eq!(table.get(0xdead_beef), Some(&7));
+/// ```
+pub struct ShadowTable<T> {
+    chunks: HashMap<u64, Chunk<T>>,
+    alloc_order: VecDeque<u64>,
+    chunk_limit: Option<usize>,
+    policy: EvictionPolicy,
+    touch_counter: u64,
+    evicted_chunks: u64,
+}
+
+impl<T: Default + Clone> ShadowTable<T> {
+    /// Creates an unbounded shadow table.
+    pub fn new() -> Self {
+        ShadowTable {
+            chunks: HashMap::new(),
+            alloc_order: VecDeque::new(),
+            chunk_limit: None,
+            policy: EvictionPolicy::Fifo,
+            touch_counter: 0,
+            evicted_chunks: 0,
+        }
+    }
+
+    /// Creates a table that keeps at most `max_chunks` second-level chunks
+    /// resident, evicting per `policy` beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_chunks` is zero.
+    pub fn with_chunk_limit(max_chunks: usize, policy: EvictionPolicy) -> Self {
+        assert!(max_chunks > 0, "chunk limit must be at least 1");
+        ShadowTable {
+            chunk_limit: Some(max_chunks),
+            policy,
+            ..ShadowTable::new()
+        }
+    }
+
+    fn split(addr: Addr) -> (u64, usize) {
+        (addr >> CHUNK_BITS, (addr & OFFSET_MASK) as usize)
+    }
+
+    /// Returns the shadow slot for `addr` if its chunk is resident.
+    pub fn get(&self, addr: Addr) -> Option<&T> {
+        let (key, off) = Self::split(addr);
+        self.chunks.get(&key).map(|c| &c.slots[off])
+    }
+
+    /// Returns a mutable reference to the shadow slot for `addr`,
+    /// allocating (and possibly evicting) as needed.
+    pub fn slot_mut(&mut self, addr: Addr) -> &mut T {
+        let (key, off) = Self::split(addr);
+        self.touch_counter += 1;
+        if !self.chunks.contains_key(&key) {
+            self.maybe_evict();
+            self.chunks.insert(
+                key,
+                Chunk {
+                    slots: vec![T::default(); CHUNK_SLOTS].into_boxed_slice(),
+                    last_touch: self.touch_counter,
+                },
+            );
+            self.alloc_order.push_back(key);
+        }
+        let chunk = self.chunks.get_mut(&key).expect("chunk just ensured");
+        chunk.last_touch = self.touch_counter;
+        &mut chunk.slots[off]
+    }
+
+    fn maybe_evict(&mut self) {
+        let Some(limit) = self.chunk_limit else {
+            return;
+        };
+        while self.chunks.len() >= limit {
+            let victim = match self.policy {
+                EvictionPolicy::Fifo => loop {
+                    match self.alloc_order.pop_front() {
+                        Some(key) if self.chunks.contains_key(&key) => break Some(key),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                },
+                EvictionPolicy::Lru => self
+                    .chunks
+                    .iter()
+                    .min_by_key(|(_, c)| c.last_touch)
+                    .map(|(&k, _)| k),
+            };
+            match victim {
+                Some(key) => {
+                    self.chunks.remove(&key);
+                    self.evicted_chunks += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of resident second-level chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total chunks evicted by the limiter so far.
+    pub fn evicted_chunks(&self) -> u64 {
+        self.evicted_chunks
+    }
+
+    /// Approximate resident shadow-memory footprint and eviction counters.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            resident_chunks: self.chunks.len() as u64,
+            resident_slots: (self.chunks.len() * CHUNK_SLOTS) as u64,
+            resident_bytes: (self.chunks.len() * CHUNK_SLOTS * std::mem::size_of::<T>()) as u64,
+            evicted_chunks: self.evicted_chunks,
+        }
+    }
+
+    /// Iterates over every resident `(addr, slot)` pair, in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> {
+        self.chunks.iter().flat_map(|(&key, chunk)| {
+            chunk
+                .slots
+                .iter()
+                .enumerate()
+                .map(move |(off, slot)| ((key << CHUNK_BITS) | off as u64, slot))
+        })
+    }
+
+    /// Removes all shadow state.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.alloc_order.clear();
+    }
+}
+
+impl<T: Default + Clone> Default for ShadowTable<T> {
+    fn default() -> Self {
+        ShadowTable::new()
+    }
+}
+
+impl<T> fmt::Debug for ShadowTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShadowTable")
+            .field("chunks", &self.chunks.len())
+            .field("chunk_limit", &self.chunk_limit)
+            .field("policy", &self.policy)
+            .field("evicted_chunks", &self.evicted_chunks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_addresses_read_as_none() {
+        let table: ShadowTable<u8> = ShadowTable::new();
+        assert_eq!(table.get(0), None);
+        assert_eq!(table.get(u64::MAX), None);
+        assert_eq!(table.chunk_count(), 0);
+    }
+
+    #[test]
+    fn slot_mut_allocates_chunk_lazily() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(100) = 9;
+        assert_eq!(table.chunk_count(), 1);
+        assert_eq!(table.get(100), Some(&9));
+        // Neighbouring address in the same chunk: default-initialized.
+        assert_eq!(table.get(101), Some(&0));
+        // Address in a different chunk: still absent.
+        assert_eq!(table.get(100 + (CHUNK_SLOTS as u64) * 2), None);
+    }
+
+    #[test]
+    fn distant_addresses_use_distinct_chunks() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(0) = 1;
+        *table.slot_mut(1 << 40) = 2;
+        assert_eq!(table.chunk_count(), 2);
+        assert_eq!(table.get(0), Some(&1));
+        assert_eq!(table.get(1 << 40), Some(&2));
+    }
+
+    #[test]
+    fn fifo_limit_evicts_oldest_allocation() {
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(2, EvictionPolicy::Fifo);
+        let a = 0;
+        let b = CHUNK_SLOTS as u64;
+        let c = 2 * CHUNK_SLOTS as u64;
+        *table.slot_mut(a) = 1;
+        *table.slot_mut(b) = 2;
+        // Touch `a` again — FIFO ignores recency, so `a` is still evicted.
+        *table.slot_mut(a) = 3;
+        *table.slot_mut(c) = 4;
+        assert_eq!(table.chunk_count(), 2);
+        assert_eq!(table.get(a), None);
+        assert_eq!(table.get(b), Some(&2));
+        assert_eq!(table.get(c), Some(&4));
+        assert_eq!(table.evicted_chunks(), 1);
+    }
+
+    #[test]
+    fn lru_limit_evicts_least_recently_touched() {
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(2, EvictionPolicy::Lru);
+        let a = 0;
+        let b = CHUNK_SLOTS as u64;
+        let c = 2 * CHUNK_SLOTS as u64;
+        *table.slot_mut(a) = 1;
+        *table.slot_mut(b) = 2;
+        *table.slot_mut(a) = 3; // refresh `a`
+        *table.slot_mut(c) = 4; // evicts `b`, not `a`
+        assert_eq!(table.get(a), Some(&3));
+        assert_eq!(table.get(b), None);
+        assert_eq!(table.get(c), Some(&4));
+    }
+
+    #[test]
+    fn evicted_state_reverts_to_default() {
+        let mut table: ShadowTable<u32> = ShadowTable::with_chunk_limit(1, EvictionPolicy::Fifo);
+        *table.slot_mut(0) = 42;
+        *table.slot_mut(CHUNK_SLOTS as u64) = 7; // evicts chunk 0
+        assert_eq!(*table.slot_mut(0), 0, "re-touch re-initializes to default");
+    }
+
+    #[test]
+    fn stats_reflect_residency() {
+        let mut table: ShadowTable<u64> = ShadowTable::new();
+        *table.slot_mut(0) = 1;
+        let stats = table.stats();
+        assert_eq!(stats.resident_chunks, 1);
+        assert_eq!(stats.resident_slots, CHUNK_SLOTS as u64);
+        assert_eq!(stats.resident_bytes, (CHUNK_SLOTS * 8) as u64);
+    }
+
+    #[test]
+    fn iter_visits_written_slots() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(5) = 9;
+        let found: Vec<_> = table.iter().filter(|(_, &v)| v != 0).collect();
+        assert_eq!(found, vec![(5, &9)]);
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(1) = 1;
+        table.clear();
+        assert_eq!(table.chunk_count(), 0);
+        assert_eq!(table.get(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk limit must be at least 1")]
+    fn zero_limit_is_rejected() {
+        let _: ShadowTable<u8> = ShadowTable::with_chunk_limit(0, EvictionPolicy::Fifo);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: the two-level shadow table must behave exactly like a
+//! reference `HashMap` model when no memory limit is configured.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sigil_mem::{EvictionPolicy, ShadowTable};
+
+#[derive(Debug, Clone)]
+enum Action {
+    Write(u64, u32),
+    Read(u64),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    // Cluster addresses so chunks are shared sometimes and distinct other
+    // times; include some far-apart regions.
+    let addr = prop_oneof![
+        0u64..0x4000,
+        0x10_0000u64..0x10_4000,
+        (u64::MAX - 0x4000)..u64::MAX,
+    ];
+    prop_oneof![
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Action::Write(a, v)),
+        addr.prop_map(Action::Read),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn unbounded_table_matches_hashmap_model(actions in prop::collection::vec(action_strategy(), 1..200)) {
+        let mut table: ShadowTable<u32> = ShadowTable::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for action in actions {
+            match action {
+                Action::Write(addr, value) => {
+                    *table.slot_mut(addr) = value;
+                    model.insert(addr, value);
+                }
+                Action::Read(addr) => {
+                    let got = table.get(addr).copied();
+                    match model.get(&addr) {
+                        Some(&v) => prop_assert_eq!(got, Some(v)),
+                        // Untouched address: either chunk absent (None) or
+                        // default-initialized (0).
+                        None => prop_assert!(got.is_none() || got == Some(0)),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(table.evicted_chunks(), 0);
+    }
+
+    #[test]
+    fn limited_table_never_exceeds_chunk_budget(
+        limit in 1usize..8,
+        addrs in prop::collection::vec(any::<u64>(), 1..300),
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(limit, policy);
+        for addr in addrs {
+            *table.slot_mut(addr) = 1;
+            prop_assert!(table.chunk_count() <= limit);
+        }
+    }
+
+    #[test]
+    fn resident_values_are_always_authoritative(
+        limit in 2usize..6,
+        writes in prop::collection::vec((any::<u64>(), any::<u8>()), 1..200),
+    ) {
+        // Even with eviction, any value still resident must be the last
+        // value written to that address.
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(limit, EvictionPolicy::Fifo);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, value) in writes {
+            *table.slot_mut(addr) = value;
+            model.insert(addr, value);
+        }
+        for (&addr, &expected) in &model {
+            if let Some(&got) = table.get(addr) {
+                // A resident slot is either untouched-default (its chunk was
+                // evicted and re-created by a neighbour) or the true value.
+                prop_assert!(got == expected || got == 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Platform-independent time base.
+
+use crate::event::RuntimeEvent;
+use crate::ids::Timestamp;
+
+/// A clock that advances with retired guest operations.
+///
+/// The Sigil paper deliberately avoids wall-clock or cycle time: "In order
+/// to remain architecture independent, we use the number of retired
+/// instructions as a proxy for execution time." Every component that needs
+/// timestamps (reuse lifetimes, critical-path costs) feeds its observed
+/// events through an `OpClock`.
+///
+/// # Example
+///
+/// ```
+/// use sigil_trace::{OpClock, RuntimeEvent, OpClass};
+///
+/// let mut clock = OpClock::new();
+/// clock.tick(RuntimeEvent::Op { class: OpClass::IntArith, count: 10 });
+/// assert_eq!(clock.now().as_raw(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpClock {
+    now: Timestamp,
+}
+
+impl OpClock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        OpClock {
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// Current platform-independent time.
+    pub const fn now(self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock by the retired-op weight of `event`, returning
+    /// the timestamp *at which the event occurred* (i.e. before advancing).
+    pub fn tick(&mut self, event: RuntimeEvent) -> Timestamp {
+        let at = self.now;
+        self.now = self.now.advance(event.retired_ops());
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemAccess, OpClass};
+
+    #[test]
+    fn clock_starts_at_zero() {
+        assert_eq!(OpClock::new().now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn tick_returns_pre_advance_time() {
+        let mut clock = OpClock::new();
+        let ev = RuntimeEvent::Op {
+            class: OpClass::IntArith,
+            count: 5,
+        };
+        assert_eq!(clock.tick(ev), Timestamp::ZERO);
+        assert_eq!(clock.now().as_raw(), 5);
+        let ev2 = RuntimeEvent::Read {
+            access: MemAccess::new(0, 4),
+        };
+        assert_eq!(clock.tick(ev2).as_raw(), 5);
+        assert_eq!(clock.now().as_raw(), 6);
+    }
+}

@@ -1,0 +1,58 @@
+//! Execution-event model and tracing engine for `sigil-rs`.
+//!
+//! This crate is the stand-in for the *primitive layer* that Valgrind
+//! exposes to tools such as Callgrind and Sigil: a stream of dynamic
+//! execution events — function calls and returns, memory reads and writes,
+//! retired compute operations, and conditional branches — together with a
+//! symbol table naming the functions involved.
+//!
+//! The original Sigil (IISWC 2013) consumed this stream from Valgrind's
+//! dynamic binary instrumentation. Here, two event producers exist:
+//!
+//! * [`Engine`] — a direct tracing API against which synthetic workloads
+//!   (see the `sigil-workloads` crate) are written, and
+//! * the `sigil-vm` crate — a guest bytecode interpreter that emits the
+//!   same events while executing an unmodified guest program, mirroring the
+//!   DBI use-case.
+//!
+//! Consumers implement [`ExecutionObserver`]; the Callgrind-like profiler
+//! (`sigil-callgrind`) and the Sigil profiler itself (`sigil-core`) are both
+//! observers and can be stacked with [`observer::Fanout`].
+//!
+//! # Example
+//!
+//! ```
+//! use sigil_trace::{Engine, observer::CountingObserver, OpClass};
+//!
+//! let mut engine = Engine::new(CountingObserver::default());
+//! let f = engine.symbols_mut().intern("compute");
+//! engine.call(f);
+//! engine.write(0x1000, 8);
+//! engine.op(OpClass::FloatArith, 4);
+//! engine.read(0x1000, 8);
+//! engine.ret();
+//! let counts = engine.finish().into_counts();
+//! assert_eq!(counts.reads, 1);
+//! assert_eq!(counts.writes, 1);
+//! assert_eq!(counts.ops, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod io;
+pub mod observer;
+pub mod symbols;
+
+pub use clock::OpClock;
+pub use engine::Engine;
+pub use error::TraceError;
+pub use event::{Addr, MemAccess, OpClass, RuntimeEvent};
+pub use ids::{CallNumber, FunctionId, ThreadId, Timestamp};
+pub use observer::ExecutionObserver;
+pub use symbols::SymbolTable;

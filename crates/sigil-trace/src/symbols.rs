@@ -1,0 +1,147 @@
+//! Function symbol table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::FunctionId;
+
+/// Interning table mapping function names to dense [`FunctionId`]s.
+///
+/// Plays the role of the debug-symbol reader in Valgrind: Sigil's "efficacy
+/// is drastically reduced when the binary does not have debugging symbols"
+/// — here symbols are always available because workloads register
+/// themselves.
+///
+/// # Example
+///
+/// ```
+/// use sigil_trace::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("main");
+/// let b = table.intern("main");
+/// assert_eq!(a, b);
+/// assert_eq!(table.name(a), "main");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, FunctionId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its id; repeated calls with the same name
+    /// return the same id.
+    pub fn intern(&mut self, name: &str) -> FunctionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = FunctionId::from_raw(
+            u32::try_from(self.names.len()).expect("more than u32::MAX symbols interned"),
+        );
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning it.
+    pub fn lookup(&self, name: &str) -> Option<FunctionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: FunctionId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Returns the name of `id`, or `None` if it is unknown to this table.
+    pub fn get_name(&self, id: FunctionId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| {
+            (
+                FunctionId::from_raw(u32::try_from(i).expect("table length fits u32")),
+                n.as_str(),
+            )
+        })
+    }
+}
+
+impl fmt::Display for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolTable({} symbols)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("foo"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("missing").is_none());
+        let id = t.intern("present");
+        assert_eq!(t.lookup("present"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("conv_gen");
+        assert_eq!(t.name(id), "conv_gen");
+        assert_eq!(t.get_name(id), Some("conv_gen"));
+        assert_eq!(t.get_name(FunctionId::from_raw(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_intern_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "SymbolTable(0 symbols)");
+    }
+}

@@ -1,0 +1,475 @@
+//! A textual assembly format for guest programs.
+//!
+//! Lets guest programs be written, stored and loaded as plain text (the
+//! `sigil run` CLI command executes such files under the profiler),
+//! mirroring how the original tool profiles arbitrary on-disk binaries.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! fn main regs=4            ; function header; first fn is the entry
+//!   r0 = 6
+//!   r1 = 7
+//!   r0 = mul r0, r1
+//!   r2 = alloc r0
+//!   store8 [r2+0], r1
+//!   r3 = load8 [r2+0]
+//!   call helper(r3) -> r3
+//!   ret r3
+//!
+//! fn helper regs=1
+//!   ret r0
+//! ```
+//!
+//! Blocks are introduced with `label:` lines; `jmp label`,
+//! `br rN ? label : label` transfer control. Every function body is a
+//! sequence of instructions in block order; the entry block is implicit.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::isa::{AluOp, FaluOp, Reg};
+use crate::program::{BlockId, FuncId, Program};
+use crate::verifier::VerifyError;
+
+/// A parse or verification failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for whole-program errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+impl From<VerifyError> for AsmError {
+    fn from(e: VerifyError) -> Self {
+        AsmError::new(0, e.to_string())
+    }
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmError> {
+    let rest = token
+        .strip_prefix('r')
+        .ok_or_else(|| AsmError::new(line, format!("expected register, got `{token}`")))?;
+    rest.parse()
+        .map_err(|_| AsmError::new(line, format!("bad register `{token}`")))
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(float) = token.strip_suffix('f') {
+        float.parse::<f64>().ok().map(f64::to_bits)
+    } else {
+        token.parse().ok()
+    };
+    parsed.ok_or_else(|| AsmError::new(line, format!("bad immediate `{token}`")))
+}
+
+/// Parses `[rN+OFF]` / `[rN-OFF]` into (base, offset).
+fn parse_mem(token: &str, line: usize) -> Result<(Reg, i64), AsmError> {
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(line, format!("expected [rN+off], got `{token}`")))?;
+    let (reg_part, off) = if let Some(pos) = inner.find(['+', '-']) {
+        let (r, o) = inner.split_at(pos);
+        let off: i64 = o
+            .parse()
+            .map_err(|_| AsmError::new(line, format!("bad offset in `{token}`")))?;
+        (r, off)
+    } else {
+        (inner, 0)
+    };
+    Ok((parse_reg(reg_part.trim(), line)?, off))
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "cmplt" => AluOp::CmpLt,
+        "cmpeq" => AluOp::CmpEq,
+        _ => return None,
+    })
+}
+
+fn falu_op(name: &str) -> Option<FaluOp> {
+    Some(match name {
+        "fadd" => FaluOp::FAdd,
+        "fsub" => FaluOp::FSub,
+        "fmul" => FaluOp::FMul,
+        "fdiv" => FaluOp::FDiv,
+        "fcmplt" => FaluOp::FCmpLt,
+        "fsqrt" => FaluOp::FSqrt,
+        _ => return None,
+    })
+}
+
+struct FnSource<'a> {
+    name: &'a str,
+    n_regs: u16,
+    /// `(line_number, text)` pairs of the body.
+    body: Vec<(usize, &'a str)>,
+}
+
+/// Splits the source into per-function chunks.
+fn split_functions(source: &str) -> Result<Vec<FnSource<'_>>, AsmError> {
+    let mut functions: Vec<FnSource<'_>> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("fn ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| AsmError::new(line_no, "missing function name"))?;
+            let regs_part = parts
+                .next()
+                .and_then(|p| p.strip_prefix("regs="))
+                .ok_or_else(|| AsmError::new(line_no, "missing `regs=N`"))?;
+            let n_regs: u16 = regs_part
+                .parse()
+                .map_err(|_| AsmError::new(line_no, format!("bad register count `{regs_part}`")))?;
+            functions.push(FnSource {
+                name,
+                n_regs,
+                body: Vec::new(),
+            });
+        } else {
+            let current = functions
+                .last_mut()
+                .ok_or_else(|| AsmError::new(line_no, "instruction before any `fn` header"))?;
+            current.body.push((line_no, text));
+        }
+    }
+    if functions.is_empty() {
+        return Err(AsmError::new(0, "no functions defined"));
+    }
+    Ok(functions)
+}
+
+/// Assembles `source` into a verified [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending source line on parse
+/// failure, or the verifier diagnostic on semantic failure.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let functions = split_functions(source)?;
+    let mut pb = ProgramBuilder::new();
+    let mut ids: HashMap<&str, FuncId> = HashMap::new();
+    for f in &functions {
+        if ids.contains_key(f.name) {
+            return Err(AsmError::new(0, format!("function `{}` defined twice", f.name)));
+        }
+        ids.insert(f.name, pb.declare(f.name));
+    }
+    pb.set_entry(ids[functions[0].name]);
+
+    for f in &functions {
+        let mut fb = pb.define(ids[f.name], f.n_regs);
+        // Pre-scan labels so forward branches resolve.
+        let mut labels: HashMap<&str, BlockId> = HashMap::new();
+        for &(line_no, text) in &f.body {
+            if let Some(label) = text.strip_suffix(':') {
+                if labels.insert(label, fb.block()).is_some() {
+                    return Err(AsmError::new(line_no, format!("duplicate label `{label}`")));
+                }
+            }
+        }
+        let lookup = |label: &str, line: usize| -> Result<BlockId, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::new(line, format!("unknown label `{label}`")))
+        };
+        for &(line_no, text) in &f.body {
+            if let Some(label) = text.strip_suffix(':') {
+                // Fall through into the labelled block if the previous one
+                // is still open.
+                let target = labels[label];
+                if !fb.current_is_terminated() {
+                    fb.jmp(target);
+                }
+                fb.switch_to(target);
+                continue;
+            }
+            parse_instruction(&mut fb, &ids, text, line_no, &lookup)?;
+        }
+        fb.finish();
+    }
+    pb.build().map_err(AsmError::from)
+}
+
+fn parse_instruction(
+    fb: &mut FunctionBuilder<'_>,
+    ids: &HashMap<&str, FuncId>,
+    text: &str,
+    line: usize,
+    lookup: &dyn Fn(&str, usize) -> Result<BlockId, AsmError>,
+) -> Result<(), AsmError> {
+    let tokens: Vec<String> = text
+        .replace(',', " ")
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    let tok = |i: usize| -> Result<&str, AsmError> {
+        tokens
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| AsmError::new(line, format!("truncated instruction `{text}`")))
+    };
+
+    match tok(0)? {
+        "jmp" => fb.jmp(lookup(tok(1)?, line)?),
+        "br" => {
+            // br rC ? then : else
+            let cond = parse_reg(tok(1)?, line)?;
+            if tok(2)? != "?" || tok(4)? != ":" {
+                return Err(AsmError::new(line, "expected `br rN ? label : label`"));
+            }
+            let then_blk = lookup(tok(3)?, line)?;
+            let else_blk = lookup(tok(5)?, line)?;
+            fb.br(cond, then_blk, else_blk);
+        }
+        "ret" => match tokens.get(1) {
+            Some(value) => fb.ret_reg(parse_reg(value, line)?),
+            None => fb.ret(),
+        },
+        "call" => {
+            parse_call(fb, ids, &tokens.join(" "), line)?;
+        }
+        first if first.starts_with("store") => {
+            // storeN [rB+off], rS
+            let size: u8 = first[5..]
+                .parse()
+                .map_err(|_| AsmError::new(line, format!("bad store width `{first}`")))?;
+            let (base, offset) = parse_mem(tok(1)?, line)?;
+            let src = parse_reg(tok(2)?, line)?;
+            fb.store(src, base, offset, size);
+        }
+        dst_tok if dst_tok.starts_with('r') && tokens.get(1).map(String::as_str) == Some("=") => {
+            let dst = parse_reg(dst_tok, line)?;
+            let rhs = tok(2)?;
+            if let Some(op) = alu_op(rhs) {
+                fb.alu(op, dst, parse_reg(tok(3)?, line)?, parse_reg(tok(4)?, line)?);
+            } else if let Some(op) = falu_op(rhs) {
+                fb.falu(op, dst, parse_reg(tok(3)?, line)?, parse_reg(tok(4)?, line)?);
+            } else if let Some(width) = rhs.strip_prefix("load") {
+                let size: u8 = width
+                    .parse()
+                    .map_err(|_| AsmError::new(line, format!("bad load width `{rhs}`")))?;
+                let (base, offset) = parse_mem(tok(3)?, line)?;
+                fb.load(dst, base, offset, size);
+            } else if rhs == "alloc" {
+                fb.alloc(dst, parse_reg(tok(3)?, line)?);
+            } else if rhs == "call" {
+                parse_call(fb, ids, &tokens.join(" "), line)?;
+            } else if rhs.starts_with('r') {
+                fb.mov(dst, parse_reg(rhs, line)?);
+            } else {
+                fb.imm(dst, parse_imm(rhs, line)?);
+            }
+        }
+        other => return Err(AsmError::new(line, format!("unknown instruction `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Parses `call name(r1, r2) [-> rD]` or `rD = call name(r1)`.
+fn parse_call(
+    fb: &mut FunctionBuilder<'_>,
+    ids: &HashMap<&str, FuncId>,
+    text: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    let (dst, rest) = match text.split_once("=") {
+        Some((lhs, rhs)) if lhs.trim().starts_with('r') && rhs.trim().starts_with("call") => {
+            (Some(parse_reg(lhs.trim(), line)?), rhs.trim())
+        }
+        _ => match text.split_once("->") {
+            Some((lhs, rhs)) => (Some(parse_reg(rhs.trim(), line)?), lhs.trim()),
+            None => (None, text),
+        },
+    };
+    let body = rest
+        .strip_prefix("call")
+        .ok_or_else(|| AsmError::new(line, "expected `call`"))?
+        .trim();
+    let open = body
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, "call needs `(`"))?;
+    let close = body
+        .rfind(')')
+        .ok_or_else(|| AsmError::new(line, "call needs `)`"))?;
+    let name = body[..open].trim();
+    let func = ids
+        .get(name)
+        .copied()
+        .ok_or_else(|| AsmError::new(line, format!("unknown function `{name}`")))?;
+    let args: Vec<Reg> = body[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_reg(s, line))
+        .collect::<Result<_, _>>()?;
+    fb.call(func, &args, dst);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use sigil_trace::observer::CountingObserver;
+    use sigil_trace::Engine;
+
+    fn run(source: &str) -> Option<u64> {
+        let program = assemble(source).expect("assembles");
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&program).run(&mut engine).expect("no trap");
+        let _ = engine.finish();
+        result
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let result = run("fn main regs=2\n  r0 = 6\n  r1 = 7\n  r0 = mul r0, r1\n  ret r0\n");
+        assert_eq!(result, Some(42));
+    }
+
+    #[test]
+    fn memory_and_calls() {
+        let src = r"
+; doubles a value through memory
+fn main regs=4
+  r0 = 8
+  r0 = alloc r0
+  r1 = 21
+  store8 [r0+0], r1
+  r2 = load8 [r0+0]
+  call double(r2) -> r3
+  ret r3
+
+fn double regs=2
+  r1 = 2
+  r0 = mul r0, r1
+  ret r0
+";
+        assert_eq!(run(src), Some(42));
+    }
+
+    #[test]
+    fn branches_and_labels() {
+        let src = r"
+fn main regs=3
+  r0 = 0
+  r1 = 0
+loop:
+  r2 = 10
+  r2 = cmplt r1, r2
+  br r2 ? body : done
+body:
+  r0 = add r0, r1
+  r2 = 1
+  r1 = add r1, r2
+  jmp loop
+done:
+  ret r0
+";
+        assert_eq!(run(src), Some(45));
+    }
+
+    #[test]
+    fn float_immediates() {
+        let src = "fn main regs=3\n  r0 = 2.5f\n  r1 = 4.0f\n  r2 = fmul r0, r1\n  ret r2\n";
+        assert_eq!(run(src).map(f64::from_bits), Some(10.0));
+    }
+
+    #[test]
+    fn hex_immediates_and_mov() {
+        let src = "fn main regs=2\n  r0 = 0xff\n  r1 = r0\n  ret r1\n";
+        assert_eq!(run(src), Some(255));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; header\n\nfn main regs=1 ; entry\n  r0 = 5 ; five\n  ret r0\n";
+        assert_eq!(run(src), Some(5));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("fn main regs=1\n  r0 = bogus_op r0, r0\n  ret\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let err = assemble("fn main regs=1\n  jmp nowhere\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let err = assemble("fn main regs=1\n  call missing()\n  ret\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn verifier_failures_surface() {
+        // r5 out of range for regs=2.
+        let err = assemble("fn main regs=2\n  r5 = 1\n  ret\n").unwrap_err();
+        assert!(err.message.contains("register"));
+    }
+
+    #[test]
+    fn instruction_before_fn_rejected() {
+        let err = assemble("  r0 = 1\n").unwrap_err();
+        assert!(err.message.contains("before any"));
+    }
+
+    #[test]
+    fn fallthrough_into_label_jumps() {
+        // Falling off the entry block into `next:` must still execute.
+        let src = "fn main regs=1\n  r0 = 7\nnext:\n  ret r0\n";
+        assert_eq!(run(src), Some(7));
+    }
+}

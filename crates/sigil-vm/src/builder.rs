@@ -1,0 +1,393 @@
+//! Fluent construction of guest programs.
+
+use crate::isa::{AluOp, FaluOp, Inst, Reg, Terminator};
+use crate::program::{Block, BlockId, FuncId, Program, VmFunction};
+use crate::verifier::{verify, VerifyError};
+
+/// Builds a [`Program`] function by function.
+///
+/// Functions may be *declared* first (obtaining a [`FuncId`] usable in
+/// `call` instructions) and *defined* later, enabling mutual recursion.
+/// [`ProgramBuilder::build`] runs the verifier.
+///
+/// # Example
+///
+/// ```
+/// use sigil_vm::ProgramBuilder;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut main = pb.function("main", 2);
+/// main.imm(0, 21);
+/// main.imm(1, 2);
+/// main.mul(0, 0, 1);
+/// main.ret_reg(0);
+/// main.finish();
+/// let program = pb.build().expect("verifies");
+/// assert_eq!(program.inst_count(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<VmFunction>>,
+    names: Vec<String>,
+    entry: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a function without defining it, returning an id usable in
+    /// call instructions.
+    pub fn declare(&mut self, name: &str) -> FuncId {
+        let id = FuncId(u32::try_from(self.functions.len()).expect("function count fits u32"));
+        self.functions.push(None);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Starts defining a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already defined.
+    pub fn define(&mut self, id: FuncId, n_regs: u16) -> FunctionBuilder<'_> {
+        assert!(
+            self.functions[id.index()].is_none(),
+            "function {id} defined twice"
+        );
+        let func = VmFunction::new(self.names[id.index()].clone(), n_regs);
+        FunctionBuilder {
+            pb: self,
+            id,
+            func,
+            cur: BlockId(0),
+        }
+    }
+
+    /// Declares and starts defining a function in one step. The first
+    /// function created this way becomes the program entry point unless
+    /// [`ProgramBuilder::set_entry`] overrides it.
+    pub fn function(&mut self, name: &str, n_regs: u16) -> FunctionBuilder<'_> {
+        let id = self.declare(name);
+        if self.entry.is_none() {
+            self.entry = Some(id);
+        }
+        self.define(id, n_regs)
+    }
+
+    /// Overrides the entry point.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    /// Finishes the program and verifies it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] if any function is undefined, a block is
+    /// unterminated, a register/block/function reference is out of range,
+    /// or an access size is invalid.
+    pub fn build(self) -> Result<Program, VerifyError> {
+        let mut functions = Vec::with_capacity(self.functions.len());
+        for (i, slot) in self.functions.into_iter().enumerate() {
+            match slot {
+                Some(f) => functions.push(f),
+                None => {
+                    return Err(VerifyError::UndefinedFunction {
+                        name: self.names[i].clone(),
+                    })
+                }
+            }
+        }
+        let entry = self.entry.ok_or(VerifyError::NoEntryPoint)?;
+        let program = Program { functions, entry };
+        verify(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one function's CFG. Obtained from [`ProgramBuilder::function`]
+/// or [`ProgramBuilder::define`]; call [`FunctionBuilder::finish`] to
+/// commit the function.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: FuncId,
+    func: VmFunction,
+    cur: BlockId,
+}
+
+impl FunctionBuilder<'_> {
+    /// The id of the function under construction.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Creates a new empty block.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId(u32::try_from(self.func.blocks.len()).expect("block count fits u32"));
+        self.func.blocks.push(Block::new());
+        id
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Whether the current block already has a terminator.
+    pub fn current_is_terminated(&self) -> bool {
+        self.func.blocks[self.cur.index()].term.is_some()
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let block = &mut self.func.blocks[self.cur.index()];
+        assert!(
+            block.term.is_none(),
+            "block {} terminated twice",
+            self.cur.0
+        );
+        block.term = Some(term);
+    }
+
+    /// `dst = value`
+    pub fn imm(&mut self, dst: Reg, value: u64) {
+        self.push(Inst::Imm { dst, value });
+    }
+
+    /// `dst = value` for an f64 constant (bit-cast into the register).
+    pub fn fimm(&mut self, dst: Reg, value: f64) {
+        self.push(Inst::Imm {
+            dst,
+            value: value.to_bits(),
+        });
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.push(Inst::Mov { dst, src });
+    }
+
+    /// Generic integer ALU instruction.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Alu { op, dst, a, b });
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Add, dst, a, b);
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Sub, dst, a, b);
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::Mul, dst, a, b);
+    }
+
+    /// `dst = a < b` (unsigned)
+    pub fn cmplt(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu(AluOp::CmpLt, dst, a, b);
+    }
+
+    /// Generic floating-point ALU instruction.
+    pub fn falu(&mut self, op: FaluOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Falu { op, dst, a, b });
+    }
+
+    /// `dst = mem[base + offset]` of `size` bytes.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64, size: u8) {
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            size,
+        });
+    }
+
+    /// `mem[base + offset] = src` of `size` bytes.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64, size: u8) {
+        self.push(Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        });
+    }
+
+    /// `dst = alloc(bytes)` with an immediate size; returns `dst` for
+    /// convenience (the register now holds the buffer base address).
+    pub fn alloc_imm(&mut self, dst: Reg, bytes: u64) -> Reg {
+        self.imm(dst, bytes);
+        self.push(Inst::Alloc { dst, size: dst });
+        dst
+    }
+
+    /// `dst = alloc(size_reg)`.
+    pub fn alloc(&mut self, dst: Reg, size: Reg) {
+        self.push(Inst::Alloc { dst, size });
+    }
+
+    /// `dst = func(args...)`.
+    pub fn call(&mut self, func: FuncId, args: &[Reg], dst: Option<Reg>) {
+        self.push(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst,
+        });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jmp { target });
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: Reg, then_blk: BlockId, else_blk: BlockId) {
+        self.terminate(Terminator::Br {
+            cond,
+            then_blk,
+            else_blk,
+        });
+    }
+
+    /// Terminates the current block with `ret` (no value).
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Ret { value: None });
+    }
+
+    /// Terminates the current block with `ret value`.
+    pub fn ret_reg(&mut self, value: Reg) {
+        self.terminate(Terminator::Ret { value: Some(value) });
+    }
+
+    /// Emits a counted loop: `for counter in from..to { body }`.
+    ///
+    /// Uses `scratch` as a temporary; `counter` and `scratch` must be
+    /// distinct registers not clobbered by `body` (the counter may be read
+    /// by the body). On exit the insertion point is the loop's exit block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter == scratch`.
+    pub fn loop_range(
+        &mut self,
+        counter: Reg,
+        scratch: Reg,
+        from: u64,
+        to: u64,
+        body: impl FnOnce(&mut Self),
+    ) {
+        assert_ne!(counter, scratch, "loop counter and scratch must differ");
+        let header = self.block();
+        let body_blk = self.block();
+        let exit = self.block();
+        self.imm(counter, from);
+        self.jmp(header);
+        self.switch_to(header);
+        self.imm(scratch, to);
+        self.cmplt(scratch, counter, scratch);
+        self.br(scratch, body_blk, exit);
+        self.switch_to(body_blk);
+        body(self);
+        self.imm(scratch, 1);
+        self.add(counter, counter, scratch);
+        self.jmp(header);
+        self.switch_to(exit);
+    }
+
+    /// Commits the function to the program builder.
+    pub fn finish(self) {
+        self.pb.functions[self.id.index()] = Some(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_undefined_function() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("callee");
+        let mut main = pb.function("main", 1);
+        main.call(callee, &[], None);
+        main.ret();
+        main.finish();
+        assert!(matches!(
+            pb.build(),
+            Err(VerifyError::UndefinedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_empty_program() {
+        assert!(matches!(
+            ProgramBuilder::new().build(),
+            Err(VerifyError::NoEntryPoint)
+        ));
+    }
+
+    #[test]
+    fn first_function_is_entry_by_default() {
+        let mut pb = ProgramBuilder::new();
+        let mut main = pb.function("main", 1);
+        main.ret();
+        main.finish();
+        let p = pb.build().expect("verifies");
+        assert_eq!(p.function(p.entry_point()).name, "main");
+    }
+
+    #[test]
+    fn mutual_recursion_via_declare_define() {
+        let mut pb = ProgramBuilder::new();
+        let even = pb.declare("even");
+        let odd = pb.declare("odd");
+        let mut fe = pb.define(even, 2);
+        fe.call(odd, &[0], Some(0));
+        fe.ret_reg(0);
+        fe.finish();
+        let mut fo = pb.define(odd, 2);
+        fo.imm(0, 1);
+        fo.ret_reg(0);
+        fo.finish();
+        pb.set_entry(even);
+        assert!(pb.build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("f", 1);
+        f.ret();
+        f.ret();
+    }
+
+    #[test]
+    fn loop_range_builds_verifiable_cfg() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("f", 4);
+        f.imm(2, 0);
+        f.loop_range(0, 1, 0, 10, |f| {
+            f.add(2, 2, 0);
+        });
+        f.ret_reg(2);
+        f.finish();
+        assert!(pb.build().is_ok());
+    }
+}

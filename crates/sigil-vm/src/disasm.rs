@@ -1,0 +1,106 @@
+//! Textual disassembly of guest programs.
+
+use std::fmt::Write as _;
+
+use crate::isa::Inst;
+use crate::program::{Program, VmFunction};
+
+/// Renders one instruction.
+pub fn inst_to_string(inst: &Inst) -> String {
+    match inst {
+        Inst::Imm { dst, value } => format!("r{dst} = {value:#x}"),
+        Inst::Mov { dst, src } => format!("r{dst} = r{src}"),
+        Inst::Alu { op, dst, a, b } => format!("r{dst} = {} r{a}, r{b}", op.mnemonic()),
+        Inst::Falu { op, dst, a, b } => format!("r{dst} = {} r{a}, r{b}", op.mnemonic()),
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            size,
+        } => format!("r{dst} = load{size} [r{base}{offset:+}]"),
+        Inst::Store {
+            src,
+            base,
+            offset,
+            size,
+        } => format!("store{size} [r{base}{offset:+}] = r{src}"),
+        Inst::Alloc { dst, size } => format!("r{dst} = alloc r{size}"),
+        Inst::Call { func, args, dst } => {
+            let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
+            match dst {
+                Some(d) => format!("r{d} = call {func}({})", args.join(", ")),
+                None => format!("call {func}({})", args.join(", ")),
+            }
+        }
+    }
+}
+
+/// Renders one function as annotated blocks.
+pub fn function_to_string(func: &VmFunction) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {} (regs: {})", func.name, func.n_regs);
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let _ = writeln!(out, "  b{bi}:");
+        for inst in &block.insts {
+            let _ = writeln!(out, "    {}", inst_to_string(inst));
+        }
+        match &block.term {
+            Some(term) => {
+                let _ = writeln!(out, "    {term}");
+            }
+            None => {
+                let _ = writeln!(out, "    <unterminated>");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; entry = {}", program.entry_point());
+    for func in &program.functions {
+        out.push_str(&function_to_string(func));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn disassembly_mentions_every_construct() {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.declare("helper");
+        let mut main = pb.function("main", 3);
+        let buf = main.alloc_imm(0, 8);
+        main.imm(1, 5);
+        main.store(1, buf, 0, 8);
+        main.load(2, buf, 0, 8);
+        main.call(helper, &[2], Some(2));
+        main.ret_reg(2);
+        main.finish();
+        let mut h = pb.define(helper, 1);
+        h.ret_reg(0);
+        h.finish();
+        let p = pb.build().expect("verifies");
+        let text = program_to_string(&p);
+        assert!(text.contains("fn main"));
+        assert!(text.contains("fn helper"));
+        assert!(text.contains("alloc"));
+        assert!(text.contains("store8"));
+        assert!(text.contains("load8"));
+        assert!(text.contains("call f"));
+        assert!(text.contains("ret r"));
+    }
+
+    #[test]
+    fn unterminated_block_is_flagged() {
+        let func = VmFunction::new("f", 1);
+        assert!(function_to_string(&func).contains("<unterminated>"));
+    }
+}

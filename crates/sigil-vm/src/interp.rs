@@ -1,0 +1,504 @@
+//! The guest interpreter: executes a program while emitting trace events.
+
+use std::error::Error;
+use std::fmt;
+
+use sigil_trace::{Engine, ExecutionObserver, FunctionId, OpClass};
+
+use crate::isa::{AluOp, FaluOp, Inst, Terminator};
+use crate::memory::GuestMemory;
+use crate::program::{BlockId, FuncId, Program};
+
+/// A dynamic guest failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Function in which the division executed.
+        func: FuncId,
+    },
+    /// Call depth exceeded the interpreter limit.
+    StackOverflow {
+        /// The configured maximum depth.
+        max_depth: usize,
+    },
+    /// The fuel budget was exhausted (likely an unbounded loop).
+    OutOfFuel {
+        /// The configured fuel budget.
+        fuel: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivideByZero { func } => write!(f, "guest divided by zero in {func}"),
+            Trap::StackOverflow { max_depth } => {
+                write!(f, "guest exceeded call depth {max_depth}")
+            }
+            Trap::OutOfFuel { fuel } => write!(f, "guest exhausted fuel budget of {fuel}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<u64>,
+    block: BlockId,
+    ip: usize,
+    ret_dst: Option<u16>,
+}
+
+/// Executes a verified [`Program`], emitting one [`sigil_trace`] event per
+/// executed primitive — exactly what Valgrind's instrumentation exposes.
+///
+/// Event mapping:
+///
+/// | guest action | emitted events |
+/// |---|---|
+/// | `Imm`/`Mov`/`Alloc` | `Op(Agu, 1)` |
+/// | `Alu` | `Op(IntArith/IntMulDiv, 1)` |
+/// | `Falu` | `Op(FloatArith, 1)` |
+/// | `Load` | `Op(Agu, 1)` + `Read` |
+/// | `Store` | `Op(Agu, 1)` + `Write` |
+/// | `Call`/entry | `Call` |
+/// | `Ret` | `Return` |
+/// | `Br` | `Branch { site, taken }` |
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    fuel: u64,
+    max_depth: usize,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter with default limits (1 G fuel, depth 1024).
+    pub fn new(program: &'p Program) -> Self {
+        Interpreter {
+            program,
+            fuel: 1_000_000_000,
+            max_depth: 1024,
+        }
+    }
+
+    /// Sets the fuel budget: the maximum number of executed instructions.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Sets the maximum call depth.
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Runs the program to completion with fresh guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on divide-by-zero, stack overflow, or fuel
+    /// exhaustion.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) -> Result<Option<u64>, Trap> {
+        let mut memory = GuestMemory::new();
+        self.run_with_memory(engine, &mut memory)
+    }
+
+    /// Runs the program against caller-provided guest memory (e.g. with
+    /// pre-initialized input buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on divide-by-zero, stack overflow, or fuel
+    /// exhaustion.
+    pub fn run_with_memory<O: ExecutionObserver>(
+        &self,
+        engine: &mut Engine<O>,
+        memory: &mut GuestMemory,
+    ) -> Result<Option<u64>, Trap> {
+        // Register guest function names with the trace symbol table.
+        let fn_ids: Vec<FunctionId> = self
+            .program
+            .functions
+            .iter()
+            .map(|f| engine.symbols_mut().intern(&f.name))
+            .collect();
+
+        let entry = self.program.entry_point();
+        let mut stack = vec![Frame {
+            func: entry,
+            regs: vec![0; usize::from(self.program.function(entry).n_regs)],
+            block: BlockId(0),
+            ip: 0,
+            ret_dst: None,
+        }];
+        engine.call(fn_ids[entry.index()]);
+
+        let mut fuel = self.fuel;
+        let mut final_ret: Option<u64> = None;
+
+        'exec: loop {
+            let depth = stack.len();
+            let Some(frame) = stack.last_mut() else { break };
+            if fuel == 0 {
+                // Unwind open frames so the trace stays balanced.
+                while stack.pop().is_some() {
+                    engine.ret();
+                }
+                return Err(Trap::OutOfFuel { fuel: self.fuel });
+            }
+            fuel -= 1;
+
+            let func = self.program.function(frame.func);
+            let block = &func.blocks[frame.block.index()];
+
+            if frame.ip < block.insts.len() {
+                let inst = &block.insts[frame.ip];
+                frame.ip += 1;
+                match inst {
+                    Inst::Imm { dst, value } => {
+                        frame.regs[usize::from(*dst)] = *value;
+                        engine.op(OpClass::Agu, 1);
+                    }
+                    Inst::Mov { dst, src } => {
+                        frame.regs[usize::from(*dst)] = frame.regs[usize::from(*src)];
+                        engine.op(OpClass::Agu, 1);
+                    }
+                    Inst::Alu { op, dst, a, b } => {
+                        let va = frame.regs[usize::from(*a)];
+                        let vb = frame.regs[usize::from(*b)];
+                        let result = match op {
+                            AluOp::Add => va.wrapping_add(vb),
+                            AluOp::Sub => va.wrapping_sub(vb),
+                            AluOp::Mul => va.wrapping_mul(vb),
+                            AluOp::Div => {
+                                if vb == 0 {
+                                    let func = frame.func;
+                                    while stack.pop().is_some() {
+                                        engine.ret();
+                                    }
+                                    return Err(Trap::DivideByZero { func });
+                                }
+                                va / vb
+                            }
+                            AluOp::Rem => {
+                                if vb == 0 {
+                                    let func = frame.func;
+                                    while stack.pop().is_some() {
+                                        engine.ret();
+                                    }
+                                    return Err(Trap::DivideByZero { func });
+                                }
+                                va % vb
+                            }
+                            AluOp::And => va & vb,
+                            AluOp::Or => va | vb,
+                            AluOp::Xor => va ^ vb,
+                            AluOp::Shl => va.wrapping_shl((vb % 64) as u32),
+                            AluOp::Shr => va.wrapping_shr((vb % 64) as u32),
+                            AluOp::CmpLt => u64::from(va < vb),
+                            AluOp::CmpEq => u64::from(va == vb),
+                        };
+                        frame.regs[usize::from(*dst)] = result;
+                        let class = if op.is_muldiv() {
+                            OpClass::IntMulDiv
+                        } else {
+                            OpClass::IntArith
+                        };
+                        engine.op(class, 1);
+                    }
+                    Inst::Falu { op, dst, a, b } => {
+                        let fa = f64::from_bits(frame.regs[usize::from(*a)]);
+                        let fb = f64::from_bits(frame.regs[usize::from(*b)]);
+                        let result = match op {
+                            FaluOp::FAdd => (fa + fb).to_bits(),
+                            FaluOp::FSub => (fa - fb).to_bits(),
+                            FaluOp::FMul => (fa * fb).to_bits(),
+                            FaluOp::FDiv => (fa / fb).to_bits(),
+                            FaluOp::FCmpLt => u64::from(fa < fb),
+                            FaluOp::FSqrt => fa.sqrt().to_bits(),
+                        };
+                        frame.regs[usize::from(*dst)] = result;
+                        engine.op(OpClass::FloatArith, 1);
+                    }
+                    Inst::Load {
+                        dst,
+                        base,
+                        offset,
+                        size,
+                    } => {
+                        let addr = frame.regs[usize::from(*base)].wrapping_add_signed(*offset);
+                        engine.op(OpClass::Agu, 1);
+                        engine.read(addr, u32::from(*size));
+                        frame.regs[usize::from(*dst)] = memory.load(addr, *size);
+                    }
+                    Inst::Store {
+                        src,
+                        base,
+                        offset,
+                        size,
+                    } => {
+                        let addr = frame.regs[usize::from(*base)].wrapping_add_signed(*offset);
+                        engine.op(OpClass::Agu, 1);
+                        engine.write(addr, u32::from(*size));
+                        memory.store(addr, *size, frame.regs[usize::from(*src)]);
+                    }
+                    Inst::Alloc { dst, size } => {
+                        let bytes = frame.regs[usize::from(*size)];
+                        frame.regs[usize::from(*dst)] = memory.alloc(bytes);
+                        engine.op(OpClass::Agu, 1);
+                    }
+                    Inst::Call { func, args, dst } => {
+                        if depth >= self.max_depth {
+                            while stack.pop().is_some() {
+                                engine.ret();
+                            }
+                            return Err(Trap::StackOverflow {
+                                max_depth: self.max_depth,
+                            });
+                        }
+                        let callee = self.program.function(*func);
+                        let mut regs = vec![0u64; usize::from(callee.n_regs)];
+                        for (i, &arg) in args.iter().enumerate() {
+                            regs[i] = frame.regs[usize::from(arg)];
+                        }
+                        let ret_dst = *dst;
+                        let callee_id = *func;
+                        stack.push(Frame {
+                            func: callee_id,
+                            regs,
+                            block: BlockId(0),
+                            ip: 0,
+                            ret_dst,
+                        });
+                        engine.call(fn_ids[callee_id.index()]);
+                        continue 'exec;
+                    }
+                }
+            } else {
+                let term = block.term.expect("verified program has terminators");
+                match term {
+                    Terminator::Jmp { target } => {
+                        frame.block = target;
+                        frame.ip = 0;
+                    }
+                    Terminator::Br {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => {
+                        let taken = frame.regs[usize::from(cond)] != 0;
+                        let site = (u64::from(frame.func.0) << 24) | u64::from(frame.block.0);
+                        engine.branch(site, taken);
+                        frame.block = if taken { then_blk } else { else_blk };
+                        frame.ip = 0;
+                    }
+                    Terminator::Ret { value } => {
+                        let ret_val = value.map(|r| frame.regs[usize::from(r)]);
+                        let ret_dst = frame.ret_dst;
+                        stack.pop();
+                        engine.ret();
+                        match stack.last_mut() {
+                            Some(caller) => {
+                                if let (Some(dst), Some(v)) = (ret_dst, ret_val) {
+                                    caller.regs[usize::from(dst)] = v;
+                                }
+                            }
+                            None => final_ret = ret_val,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(final_ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use sigil_trace::observer::{CountingObserver, RecordingObserver};
+
+    fn run_program(program: &Program) -> (Result<Option<u64>, Trap>, sigil_trace::observer::EventCounts) {
+        let mut engine = Engine::new(CountingObserver::new());
+        engine.set_strict(false);
+        let result = Interpreter::new(program).run(&mut engine);
+        let counts = engine.finish().into_counts();
+        (result, counts)
+    }
+
+    #[test]
+    fn arithmetic_and_return_value() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 2);
+        f.imm(0, 6);
+        f.imm(1, 7);
+        f.mul(0, 0, 1);
+        f.ret_reg(0);
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let (result, counts) = run_program(&p);
+        assert_eq!(result, Ok(Some(42)));
+        assert_eq!(counts.calls, 1);
+        assert_eq!(counts.returns, 1);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_guest_memory() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 3);
+        let buf = f.alloc_imm(0, 16);
+        f.imm(1, 0x55);
+        f.store(1, buf, 8, 8);
+        f.load(2, buf, 8, 8);
+        f.ret_reg(2);
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let (result, counts) = run_program(&p);
+        assert_eq!(result, Ok(Some(0x55)));
+        assert_eq!(counts.reads, 1);
+        assert_eq!(counts.writes, 1);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double");
+        let mut main = pb.function("main", 2);
+        main.imm(0, 10);
+        main.call(double, &[0], Some(1));
+        main.ret_reg(1);
+        main.finish();
+        let mut d = pb.define(double, 2);
+        d.imm(1, 2);
+        d.mul(0, 0, 1);
+        d.ret_reg(0);
+        d.finish();
+        let p = pb.build().expect("verifies");
+        let (result, counts) = run_program(&p);
+        assert_eq!(result, Ok(Some(20)));
+        assert_eq!(counts.calls, 2);
+        assert_eq!(counts.returns, 2);
+    }
+
+    #[test]
+    fn loop_iterates_expected_count() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 4);
+        f.imm(2, 0);
+        f.loop_range(0, 1, 0, 100, |f| {
+            f.add(2, 2, 0);
+        });
+        f.ret_reg(2);
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let (result, counts) = run_program(&p);
+        assert_eq!(result, Ok(Some((0..100u64).sum())));
+        // 101 header branches: 100 taken + 1 exit.
+        assert_eq!(counts.branches, 101);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 3);
+        f.fimm(0, 2.5);
+        f.fimm(1, 4.0);
+        f.falu(FaluOp::FMul, 2, 0, 1);
+        f.ret_reg(2);
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let (result, _) = run_program(&p);
+        assert_eq!(result.map(|v| v.map(f64::from_bits)), Ok(Some(10.0)));
+    }
+
+    #[test]
+    fn divide_by_zero_traps_and_balances_trace() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 2);
+        f.imm(0, 1);
+        f.imm(1, 0);
+        f.alu(AluOp::Div, 0, 0, 1);
+        f.ret();
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&p).run(&mut engine);
+        assert!(matches!(result, Err(Trap::DivideByZero { .. })));
+        assert!(engine.validate().is_ok(), "trap unwound all frames");
+        let counts = engine.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 1);
+        let spin = f.block();
+        f.jmp(spin);
+        f.switch_to(spin);
+        f.jmp(spin);
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&p).with_fuel(1000).run(&mut engine);
+        assert_eq!(result, Err(Trap::OutOfFuel { fuel: 1000 }));
+        assert!(engine.validate().is_ok());
+    }
+
+    #[test]
+    fn recursion_overflow_traps() {
+        let mut pb = ProgramBuilder::new();
+        let rec = pb.declare("rec");
+        let mut r = pb.define(rec, 1);
+        r.call(rec, &[], None);
+        r.ret();
+        r.finish();
+        pb.set_entry(rec);
+        let p = pb.build().expect("verifies");
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&p).with_max_depth(32).run(&mut engine);
+        assert_eq!(result, Err(Trap::StackOverflow { max_depth: 32 }));
+        assert!(engine.validate().is_ok());
+    }
+
+    #[test]
+    fn event_order_matches_program_order() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 2);
+        let buf = f.alloc_imm(0, 8);
+        f.imm(1, 1);
+        f.store(1, buf, 0, 8);
+        f.load(1, buf, 0, 8);
+        f.ret();
+        f.finish();
+        let p = pb.build().expect("verifies");
+        let mut engine = Engine::new(RecordingObserver::new());
+        Interpreter::new(&p).run(&mut engine).expect("no trap");
+        let events = engine.finish().into_events();
+        let mut write_pos = None;
+        let mut read_pos = None;
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                sigil_trace::RuntimeEvent::Write { .. } => write_pos = Some(i),
+                sigil_trace::RuntimeEvent::Read { .. } => read_pos = Some(i),
+                _ => {}
+            }
+        }
+        assert!(write_pos.expect("write seen") < read_pos.expect("read seen"));
+    }
+
+    #[test]
+    fn trap_messages_are_descriptive() {
+        assert!(Trap::DivideByZero { func: FuncId(2) }
+            .to_string()
+            .contains("f2"));
+        assert!(Trap::OutOfFuel { fuel: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,270 @@
+//! The guest instruction set.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{BlockId, FuncId};
+
+/// A guest register index.
+///
+/// Each function declares how many registers it uses; the verifier checks
+/// that every instruction stays within that count.
+pub type Reg = u16;
+
+/// Integer ALU operations.
+///
+/// `Mul`/`Div`/`Rem` are charged as [`sigil_trace::OpClass::IntMulDiv`],
+/// all others as [`sigil_trace::OpClass::IntArith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero traps.
+    Div,
+    /// Unsigned remainder; division by zero traps.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+    /// Set to 1 if `a < b` (unsigned), else 0.
+    CmpLt,
+    /// Set to 1 if `a == b`, else 0.
+    CmpEq,
+}
+
+impl AluOp {
+    /// Mnemonic for the disassembler.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::CmpLt => "cmplt",
+            AluOp::CmpEq => "cmpeq",
+        }
+    }
+
+    /// Whether this op is charged as a multiply/divide.
+    pub const fn is_muldiv(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Floating-point ALU operations over f64 values stored bit-cast in
+/// registers. All are charged as [`sigil_trace::OpClass::FloatArith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaluOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division.
+    FDiv,
+    /// Set to 1 if `a < b`, else 0 (result is an integer register value).
+    FCmpLt,
+    /// Square root of `a` (operand `b` ignored).
+    FSqrt,
+}
+
+impl FaluOp {
+    /// Mnemonic for the disassembler.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            FaluOp::FAdd => "fadd",
+            FaluOp::FSub => "fsub",
+            FaluOp::FMul => "fmul",
+            FaluOp::FDiv => "fdiv",
+            FaluOp::FCmpLt => "fcmplt",
+            FaluOp::FSqrt => "fsqrt",
+        }
+    }
+}
+
+/// A non-terminator guest instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = value`
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = a <op> b` (integer).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// `dst = a <op> b` (floating point, f64 bit-cast).
+    Falu {
+        /// Operation.
+        op: FaluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// `dst = mem[base + offset .. +size]` (little endian, size ∈ {1,2,4,8}).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Signed byte offset from the base.
+        offset: i64,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// `mem[base + offset .. +size] = src` (little endian).
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Signed byte offset from the base.
+        offset: i64,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// `dst = alloc(size_reg)` — in-guest heap allocation.
+    Alloc {
+        /// Destination register (receives the new address).
+        dst: Reg,
+        /// Register holding the allocation size in bytes.
+        size: Reg,
+    },
+    /// `call func(args...)`, optionally storing the return value.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Registers copied into the callee's `r0..rN`.
+        args: Vec<Reg>,
+        /// Register receiving the callee's return value, if any.
+        dst: Option<Reg>,
+    },
+}
+
+/// A block terminator. Every basic block ends with exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch: if `cond != 0` go to `then_blk` else `else_blk`.
+    ///
+    /// Emits a [`sigil_trace::RuntimeEvent::Branch`] whose site identifies
+    /// this static branch.
+    Br {
+        /// Condition register.
+        cond: Reg,
+        /// Target when the condition is non-zero.
+        then_blk: BlockId,
+        /// Target when the condition is zero.
+        else_blk: BlockId,
+    },
+    /// Return to the caller, optionally with a value.
+    Ret {
+        /// Register holding the return value, if any.
+        value: Option<Reg>,
+    },
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jmp { target } => write!(f, "jmp b{}", target.0),
+            Terminator::Br {
+                cond,
+                then_blk,
+                else_blk,
+            } => write!(f, "br r{cond} ? b{} : b{}", then_blk.0, else_blk.0),
+            Terminator::Ret { value: Some(r) } => write!(f, "ret r{r}"),
+            Terminator::Ret { value: None } => f.write_str("ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn muldiv_classification() {
+        assert!(AluOp::Mul.is_muldiv());
+        assert!(AluOp::Div.is_muldiv());
+        assert!(AluOp::Rem.is_muldiv());
+        assert!(!AluOp::Add.is_muldiv());
+        assert!(!AluOp::CmpLt.is_muldiv());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let all = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Rem,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::CmpLt,
+            AluOp::CmpEq,
+        ];
+        let mut names: Vec<_> = all.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn terminator_display() {
+        let t = Terminator::Br {
+            cond: 3,
+            then_blk: BlockId(1),
+            else_blk: BlockId(2),
+        };
+        assert_eq!(t.to_string(), "br r3 ? b1 : b2");
+        assert_eq!(Terminator::Ret { value: None }.to_string(), "ret");
+    }
+}

@@ -1,0 +1,177 @@
+//! Sparse guest memory with a bump allocator.
+
+use std::collections::HashMap;
+
+use sigil_trace::Addr;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Base address handed out by the first allocation.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+
+/// The guest's data memory: sparse, zero-initialized, byte addressable.
+///
+/// The VM does not model protection; any address is readable (reads of
+/// never-written memory return zero) and writable. Allocation exists so
+/// that guest programs can obtain fresh, non-overlapping buffers, like a
+/// simple `malloc`.
+///
+/// # Example
+///
+/// ```
+/// use sigil_vm::GuestMemory;
+///
+/// let mut mem = GuestMemory::new();
+/// let buf = mem.alloc(64);
+/// mem.store(buf, 8, 0xdead_beef);
+/// assert_eq!(mem.load(buf, 8), 0xdead_beef);
+/// assert_eq!(mem.load(buf + 32, 8), 0, "untouched memory reads as zero");
+/// ```
+#[derive(Debug, Default)]
+pub struct GuestMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+    brk: Addr,
+    allocated_bytes: u64,
+}
+
+impl GuestMemory {
+    /// Creates empty guest memory.
+    pub fn new() -> Self {
+        GuestMemory {
+            pages: HashMap::new(),
+            brk: HEAP_BASE,
+            allocated_bytes: 0,
+        }
+    }
+
+    /// Allocates `size` bytes, 16-byte aligned, returning the base address.
+    /// A zero-sized allocation returns a unique address too.
+    pub fn alloc(&mut self, size: u64) -> Addr {
+        let base = self.brk;
+        let padded = size.max(1).div_ceil(16) * 16;
+        self.brk += padded;
+        self.allocated_bytes += size;
+        base
+    }
+
+    /// Total bytes handed out by [`GuestMemory::alloc`].
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn load_u8(&self, addr: Addr) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_BITS))
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn store_u8(&mut self, addr: Addr, value: u8) {
+        let off = (addr & PAGE_MASK) as usize;
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads `size ∈ {1,2,4,8}` bytes little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not one of 1, 2, 4, 8 (the verifier prevents
+    /// this for checked programs).
+    pub fn load(&self, addr: Addr, size: u8) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let mut value = 0u64;
+        for i in 0..u64::from(size) {
+            value |= u64::from(self.load_u8(addr + i)) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `size ∈ {1,2,4,8}` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not one of 1, 2, 4, 8.
+    pub fn store(&mut self, addr: Addr, size: u8, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        for i in 0..u64::from(size) {
+            self.store_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Number of resident pages (for memory accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_disjoint_aligned_buffers() {
+        let mut mem = GuestMemory::new();
+        let a = mem.alloc(10);
+        let b = mem.alloc(1);
+        let c = mem.alloc(0);
+        assert!(a.is_multiple_of(16) && b.is_multiple_of(16) && c.is_multiple_of(16));
+        assert!(b >= a + 16);
+        assert!(c > b);
+        assert_eq!(mem.allocated_bytes(), 11);
+    }
+
+    #[test]
+    fn load_store_round_trip_all_sizes() {
+        let mut mem = GuestMemory::new();
+        let buf = mem.alloc(64);
+        for &size in &[1u8, 2, 4, 8] {
+            let value = 0x1122_3344_5566_7788u64;
+            mem.store(buf, size, value);
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * size)) - 1
+            };
+            assert_eq!(mem.load(buf, size), value & mask, "size {size}");
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = GuestMemory::new();
+        mem.store(0x100, 4, 0x0A0B_0C0D);
+        assert_eq!(mem.load_u8(0x100), 0x0D);
+        assert_eq!(mem.load_u8(0x103), 0x0A);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut mem = GuestMemory::new();
+        let addr = (1 << PAGE_BITS) - 4; // straddles the page boundary
+        mem.store(addr, 8, u64::MAX);
+        assert_eq!(mem.load(addr, 8), u64::MAX);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = GuestMemory::new();
+        assert_eq!(mem.load(0xdead_beef, 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad access size")]
+    fn invalid_size_panics() {
+        let mem = GuestMemory::new();
+        let _ = mem.load(0, 3);
+    }
+}

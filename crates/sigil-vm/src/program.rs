@@ -1,0 +1,171 @@
+//! Guest program structure: functions of basic blocks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{Inst, Terminator};
+
+/// Index of a function within a [`Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`VmFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Table index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// Control transfer ending the block. `None` only while under
+    /// construction; the verifier rejects unterminated blocks.
+    pub term: Option<Terminator>,
+}
+
+impl Block {
+    /// Creates an empty, unterminated block.
+    pub fn new() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: None,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// One guest function: a named CFG with a declared register file size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmFunction {
+    /// Function name (registered in the trace symbol table at run time).
+    pub name: String,
+    /// Number of registers `r0..r{n_regs-1}` the function may use.
+    /// Arguments arrive in `r0..r{n_args-1}`.
+    pub n_regs: u16,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl VmFunction {
+    /// Creates a function with a single empty entry block.
+    pub fn new(name: impl Into<String>, n_regs: u16) -> Self {
+        VmFunction {
+            name: name.into(),
+            n_regs,
+            blocks: vec![Block::new()],
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub const fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A complete guest program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions. Function 0 is `main` by convention of
+    /// [`crate::ProgramBuilder`]; [`Program::entry_point`] records it
+    /// explicitly.
+    pub functions: Vec<VmFunction>,
+    /// The function where execution starts.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(u32::try_from(i).expect("function count fits u32")))
+    }
+
+    /// The function executed first.
+    pub fn entry_point(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Borrow a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &VmFunction {
+        &self.functions[id.index()]
+    }
+
+    /// Total static instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(VmFunction::inst_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_function_has_entry_block() {
+        let f = VmFunction::new("f", 2);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.inst_count(), 0);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut p = Program::default();
+        p.functions.push(VmFunction::new("main", 1));
+        p.functions.push(VmFunction::new("kernel", 1));
+        assert_eq!(p.function_by_name("kernel"), Some(FuncId(1)));
+        assert_eq!(p.function_by_name("missing"), None);
+        assert_eq!(p.function(FuncId(1)).name, "kernel");
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(FuncId(3).to_string(), "f3");
+        assert_eq!(BlockId(7).to_string(), "b7");
+    }
+}

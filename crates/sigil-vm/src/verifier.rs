@@ -1,0 +1,351 @@
+//! Static checking of guest programs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Inst, Terminator};
+use crate::program::{BlockId, FuncId, Program};
+
+/// A static well-formedness violation in a guest program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A declared function was never defined.
+    UndefinedFunction {
+        /// Name of the missing function.
+        name: String,
+    },
+    /// The program has no entry point.
+    NoEntryPoint,
+    /// A block has no terminator.
+    UnterminatedBlock {
+        /// Function containing the block.
+        func: FuncId,
+        /// The offending block.
+        block: BlockId,
+    },
+    /// An instruction names a register outside the function's register file.
+    RegisterOutOfRange {
+        /// Function containing the instruction.
+        func: FuncId,
+        /// The offending register.
+        reg: u16,
+        /// Registers declared by the function.
+        n_regs: u16,
+    },
+    /// A terminator targets a block that does not exist.
+    BlockOutOfRange {
+        /// Function containing the terminator.
+        func: FuncId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// A call names a function that does not exist.
+    FunctionOutOfRange {
+        /// Function containing the call.
+        func: FuncId,
+        /// The missing callee.
+        callee: FuncId,
+    },
+    /// A load/store uses a width other than 1, 2, 4 or 8.
+    BadAccessSize {
+        /// Function containing the access.
+        func: FuncId,
+        /// The invalid width.
+        size: u8,
+    },
+    /// A call passes more arguments than the callee has registers.
+    TooManyArgs {
+        /// Function containing the call.
+        func: FuncId,
+        /// The callee.
+        callee: FuncId,
+        /// Arguments passed.
+        args: usize,
+        /// Registers available in the callee.
+        n_regs: u16,
+    },
+    /// A function declares zero registers but uses instructions.
+    EmptyRegisterFile {
+        /// The offending function.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UndefinedFunction { name } => {
+                write!(f, "function `{name}` declared but never defined")
+            }
+            VerifyError::NoEntryPoint => f.write_str("program has no entry point"),
+            VerifyError::UnterminatedBlock { func, block } => {
+                write!(f, "block {block} of {func} has no terminator")
+            }
+            VerifyError::RegisterOutOfRange { func, reg, n_regs } => {
+                write!(f, "register r{reg} out of range in {func} (has {n_regs})")
+            }
+            VerifyError::BlockOutOfRange { func, target } => {
+                write!(f, "branch target {target} out of range in {func}")
+            }
+            VerifyError::FunctionOutOfRange { func, callee } => {
+                write!(f, "call target {callee} out of range in {func}")
+            }
+            VerifyError::BadAccessSize { func, size } => {
+                write!(f, "access size {size} invalid in {func} (must be 1/2/4/8)")
+            }
+            VerifyError::TooManyArgs {
+                func,
+                callee,
+                args,
+                n_regs,
+            } => write!(
+                f,
+                "call in {func} passes {args} args but {callee} has only {n_regs} registers"
+            ),
+            VerifyError::EmptyRegisterFile { func } => {
+                write!(f, "{func} declares zero registers but contains instructions")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function of `program`.
+///
+/// # Errors
+///
+/// Returns the first violation found, scanning functions in order.
+pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    for (fi, func) in program.functions.iter().enumerate() {
+        let fid = FuncId(u32::try_from(fi).expect("function count fits u32"));
+        let check_reg = |reg: u16| -> Result<(), VerifyError> {
+            if reg >= func.n_regs {
+                Err(VerifyError::RegisterOutOfRange {
+                    func: fid,
+                    reg,
+                    n_regs: func.n_regs,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let check_block = |target: BlockId| -> Result<(), VerifyError> {
+            if target.index() >= func.blocks.len() {
+                Err(VerifyError::BlockOutOfRange { func: fid, target })
+            } else {
+                Ok(())
+            }
+        };
+        if func.n_regs == 0 && func.blocks.iter().any(|b| !b.insts.is_empty()) {
+            return Err(VerifyError::EmptyRegisterFile { func: fid });
+        }
+        for block in &func.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Imm { dst, .. } => check_reg(*dst)?,
+                    Inst::Mov { dst, src } => {
+                        check_reg(*dst)?;
+                        check_reg(*src)?;
+                    }
+                    Inst::Alu { dst, a, b, .. } | Inst::Falu { dst, a, b, .. } => {
+                        check_reg(*dst)?;
+                        check_reg(*a)?;
+                        check_reg(*b)?;
+                    }
+                    Inst::Load {
+                        dst, base, size, ..
+                    } => {
+                        check_reg(*dst)?;
+                        check_reg(*base)?;
+                        if !matches!(size, 1 | 2 | 4 | 8) {
+                            return Err(VerifyError::BadAccessSize {
+                                func: fid,
+                                size: *size,
+                            });
+                        }
+                    }
+                    Inst::Store {
+                        src, base, size, ..
+                    } => {
+                        check_reg(*src)?;
+                        check_reg(*base)?;
+                        if !matches!(size, 1 | 2 | 4 | 8) {
+                            return Err(VerifyError::BadAccessSize {
+                                func: fid,
+                                size: *size,
+                            });
+                        }
+                    }
+                    Inst::Alloc { dst, size } => {
+                        check_reg(*dst)?;
+                        check_reg(*size)?;
+                    }
+                    Inst::Call { func: callee, args, dst } => {
+                        let Some(target) = program.functions.get(callee.index()) else {
+                            return Err(VerifyError::FunctionOutOfRange {
+                                func: fid,
+                                callee: *callee,
+                            });
+                        };
+                        if args.len() > usize::from(target.n_regs) {
+                            return Err(VerifyError::TooManyArgs {
+                                func: fid,
+                                callee: *callee,
+                                args: args.len(),
+                                n_regs: target.n_regs,
+                            });
+                        }
+                        for &arg in args {
+                            check_reg(arg)?;
+                        }
+                        if let Some(dst) = dst {
+                            check_reg(*dst)?;
+                        }
+                    }
+                }
+            }
+            match block.term {
+                None => {
+                    let bid = BlockId(
+                        u32::try_from(
+                            func.blocks
+                                .iter()
+                                .position(|b| std::ptr::eq(b, block))
+                                .expect("block belongs to function"),
+                        )
+                        .expect("block count fits u32"),
+                    );
+                    return Err(VerifyError::UnterminatedBlock {
+                        func: fid,
+                        block: bid,
+                    });
+                }
+                Some(Terminator::Jmp { target }) => check_block(target)?,
+                Some(Terminator::Br {
+                    cond,
+                    then_blk,
+                    else_blk,
+                }) => {
+                    check_reg(cond)?;
+                    check_block(then_blk)?;
+                    check_block(else_blk)?;
+                }
+                Some(Terminator::Ret { value }) => {
+                    if let Some(v) = value {
+                        check_reg(v)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Block, VmFunction};
+
+    fn single_fn_program(func: VmFunction) -> Program {
+        Program {
+            functions: vec![func],
+            entry: FuncId(0),
+        }
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let func = VmFunction::new("f", 1);
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(err, VerifyError::UnterminatedBlock { .. }));
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let mut func = VmFunction::new("f", 1);
+        func.blocks[0].insts.push(Inst::Imm { dst: 5, value: 0 });
+        func.blocks[0].term = Some(Terminator::Ret { value: None });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::RegisterOutOfRange { reg: 5, n_regs: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn branch_to_missing_block_rejected() {
+        let mut func = VmFunction::new("f", 1);
+        func.blocks[0].term = Some(Terminator::Jmp { target: BlockId(9) });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(err, VerifyError::BlockOutOfRange { .. }));
+    }
+
+    #[test]
+    fn call_to_missing_function_rejected() {
+        let mut func = VmFunction::new("f", 1);
+        func.blocks[0].insts.push(Inst::Call {
+            func: FuncId(3),
+            args: vec![],
+            dst: None,
+        });
+        func.blocks[0].term = Some(Terminator::Ret { value: None });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(err, VerifyError::FunctionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn bad_access_size_rejected() {
+        let mut func = VmFunction::new("f", 2);
+        func.blocks[0].insts.push(Inst::Load {
+            dst: 0,
+            base: 1,
+            offset: 0,
+            size: 3,
+        });
+        func.blocks[0].term = Some(Terminator::Ret { value: None });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(err, VerifyError::BadAccessSize { size: 3, .. }));
+    }
+
+    #[test]
+    fn too_many_args_rejected() {
+        let mut callee = VmFunction::new("callee", 1);
+        callee.blocks[0].term = Some(Terminator::Ret { value: None });
+        let mut caller = VmFunction::new("caller", 4);
+        caller.blocks[0].insts.push(Inst::Call {
+            func: FuncId(0),
+            args: vec![0, 1, 2],
+            dst: None,
+        });
+        caller.blocks[0].term = Some(Terminator::Ret { value: None });
+        let program = Program {
+            functions: vec![callee, caller],
+            entry: FuncId(1),
+        };
+        let err = verify(&program).unwrap_err();
+        assert!(matches!(err, VerifyError::TooManyArgs { args: 3, .. }));
+    }
+
+    #[test]
+    fn empty_valid_function_accepted() {
+        let mut func = VmFunction::new("f", 0);
+        func.blocks = vec![Block {
+            insts: vec![],
+            term: Some(Terminator::Ret { value: None }),
+        }];
+        assert!(verify(&single_fn_program(func)).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::RegisterOutOfRange {
+            func: FuncId(1),
+            reg: 9,
+            n_regs: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("r9") && msg.contains("f1") && msg.contains('4'));
+    }
+}

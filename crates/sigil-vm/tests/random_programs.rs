@@ -1,0 +1,135 @@
+//! Property tests: randomly generated (builder-constructed) guest
+//! programs verify and execute without violating trace invariants.
+
+use proptest::prelude::*;
+use sigil_trace::observer::CountingObserver;
+use sigil_trace::Engine;
+use sigil_vm::{AluOp, FaluOp, Interpreter, ProgramBuilder, Trap};
+
+/// One straight-line instruction over a fixed 8-register file and one
+/// pre-allocated 256-byte buffer in r7.
+#[derive(Debug, Clone)]
+enum RandInst {
+    Imm(u8, u64),
+    Mov(u8, u8),
+    Alu(u8, u8, u8, u8),
+    Falu(u8, u8, u8, u8),
+    Load(u8, u8, u8),
+    Store(u8, u8, u8),
+}
+
+const SIZES: [u8; 4] = [1, 2, 4, 8];
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::CmpLt,
+    AluOp::CmpEq,
+];
+const FALU_OPS: [FaluOp; 5] = [
+    FaluOp::FAdd,
+    FaluOp::FSub,
+    FaluOp::FMul,
+    FaluOp::FDiv,
+    FaluOp::FCmpLt,
+];
+
+fn inst_strategy() -> impl Strategy<Value = RandInst> {
+    let reg = 0u8..7; // r7 reserved for the buffer base
+    prop_oneof![
+        (reg.clone(), any::<u64>()).prop_map(|(d, v)| RandInst::Imm(d, v)),
+        (reg.clone(), reg.clone()).prop_map(|(d, s)| RandInst::Mov(d, s)),
+        (0u8..10, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(o, d, a, b)| RandInst::Alu(o, d, a, b)),
+        (0u8..5, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(o, d, a, b)| RandInst::Falu(o, d, a, b)),
+        (reg.clone(), 0u8..31, 0u8..4).prop_map(|(d, off, s)| RandInst::Load(d, off, s)),
+        (reg, 0u8..31, 0u8..4).prop_map(|(src, off, s)| RandInst::Store(src, off, s)),
+    ]
+}
+
+fn build(insts: &[RandInst]) -> sigil_vm::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 8);
+    f.alloc_imm(7, 256);
+    for inst in insts {
+        match *inst {
+            RandInst::Imm(d, v) => f.imm(d.into(), v),
+            RandInst::Mov(d, s) => f.mov(d.into(), s.into()),
+            RandInst::Alu(o, d, a, b) => {
+                f.alu(ALU_OPS[o as usize], d.into(), a.into(), b.into())
+            }
+            RandInst::Falu(o, d, a, b) => {
+                f.falu(FALU_OPS[o as usize], d.into(), a.into(), b.into())
+            }
+            RandInst::Load(d, off, s) => {
+                f.load(d.into(), 7, i64::from(off) * 8, SIZES[s as usize])
+            }
+            RandInst::Store(src, off, s) => {
+                f.store(src.into(), 7, i64::from(off) * 8, SIZES[s as usize])
+            }
+        }
+    }
+    f.ret_reg(0);
+    f.finish();
+    pb.build().expect("builder-generated programs verify")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_straightline_programs_run_clean(insts in prop::collection::vec(inst_strategy(), 0..150)) {
+        let program = build(&insts);
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&program).run(&mut engine);
+        prop_assert!(result.is_ok(), "trap on div-free program: {result:?}");
+        prop_assert!(engine.validate().is_ok());
+        let counts = engine.finish().into_counts();
+        prop_assert_eq!(counts.calls, counts.returns);
+        prop_assert_eq!(counts.calls, 1);
+    }
+
+    #[test]
+    fn execution_is_deterministic(insts in prop::collection::vec(inst_strategy(), 0..100)) {
+        let program = build(&insts);
+        let run = || {
+            let mut engine = Engine::new(CountingObserver::new());
+            let r = Interpreter::new(&program).run(&mut engine).expect("no trap");
+            (r, engine.finish().into_counts())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fuel_always_bounds_execution(insts in prop::collection::vec(inst_strategy(), 0..100), fuel in 1u64..50) {
+        let program = build(&insts);
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&program).with_fuel(fuel).run(&mut engine);
+        // Either it finished within fuel, or it trapped OutOfFuel with a
+        // balanced trace.
+        if let Err(trap) = result {
+            prop_assert_eq!(trap, Trap::OutOfFuel { fuel });
+        }
+        prop_assert!(engine.validate().is_ok());
+    }
+
+    #[test]
+    fn asm_round_trip_of_disassembly_like_programs(n in 1u64..64) {
+        // Assemble a parametric loop program and compare against the
+        // builder-constructed equivalent.
+        let source = format!(
+            "fn main regs=3\n  r0 = 0\n  r1 = 0\nloop:\n  r2 = {n}\n  r2 = cmplt r1, r2\n  br r2 ? body : done\nbody:\n  r0 = add r0, r1\n  r2 = 1\n  r1 = add r1, r2\n  jmp loop\ndone:\n  ret r0\n"
+        );
+        let program = sigil_vm::assemble(&source).expect("assembles");
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&program).run(&mut engine).expect("no trap");
+        prop_assert_eq!(result, Some(n * (n - 1) / 2));
+        let _ = engine.finish();
+    }
+}

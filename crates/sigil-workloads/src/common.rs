@@ -1,0 +1,272 @@
+//! Shared infrastructure for the synthetic workloads.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sigil_trace::{Addr, Engine, ExecutionObserver, OpClass};
+
+/// PARSEC input-size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSize {
+    /// The paper's primary evaluation size.
+    SimSmall,
+    /// 4× the work of `simsmall`.
+    SimMedium,
+    /// 16× the work of `simsmall`.
+    SimLarge,
+}
+
+impl InputSize {
+    /// All sizes, smallest first.
+    pub const ALL: [InputSize; 3] = [
+        InputSize::SimSmall,
+        InputSize::SimMedium,
+        InputSize::SimLarge,
+    ];
+
+    /// Work multiplier relative to `simsmall`.
+    pub const fn factor(self) -> u64 {
+        match self {
+            InputSize::SimSmall => 1,
+            InputSize::SimMedium => 4,
+            InputSize::SimLarge => 16,
+        }
+    }
+
+    /// PARSEC-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InputSize::SimSmall => "simsmall",
+            InputSize::SimMedium => "simmedium",
+            InputSize::SimLarge => "simlarge",
+        }
+    }
+}
+
+impl std::fmt::Display for InputSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A contiguous range of synthetic guest addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte address.
+    pub base: Addr,
+    /// Extent in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    /// Address of byte `i` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (debug builds only).
+    pub fn addr(&self, i: u64) -> Addr {
+        debug_assert!(i < self.size, "offset {i} out of region of {} bytes", self.size);
+        self.base + i
+    }
+
+    /// Address of the `i`-th `width`-byte element.
+    pub fn elem(&self, i: u64, width: u64) -> Addr {
+        self.addr(i * width)
+    }
+
+    /// Number of `width`-byte elements that fit.
+    pub fn len(&self, width: u64) -> u64 {
+        self.size / width
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+}
+
+/// A bump allocator handing out non-overlapping [`Region`]s of the
+/// synthetic guest address space. Each workload creates its own space,
+/// so profiles are deterministic and workloads never alias.
+#[derive(Debug, Clone)]
+pub struct AddrSpace {
+    next: Addr,
+}
+
+impl AddrSpace {
+    /// Creates an address space starting at a canonical heap base.
+    pub fn new() -> Self {
+        AddrSpace { next: 0x1000_0000 }
+    }
+
+    /// Allocates `size` bytes, 64-byte aligned (so distinct buffers never
+    /// share a cache line).
+    pub fn alloc(&mut self, size: u64) -> Region {
+        let base = self.next;
+        self.next += size.max(1).div_ceil(64) * 64;
+        Region { base, size }
+    }
+}
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        AddrSpace::new()
+    }
+}
+
+/// Deterministic RNG for a workload: the seed mixes the workload name so
+/// different benchmarks decorrelate.
+pub fn workload_rng(name: &str, seed: u64) -> SmallRng {
+    let mut h = seed ^ 0x51_67_1C_5Eu64;
+    for b in name.bytes() {
+        h = h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Emits a math-library call (`_ieee754_exp` and friends): reads an
+/// 8-byte argument, performs `flops` float ops, writes an 8-byte result.
+///
+/// These calls dominate the paper's Table II for `blackscholes`: tight
+/// compute with tiny unique I/O, hence breakeven speedups close to 1.
+pub fn math_call<O: ExecutionObserver>(
+    e: &mut Engine<O>,
+    name: &str,
+    arg: Addr,
+    ret: Addr,
+    flops: u32,
+) {
+    e.scoped_named(name, |e| {
+        e.read(arg, 8);
+        e.op(OpClass::FloatArith, flops);
+        e.write(ret, 8);
+    });
+}
+
+/// Emits a `memcpy`-style routine: bulk reads and writes, almost no
+/// compute. Such functions appear in the paper's Table III (utility
+/// functions with poor breakeven) and as `FlexImage::Set` in bodytrack.
+pub fn memcpy_call<O: ExecutionObserver>(
+    e: &mut Engine<O>,
+    name: &str,
+    src: Addr,
+    dst: Addr,
+    bytes: u64,
+) {
+    e.scoped_named(name, |e| {
+        let mut off = 0;
+        while off < bytes {
+            let chunk = (bytes - off).min(8) as u32;
+            e.read(src + off, chunk);
+            e.write(dst + off, chunk);
+            off += u64::from(chunk);
+        }
+        e.op(OpClass::Agu, (bytes / 8).max(1) as u32);
+    });
+}
+
+/// Emits a small utility call (constructor/destructor/allocator-style):
+/// reads `in_bytes` of caller-produced state (e.g. heap metadata,
+/// arguments), performs a little integer work, writes `out_bytes` of
+/// results. The paper's Table III is populated by exactly these
+/// (`free`, `operator new`, `std::vector`, `std::string::assign`, …):
+/// communication-heavy relative to their compute, hence poor breakeven.
+pub fn utility_call<O: ExecutionObserver>(
+    e: &mut Engine<O>,
+    name: &str,
+    input: Addr,
+    in_bytes: u32,
+    out: Addr,
+    out_bytes: u32,
+    ops: u32,
+) {
+    e.scoped_named(name, |e| {
+        let mut off = 0;
+        while off < in_bytes {
+            let chunk = (in_bytes - off).min(8);
+            e.read(input + u64::from(off), chunk);
+            off += chunk;
+        }
+        e.op(OpClass::IntArith, ops.max(1));
+        let mut off = 0;
+        while off < out_bytes {
+            let chunk = (out_bytes - off).min(8);
+            e.write(out + u64::from(off), chunk);
+            off += chunk;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn input_size_factors_scale_up() {
+        assert_eq!(InputSize::SimSmall.factor(), 1);
+        assert_eq!(InputSize::SimMedium.factor(), 4);
+        assert_eq!(InputSize::SimLarge.factor(), 16);
+        assert_eq!(InputSize::SimSmall.name(), "simsmall");
+    }
+
+    #[test]
+    fn addr_space_hands_out_disjoint_aligned_regions() {
+        let mut space = AddrSpace::new();
+        let a = space.alloc(100);
+        let b = space.alloc(1);
+        assert_eq!(a.base % 64, 0);
+        assert_eq!(b.base % 64, 0);
+        assert!(b.base >= a.base + a.size);
+    }
+
+    #[test]
+    fn region_indexing() {
+        let r = Region { base: 0x100, size: 64 };
+        assert_eq!(r.addr(3), 0x103);
+        assert_eq!(r.elem(2, 8), 0x110);
+        assert_eq!(r.len(8), 8);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_name_sensitive() {
+        let mut a = workload_rng("vips", 1);
+        let mut b = workload_rng("vips", 1);
+        let mut c = workload_rng("dedup", 1);
+        let (va, vb, vc): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn math_call_reads_arg_writes_result() {
+        let mut e = Engine::new(CountingObserver::new());
+        math_call(&mut e, "_ieee754_exp", 0x10, 0x20, 20);
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.bytes_read, 8);
+        assert_eq!(counts.bytes_written, 8);
+        assert_eq!(counts.ops, 20);
+        assert_eq!(counts.calls, 1);
+    }
+
+    #[test]
+    fn memcpy_call_moves_every_byte() {
+        let mut e = Engine::new(CountingObserver::new());
+        memcpy_call(&mut e, "memcpy", 0x100, 0x200, 20);
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.bytes_read, 20);
+        assert_eq!(counts.bytes_written, 20);
+    }
+
+    #[test]
+    fn utility_call_reads_input_writes_output() {
+        let mut e = Engine::new(CountingObserver::new());
+        utility_call(&mut e, "free", 0x300, 16, 0x400, 8, 6);
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.bytes_read, 16);
+        assert_eq!(counts.bytes_written, 8);
+        assert_eq!(counts.ops, 6);
+    }
+}

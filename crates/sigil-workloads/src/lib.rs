@@ -1,0 +1,44 @@
+//! Synthetic workload suite for `sigil-rs`.
+//!
+//! The paper evaluates Sigil on the **serial versions of the PARSEC 2.1
+//! benchmarks** (plus SPEC's `libquantum` for the critical-path study),
+//! with `simsmall`/`simmedium`/`simlarge` inputs. Shipping and running
+//! the real PARSEC binaries is impossible here (they require a native
+//! x86 toolchain and Valgrind); instead, each module in [`suite`]
+//! reproduces a benchmark's **communication skeleton**:
+//!
+//! * the function names the paper reports (`sha1_block_data_order`,
+//!   `conv_gen`, `imb_XYZ2Lab`, `ComputeForces`,
+//!   `netlist::swap_locations`, the `_ieee754_*` math calls, …),
+//! * the call-tree shape and per-function operation/byte mix,
+//! * the data-reuse profile (e.g. `vips`'s `conv_gen` long-tail
+//!   lifetimes vs `imb_XYZ2Lab`'s zero-reuse peak),
+//! * and the dependency structure that determines function-level
+//!   parallelism (e.g. `fluidanimate`'s serial `ComputeForces` chain vs
+//!   `streamcluster`'s many short independent paths).
+//!
+//! All workloads are deterministic (seeded [`rand::rngs::SmallRng`]), so
+//! every figure regenerates bit-identically.
+//!
+//! # Example
+//!
+//! ```
+//! use sigil_workloads::{Benchmark, InputSize};
+//! use sigil_trace::{Engine, observer::CountingObserver};
+//!
+//! let mut engine = Engine::new(CountingObserver::new());
+//! Benchmark::Blackscholes.run(InputSize::SimSmall, &mut engine);
+//! let counts = engine.finish().into_counts();
+//! assert!(counts.calls > 0 && counts.ops > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod registry;
+pub mod suite;
+pub mod vm_kernels;
+
+pub use common::{AddrSpace, InputSize, Region};
+pub use registry::Benchmark;

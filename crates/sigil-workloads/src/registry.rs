@@ -1,0 +1,161 @@
+//! Uniform access to the whole benchmark suite.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use sigil_trace::{Engine, ExecutionObserver};
+
+use crate::common::InputSize;
+use crate::suite;
+
+/// Every benchmark in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Freqmine,
+    Raytrace,
+    Streamcluster,
+    Swaptions,
+    Vips,
+    X264,
+    Libquantum,
+}
+
+impl Benchmark {
+    /// Every benchmark, PARSEC first, `libquantum` last.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Canneal,
+        Benchmark::Dedup,
+        Benchmark::Facesim,
+        Benchmark::Ferret,
+        Benchmark::Fluidanimate,
+        Benchmark::Freqmine,
+        Benchmark::Raytrace,
+        Benchmark::Streamcluster,
+        Benchmark::Swaptions,
+        Benchmark::Vips,
+        Benchmark::X264,
+        Benchmark::Libquantum,
+    ];
+
+    /// The PARSEC subset (everything except SPEC's libquantum).
+    pub fn parsec() -> impl Iterator<Item = Benchmark> {
+        Self::ALL
+            .into_iter()
+            .filter(|b| *b != Benchmark::Libquantum)
+    }
+
+    /// Canonical lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::Canneal => "canneal",
+            Benchmark::Dedup => "dedup",
+            Benchmark::Facesim => "facesim",
+            Benchmark::Ferret => "ferret",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Freqmine => "freqmine",
+            Benchmark::Raytrace => "raytrace",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::Vips => "vips",
+            Benchmark::X264 => "x264",
+            Benchmark::Libquantum => "libquantum",
+        }
+    }
+
+    /// Runs the benchmark at `size`, emitting its trace through `engine`.
+    pub fn run<O: ExecutionObserver>(self, size: InputSize, engine: &mut Engine<O>) {
+        match self {
+            Benchmark::Blackscholes => suite::blackscholes::Blackscholes::new(size).run(engine),
+            Benchmark::Bodytrack => suite::bodytrack::Bodytrack::new(size).run(engine),
+            Benchmark::Canneal => suite::canneal::Canneal::new(size).run(engine),
+            Benchmark::Dedup => suite::dedup::Dedup::new(size).run(engine),
+            Benchmark::Facesim => suite::facesim::Facesim::new(size).run(engine),
+            Benchmark::Ferret => suite::ferret::Ferret::new(size).run(engine),
+            Benchmark::Fluidanimate => suite::fluidanimate::Fluidanimate::new(size).run(engine),
+            Benchmark::Freqmine => suite::freqmine::Freqmine::new(size).run(engine),
+            Benchmark::Raytrace => suite::raytrace::Raytrace::new(size).run(engine),
+            Benchmark::Streamcluster => suite::streamcluster::Streamcluster::new(size).run(engine),
+            Benchmark::Swaptions => suite::swaptions::Swaptions::new(size).run(engine),
+            Benchmark::Vips => suite::vips::Vips::new(size).run(engine),
+            Benchmark::X264 => suite::x264::X264::new(size).run(engine),
+            Benchmark::Libquantum => suite::libquantum::Libquantum::new(size).run(engine),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    name: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBenchmarkError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn every_benchmark_runs_and_balances() {
+        for bench in Benchmark::ALL {
+            let mut e = Engine::new(CountingObserver::new());
+            bench.run(InputSize::SimSmall, &mut e);
+            assert!(e.validate().is_ok(), "{bench} unbalanced");
+            let counts = e.finish().into_counts();
+            assert!(counts.ops > 1_000, "{bench} too small: {} ops", counts.ops);
+            assert_eq!(counts.calls, counts.returns, "{bench}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for bench in Benchmark::ALL {
+            assert_eq!(bench.name().parse::<Benchmark>(), Ok(bench));
+        }
+        assert!("nope".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn parsec_excludes_libquantum() {
+        let parsec: Vec<Benchmark> = Benchmark::parsec().collect();
+        assert_eq!(parsec.len(), 13);
+        assert!(!parsec.contains(&Benchmark::Libquantum));
+    }
+}

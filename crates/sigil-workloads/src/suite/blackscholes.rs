@@ -1,0 +1,166 @@
+//! `blackscholes`: option pricing with Black–Scholes PDE closed forms.
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * Table II top functions: `strtof`, `_ieee754_exp`, `_ieee754_expf`,
+//!   `_ieee754_logf`, `__mpn_mul` — compute-dense math calls with tiny
+//!   unique I/O, breakeven ≈ 1.0;
+//! * Table III worst functions: `dl_addr`, `_IO_sputbackc`,
+//!   `std::string::assign`, `operator new` — utility calls whose
+//!   communication rivals their compute;
+//! * Figure 8: almost all data has **zero reuse** — each option is
+//!   parsed, priced, written out, and never touched again.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{math_call, utility_call, AddrSpace, InputSize};
+
+/// Options priced per `simsmall` unit of work.
+const OPTIONS_PER_UNIT: u64 = 192;
+
+/// The blackscholes workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Blackscholes {
+    size: InputSize,
+}
+
+impl Blackscholes {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Blackscholes { size }
+    }
+
+    /// Number of options priced.
+    pub fn option_count(&self) -> u64 {
+        OPTIONS_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload, emitting its trace through `engine`.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let n = self.option_count();
+        let mut space = AddrSpace::new();
+        let input_text = space.alloc(n * 64); // raw option text (program input)
+        let parsed = space.alloc(n * 48); // 6 f64 fields per option
+        let prices = space.alloc(n * 8);
+        let scratch = space.alloc(256);
+        let heap_meta = space.alloc(256);
+
+        engine.scoped_named("main", |e| {
+            // Program startup: dynamic-loader and locale utility noise
+            // (Table III residents).
+            e.write(heap_meta.base, 64);
+            utility_call(e, "dl_addr", heap_meta.base, 48, scratch.base, 8, 24);
+            utility_call(e, "std::string::assign", input_text.base, 32, scratch.addr(8), 16, 20);
+            utility_call(e, "operator new", heap_meta.addr(64), 24, scratch.addr(24), 16, 18);
+
+            // Read the option file (opaque syscall produces the bytes).
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < input_text.size {
+                    e.write(input_text.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            for i in 0..n {
+                // Parse six fields: strtof reads the text, writes a float.
+                e.scoped_named("strtof", |e| {
+                    for field in 0..6u64 {
+                        e.read(input_text.addr(i * 64 + field * 8), 8);
+                        e.op(OpClass::IntArith, 22);
+                        e.op(OpClass::FloatArith, 6);
+                        e.write(parsed.addr(i * 48 + field * 8), 8);
+                    }
+                });
+                // Occasionally push back a char (stream utility).
+                if i % 24 == 0 {
+                    utility_call(e, "_IO_sputbackc", input_text.addr(i * 64), 16, scratch.addr(40), 8, 8);
+                }
+
+                // Price the option.
+                e.scoped_named("BlkSchlsEqEuroNoDiv", |e| {
+                    for field in 0..6u64 {
+                        e.read(parsed.addr(i * 48 + field * 8), 8);
+                    }
+                    e.op(OpClass::FloatArith, 36);
+                    let arg = parsed.addr(i * 48);
+                    let tmp = scratch.addr(64);
+                    math_call(e, "_ieee754_log", arg, tmp, 28);
+                    math_call(e, "_ieee754_logf", arg + 8, tmp + 8, 22);
+                    math_call(e, "_ieee754_exp", arg + 16, tmp + 16, 30);
+                    math_call(e, "_ieee754_expf", arg + 24, tmp + 24, 24);
+                    // CNDF via the multiprecision multiply path.
+                    e.scoped_named("__mpn_mul", |e| {
+                        e.read(tmp, 16);
+                        e.op(OpClass::IntMulDiv, 26);
+                        e.op(OpClass::IntArith, 10);
+                        e.write(tmp + 32, 16);
+                    });
+                    e.read(tmp, 32);
+                    e.read(tmp + 32, 16);
+                    e.op(OpClass::FloatArith, 18);
+                    e.write(prices.addr(i * 8), 8);
+                });
+            }
+
+            // Emit results.
+            e.syscall("sys_write", |e| {
+                let mut off = 0;
+                while off < prices.size {
+                    e.read(prices.addr(off), 8);
+                    off += 8;
+                }
+            });
+            utility_call(e, "free", heap_meta.addr(128), 32, scratch.addr(48), 8, 14);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn work_scales_with_input_size() {
+        let mut small = Engine::new(CountingObserver::new());
+        Blackscholes::new(InputSize::SimSmall).run(&mut small);
+        let small_counts = small.finish().into_counts();
+
+        let mut medium = Engine::new(CountingObserver::new());
+        Blackscholes::new(InputSize::SimMedium).run(&mut medium);
+        let medium_counts = medium.finish().into_counts();
+
+        assert!(medium_counts.ops > 3 * small_counts.ops);
+        assert!(medium_counts.calls > 3 * small_counts.calls);
+    }
+
+    #[test]
+    fn every_option_is_priced() {
+        let wl = Blackscholes::new(InputSize::SimSmall);
+        let mut e = Engine::new(CountingObserver::new());
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        // prices written once per option inside BlkSchls + bulk I/O.
+        assert!(counts.bytes_written >= wl.option_count() * 8);
+        assert!(counts.syscalls == 2);
+    }
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Blackscholes::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn float_work_dominates_integer_work() {
+        let mut e = Engine::new(CountingObserver::new());
+        Blackscholes::new(InputSize::SimSmall).run(&mut e);
+        // Pricing is float-heavy by construction; just ensure substance.
+        let counts = e.finish().into_counts();
+        assert!(counts.ops > 50_000);
+    }
+}

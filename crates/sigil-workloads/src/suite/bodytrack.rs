@@ -1,0 +1,140 @@
+//! `bodytrack`: tracking a human body through multi-camera image
+//! sequences with a particle filter.
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * Table II: `FlexImage::Set` (an image initializer "mostly composed of
+//!   memcopy calls" — the paper flags it as a *communication*-acceleration
+//!   candidate), `_ieee754_log`, and
+//!   `ImageMeasurements::ImageErrorInside` ("measures the Silhouette
+//!   error of a complete body on all camera images") with breakeven
+//!   ≈ 1.0;
+//! * Table III: `std::vector`, `DMatrix` constructors as utility noise.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{math_call, memcpy_call, utility_call, AddrSpace, InputSize};
+
+const CAMERAS: u64 = 4;
+const FRAMES_PER_UNIT: u64 = 2;
+const PARTICLES: u64 = 24;
+const IMAGE_BYTES: u64 = 4096;
+
+/// The bodytrack workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Bodytrack {
+    size: InputSize,
+}
+
+impl Bodytrack {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Bodytrack { size }
+    }
+
+    /// Frames processed.
+    pub fn frame_count(&self) -> u64 {
+        FRAMES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let frames = self.frame_count();
+        let mut space = AddrSpace::new();
+        let raw_frames = space.alloc(CAMERAS * IMAGE_BYTES);
+        let images = space.alloc(CAMERAS * IMAGE_BYTES);
+        let particles = space.alloc(PARTICLES * 64);
+        let weights = space.alloc(PARTICLES * 8);
+        let matrices = space.alloc(512);
+        let scratch = space.alloc(256);
+
+        engine.scoped_named("main", |e| {
+            e.write(matrices.base, 64);
+            for _frame in 0..frames {
+                // Load camera images (syscall produces raw bytes).
+                e.syscall("sys_read", |e| {
+                    let mut off = 0;
+                    while off < raw_frames.size {
+                        e.write(raw_frames.addr(off), 8);
+                        off += 8;
+                    }
+                });
+
+                // Initialize FlexImages: bulk copies (memcpy-dominated).
+                for cam in 0..CAMERAS {
+                    utility_call(e, "DMatrix", matrices.base, 40, matrices.addr(64), 24, 16);
+                    memcpy_call(
+                        e,
+                        "FlexImage::Set",
+                        raw_frames.addr(cam * IMAGE_BYTES),
+                        images.addr(cam * IMAGE_BYTES),
+                        IMAGE_BYTES,
+                    );
+                }
+                utility_call(e, "std::vector", matrices.addr(64), 32, particles.base, 24, 20);
+
+                // Particle filter: every particle scores the silhouette
+                // error against all camera images.
+                for p in 0..PARTICLES {
+                    e.scoped_named("ImageMeasurements::ImageErrorInside", |e| {
+                        e.read(particles.addr(p * 64), 8);
+                        for cam in 0..CAMERAS {
+                            // Sample a body-sized window of the image.
+                            let window = images.addr(cam * IMAGE_BYTES + (p * 96) % (IMAGE_BYTES - 512));
+                            let mut off = 0;
+                            while off < 512 {
+                                e.read(window + off, 8);
+                                e.op(OpClass::FloatArith, 6);
+                                // Gradient: the silhouette test samples
+                                // each pixel a second time within the call.
+                                e.read(window + off, 8);
+                                e.op(OpClass::FloatArith, 2);
+                                off += 8;
+                            }
+                        }
+                        e.op(OpClass::FloatArith, 200);
+                        e.write(weights.addr(p * 8), 8);
+                    });
+                    math_call(e, "_ieee754_log", weights.addr(p * 8), scratch.base, 28);
+                    // Particle update.
+                    e.scoped_named("AnnealingFactor", |e| {
+                        e.read(weights.addr(p * 8), 8);
+                        e.read(scratch.base, 8);
+                        e.op(OpClass::FloatArith, 30);
+                        e.write(particles.addr(p * 64), 32);
+                    });
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced_and_nontrivial() {
+        let mut e = Engine::new(CountingObserver::new());
+        Bodytrack::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.ops > 50_000);
+        assert!(counts.bytes_read > CAMERAS * IMAGE_BYTES);
+    }
+
+    #[test]
+    fn scales_with_input() {
+        let mut small = Engine::new(CountingObserver::new());
+        Bodytrack::new(InputSize::SimSmall).run(&mut small);
+        let mut large = Engine::new(CountingObserver::new());
+        Bodytrack::new(InputSize::SimLarge).run(&mut large);
+        assert!(
+            large.events_emitted() > 10 * small.events_emitted(),
+            "simlarge should do ~16x the work"
+        );
+        let _ = (small.finish(), large.finish());
+    }
+}

@@ -1,0 +1,175 @@
+//! `canneal`: simulated-annealing placement of netlist elements.
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * Table II: `mul`, `memchr`, `netlist::swap_locations` ("swaps two
+//!   vectors"), `memmove`, `std::string::compare` — short, dense
+//!   routines with breakeven 1.0–1.1;
+//! * Table III: `__mpn_rshift`, `__mpn_lshift`, `free`,
+//!   `std::locale::locale`, `std::basic_string` utility noise;
+//! * Figure 7: canneal is one of the **low-coverage** outliers — much of
+//!   its time sits in the annealing driver itself (`main`'s self code and
+//!   communication-dominated helpers), not in accelerable leaves.
+
+use rand::Rng;
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{utility_call, workload_rng, AddrSpace, InputSize};
+
+const ELEMENTS: u64 = 512;
+const MOVES_PER_UNIT: u64 = 600;
+
+/// The canneal workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Canneal {
+    size: InputSize,
+    seed: u64,
+}
+
+impl Canneal {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Canneal { size, seed: 0xCA11 }
+    }
+
+    /// Annealing moves attempted.
+    pub fn move_count(&self) -> u64 {
+        MOVES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let moves = self.move_count();
+        let mut rng = workload_rng("canneal", self.seed);
+        let mut space = AddrSpace::new();
+        let netlist = space.alloc(ELEMENTS * 32); // element records
+        let locations = space.alloc(ELEMENTS * 16); // placement vectors
+        let names = space.alloc(ELEMENTS * 24); // element name strings
+        let scratch = space.alloc(512);
+
+        engine.scoped_named("main", |e| {
+            // Parse the netlist: locale/string utility storm, then the
+            // elements arrive from a file.
+            utility_call(e, "std::locale::locale", names.base, 64, scratch.base, 16, 18);
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < netlist.size {
+                    e.write(netlist.addr(off), 8);
+                    off += 8;
+                }
+                let mut off = 0;
+                while off < names.size {
+                    e.write(names.addr(off), 8);
+                    off += 8;
+                }
+            });
+            e.scoped_named("netlist_elem::netlist_elem", |e| {
+                let mut off = 0;
+                while off < locations.size {
+                    e.write(locations.addr(off), 8);
+                    e.op(OpClass::IntArith, 1);
+                    off += 8;
+                }
+            });
+            utility_call(e, "std::basic_string", names.base, 48, scratch.addr(16), 24, 26);
+
+            // Annealing: the driver itself does routing-cost bookkeeping
+            // (self cost in main, depressing Figure 7 coverage).
+            for _ in 0..moves {
+                let a = rng.gen_range(0..ELEMENTS);
+                let b = rng.gen_range(0..ELEMENTS);
+
+                // Pick elements by scanning names.
+                e.scoped_named("memchr", |e| {
+                    let start = names.addr((a * 24) % (names.size - 64));
+                    for k in 0..6u64 {
+                        e.read(start + k * 8, 8);
+                        e.op(OpClass::IntArith, 3);
+                    }
+                    e.write(scratch.addr(40), 8);
+                });
+                e.scoped_named("std::string::compare", |e| {
+                    e.read(names.addr(a * 24), 16);
+                    e.read(names.addr(b * 24), 16);
+                    e.op(OpClass::IntArith, 14);
+                    e.write(scratch.addr(48), 8);
+                });
+
+                // Routing-cost delta: fixed-point multiplies.
+                e.scoped_named("mul", |e| {
+                    e.read(netlist.addr(a * 32), 16);
+                    e.read(netlist.addr(b * 32), 16);
+                    e.op(OpClass::IntMulDiv, 30);
+                    // Delta is computed before and after the tentative
+                    // move: both records are re-read within the call.
+                    e.read(netlist.addr(a * 32), 16);
+                    e.read(netlist.addr(b * 32), 16);
+                    e.op(OpClass::IntArith, 12);
+                    e.write(scratch.addr(56), 8);
+                });
+
+                // Accept: swap the two location vectors.
+                if rng.gen_bool(0.5) {
+                    e.scoped_named("netlist::swap_locations", |e| {
+                        e.read(locations.addr(a * 16), 16);
+                        e.read(locations.addr(b * 16), 16);
+                        e.op(OpClass::IntArith, 18);
+                        e.write(locations.addr(a * 16), 16);
+                        e.write(locations.addr(b * 16), 16);
+                    });
+                } else {
+                    e.scoped_named("memmove", |e| {
+                        e.read(locations.addr(a * 16), 16);
+                        e.op(OpClass::IntArith, 10);
+                        e.op(OpClass::Agu, 4);
+                        e.write(scratch.addr(64), 16);
+                    });
+                }
+
+                // Driver self-work: temperature schedule, acceptance
+                // test, cost bookkeeping — substantial, and stuck in the
+                // annealing loop itself (the paper's low-coverage shape).
+                e.read(scratch.addr(56), 8);
+                e.op(OpClass::FloatArith, 60);
+                e.op(OpClass::IntArith, 40);
+                e.write(scratch.addr(72), 8);
+
+                // Multiprecision utility noise.
+                if rng.gen_ratio(1, 16) {
+                    utility_call(e, "__mpn_rshift", scratch.addr(56), 24, scratch.addr(80), 16, 12);
+                    utility_call(e, "__mpn_lshift", scratch.addr(80), 24, scratch.addr(96), 16, 12);
+                }
+                if rng.gen_ratio(1, 32) {
+                    utility_call(e, "free", netlist.addr(a * 32), 24, scratch.addr(104), 8, 10);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::new(CountingObserver::new());
+            Canneal::new(InputSize::SimSmall).run(&mut e);
+            e.finish().into_counts()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Canneal::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.ops > 50_000);
+    }
+}

@@ -1,0 +1,196 @@
+//! `dedup`: the deduplication/compression pipeline (chunk → fingerprint
+//! → dedup lookup → compress → write).
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * Table II: `sha1_block_data_order` ("the core of the SHA1
+//!   calculation"), `_tr_flush_block` ("part of the zlib algorithm"),
+//!   `write_file`, `adler32` ("a checksum algorithm optimized for
+//!   speed") — breakeven 1.0–1.04;
+//! * Table III: `_IO_file_xsgetn`, `memcpy`, `hashtable_search`, `free`,
+//!   `isnan`;
+//! * §III-A: dedup "touches a large range of addresses" — it is the only
+//!   PARSEC benchmark for which the paper needed the shadow-memory FIFO
+//!   limit, and the Figure 5 slowdown outlier. The skeleton therefore
+//!   streams through a large, never-revisited address range.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{memcpy_call, utility_call, AddrSpace, InputSize};
+
+const CHUNKS_PER_UNIT: u64 = 96;
+const CHUNK_BYTES: u64 = 2048;
+
+/// The dedup workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Dedup {
+    size: InputSize,
+}
+
+impl Dedup {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Dedup { size }
+    }
+
+    /// Chunks processed.
+    pub fn chunk_count(&self) -> u64 {
+        CHUNKS_PER_UNIT * self.size.factor()
+    }
+
+    /// Bytes of streamed input (the large-address-range property).
+    pub fn stream_bytes(&self) -> u64 {
+        self.chunk_count() * CHUNK_BYTES
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let chunks = self.chunk_count();
+        let mut space = AddrSpace::new();
+        // One giant streaming buffer: every chunk lives at fresh
+        // addresses, forcing the shadow table to keep growing.
+        let stream = space.alloc(chunks * CHUNK_BYTES);
+        let digests = space.alloc(chunks * 20);
+        let hashtable = space.alloc(4096);
+        let compressed = space.alloc(chunks * CHUNK_BYTES);
+        let scratch = space.alloc(512);
+
+        engine.scoped_named("main", |e| {
+            e.write(hashtable.base, 64);
+            for c in 0..chunks {
+                let chunk = stream.addr(c * CHUNK_BYTES);
+                // Pull the next chunk from the input stream. The stream
+                // position is read and advanced *before* the ingest, so
+                // chunk ingestion is serialized — the real pipeline's
+                // ordering constraint.
+                e.scoped_named("_IO_file_xsgetn", |e| {
+                    e.read(scratch.base, 16);
+                    e.op(OpClass::IntArith, 12);
+                    e.write(scratch.base, 16);
+                    e.syscall("sys_read", |e| {
+                        let mut off = 0;
+                        while off < CHUNK_BYTES {
+                            e.write(chunk + off, 8);
+                            off += 8;
+                        }
+                    });
+                });
+
+                // Fingerprint: SHA-1 over the chunk (integer-dense).
+                e.scoped_named("sha1_block_data_order", |e| {
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.read(chunk + off, 8);
+                        e.op(OpClass::IntArith, 11);
+                        off += 8;
+                    }
+                    e.op(OpClass::IntArith, 80);
+                    e.write(digests.addr(c * 20), 8);
+                    e.write(digests.addr(c * 20 + 8), 8);
+                    e.write(digests.addr(c * 20 + 16), 4);
+                });
+
+                // Dedup lookup: probe the hash table.
+                e.scoped_named("hashtable_search", |e| {
+                    e.read(digests.addr(c * 20), 20);
+                    for probe in 0..4u64 {
+                        e.read(hashtable.addr((c * 64 + probe * 16) % hashtable.size), 8);
+                        e.op(OpClass::IntArith, 4);
+                    }
+                    e.write(hashtable.addr((c * 64) % hashtable.size), 8);
+                });
+
+                // Compress the (unique) chunk.
+                e.scoped_named("deflate", |e| {
+                    let out = compressed.addr(c * CHUNK_BYTES);
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.read(chunk + off, 8);
+                        e.op(OpClass::IntArith, 6);
+                        if off % 256 == 0 {
+                            e.write(out + off / 2, 8);
+                        }
+                        off += 8;
+                    }
+                    // LZ match scan: the window is walked a second time
+                    // within the same call (within-call reuse).
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.read(chunk + off, 8);
+                        e.op(OpClass::IntArith, 3);
+                        off += 16;
+                    }
+                    e.scoped_named("_tr_flush_block", |e| {
+                        let mut off = 0;
+                        while off < CHUNK_BYTES / 2 {
+                            e.read(out + off, 8);
+                            e.op(OpClass::IntArith, 9);
+                            e.write(out + off, 8);
+                            off += 8;
+                        }
+                    });
+                    e.scoped_named("adler32", |e| {
+                        let mut off = 0;
+                        while off < CHUNK_BYTES / 2 {
+                            e.read(out + off, 8);
+                            e.op(OpClass::IntArith, 10);
+                            off += 8;
+                        }
+                        e.write(scratch.addr(32), 8);
+                    });
+                });
+
+                // Write the compressed chunk out; output offsets are
+                // claimed in order, serializing the writes.
+                e.scoped_named("write_file", |e| {
+                    e.read(scratch.addr(16), 8);
+                    e.op(OpClass::IntArith, 6);
+                    e.write(scratch.addr(16), 8);
+                    let out = compressed.addr(c * CHUNK_BYTES);
+                    let mut off = 0;
+                    while off < CHUNK_BYTES / 2 {
+                        e.read(out + off, 8);
+                        e.op(OpClass::IntArith, 7);
+                        off += 8;
+                    }
+                    e.syscall("sys_write", |e| {
+                        e.read(out, 8);
+                        e.op(OpClass::Agu, 4);
+                    });
+                });
+
+                if c % 12 == 0 {
+                    memcpy_call(e, "memcpy", chunk, scratch.addr(64), 128);
+                    utility_call(e, "free", hashtable.base, 24, scratch.addr(200), 8, 10);
+                    utility_call(e, "isnan", scratch.addr(32), 8, scratch.addr(208), 8, 6);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn streams_a_large_address_range() {
+        let wl = Dedup::new(InputSize::SimSmall);
+        assert!(wl.stream_bytes() >= 150_000, "dedup must stream widely");
+        let mut e = Engine::new(CountingObserver::new());
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        assert!(counts.bytes_written >= wl.stream_bytes());
+    }
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Dedup::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.syscalls > 0);
+    }
+}

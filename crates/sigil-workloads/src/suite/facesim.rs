@@ -1,0 +1,114 @@
+//! `facesim`: finite-element simulation of a human face model.
+//!
+//! Paper findings this skeleton reproduces: facesim is one of the
+//! "intensive benchmarks that use larger amounts of memory" (Figure 6)
+//! — it sweeps large mesh-state arrays every frame — while its kernels
+//! (`Update_Position_Based_State`, `Add_Velocity_Independent_Forces`)
+//! are genuinely compute-dense.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const TETRAHEDRA: u64 = 1024;
+const FRAMES_PER_UNIT: u64 = 1;
+
+/// The facesim workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Facesim {
+    size: InputSize,
+}
+
+impl Facesim {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Facesim { size }
+    }
+
+    /// Frames simulated.
+    pub fn frame_count(&self) -> u64 {
+        FRAMES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let frames = self.frame_count();
+        let mut space = AddrSpace::new();
+        // Large mesh state: positions, strain tensors, forces.
+        let positions = space.alloc(TETRAHEDRA * 96);
+        let strain = space.alloc(TETRAHEDRA * 72);
+        let forces = space.alloc(TETRAHEDRA * 96);
+        let stiffness = space.alloc(TETRAHEDRA * 32);
+
+        engine.scoped_named("main", |e| {
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < positions.size {
+                    e.write(positions.addr(off), 8);
+                    off += 8;
+                }
+                let mut off = 0;
+                while off < stiffness.size {
+                    e.write(stiffness.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            for _frame in 0..frames {
+                e.scoped_named("Update_Position_Based_State", |e| {
+                    for t in 0..TETRAHEDRA {
+                        e.read(positions.addr(t * 96), 48);
+                        // Shared vertices: the neighbouring element's
+                        // positions are read again while assembling this
+                        // element (within-call reuse).
+                        e.read(positions.addr(((t + 1) % TETRAHEDRA) * 96), 24);
+                        e.read(stiffness.addr(t * 32), 16);
+                        e.op(OpClass::FloatArith, 60);
+                        e.write(strain.addr(t * 72), 40);
+                    }
+                });
+
+                e.scoped_named("Add_Velocity_Independent_Forces", |e| {
+                    for t in 0..TETRAHEDRA {
+                        e.read(strain.addr(t * 72), 40);
+                        e.op(OpClass::FloatArith, 45);
+                        e.write(forces.addr(t * 96), 24);
+                    }
+                });
+
+                e.scoped_named("Euler_Step", |e| {
+                    for t in 0..TETRAHEDRA {
+                        e.read(forces.addr(t * 96), 24);
+                        e.read(positions.addr(t * 96), 24);
+                        e.op(OpClass::FloatArith, 12);
+                        e.write(positions.addr(t * 96), 24);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn touches_a_large_state_footprint() {
+        let mut e = Engine::new(CountingObserver::new());
+        Facesim::new(InputSize::SimSmall).run(&mut e);
+        let counts = e.finish().into_counts();
+        // Mesh state alone is ~300 KB of distinct addresses.
+        assert!(counts.bytes_written > 200_000);
+    }
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Facesim::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+}

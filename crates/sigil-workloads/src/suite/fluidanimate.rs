@@ -1,0 +1,176 @@
+//! `fluidanimate`: smoothed-particle-hydrodynamics fluid simulation.
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * §IV-C: "Fluidanimate's path is composed of a single function,
+//!   `ComputeForces`. This function does the bulk of the work …
+//!   contributing close to **90% of the operations** in the entire
+//!   workload" — so the maximum function-level parallelism is ≈ 1
+//!   (Figure 13's low end);
+//! * every frame's forces depend on the previous frame's positions, so
+//!   the `ComputeForces` calls form one long serial dependency chain.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const CELLS: u64 = 64;
+const PARTICLES_PER_CELL: u64 = 4;
+const FRAMES_PER_UNIT: u64 = 3;
+
+/// The fluidanimate workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Fluidanimate {
+    size: InputSize,
+}
+
+impl Fluidanimate {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Fluidanimate { size }
+    }
+
+    /// Simulated frames.
+    pub fn frame_count(&self) -> u64 {
+        FRAMES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let frames = self.frame_count();
+        let mut space = AddrSpace::new();
+        let particles = space.alloc(CELLS * PARTICLES_PER_CELL * 48); // pos+vel+force
+        let densities = space.alloc(CELLS * PARTICLES_PER_CELL * 8);
+        let grid = space.alloc(CELLS * 16);
+
+        engine.scoped_named("main", |e| {
+            // Initial state.
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < particles.size {
+                    e.write(particles.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            for _frame in 0..frames {
+                e.scoped_named("RebuildGrid", |e| {
+                    for c in 0..CELLS {
+                        e.read(particles.addr(c * PARTICLES_PER_CELL * 48), 8);
+                        e.op(OpClass::IntArith, 5);
+                        e.write(grid.addr(c * 16), 8);
+                    }
+                });
+
+                e.scoped_named("ComputeDensities", |e| {
+                    for p in 0..CELLS * PARTICLES_PER_CELL {
+                        e.read(particles.addr(p * 48), 24);
+                        e.op(OpClass::FloatArith, 12);
+                        e.write(densities.addr(p * 8), 8);
+                    }
+                });
+
+                // The dominant kernel: ~90% of all retired ops. Reads the
+                // previous frame's positions (written by the previous
+                // ComputeForces via AdvanceParticles), creating the serial
+                // inter-frame chain.
+                e.scoped_named("ComputeForces", |e| {
+                    for p in 0..CELLS * PARTICLES_PER_CELL {
+                        e.read(particles.addr(p * 48), 24);
+                        e.read(densities.addr(p * 8), 8);
+                        // Neighbour interactions.
+                        for n in 0..8u64 {
+                            let q = (p + n + 1) % (CELLS * PARTICLES_PER_CELL);
+                            e.read(particles.addr(q * 48), 24);
+                            e.op(OpClass::FloatArith, 28);
+                        }
+                        e.op(OpClass::FloatArith, 40);
+                        e.write(particles.addr(p * 48 + 32), 16); // force
+                    }
+                });
+
+                e.scoped_named("AdvanceParticles", |e| {
+                    for p in 0..CELLS * PARTICLES_PER_CELL {
+                        e.read(particles.addr(p * 48 + 32), 16);
+                        e.op(OpClass::FloatArith, 6);
+                        e.write(particles.addr(p * 48), 24); // next positions
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn compute_forces_dominates_ops() {
+        // Count ops attributed while inside ComputeForces vs total.
+        use sigil_trace::{ExecutionObserver, RuntimeEvent};
+
+        #[derive(Default)]
+        struct Split {
+            in_cf: bool,
+            depth_in_cf: usize,
+            cf_ops: u64,
+            total_ops: u64,
+            cf_id: Option<sigil_trace::FunctionId>,
+        }
+        impl ExecutionObserver for Split {
+            fn on_event(&mut self, ev: RuntimeEvent) {
+                match ev {
+                    RuntimeEvent::Call { callee } => {
+                        if Some(callee) == self.cf_id {
+                            self.in_cf = true;
+                            self.depth_in_cf = 0;
+                        } else if self.in_cf {
+                            self.depth_in_cf += 1;
+                        }
+                    }
+                    RuntimeEvent::Return if self.in_cf => {
+                        if self.depth_in_cf == 0 {
+                            self.in_cf = false;
+                        } else {
+                            self.depth_in_cf -= 1;
+                        }
+                    }
+                    RuntimeEvent::Op { count, .. } => {
+                        self.total_ops += u64::from(count);
+                        if self.in_cf {
+                            self.cf_ops += u64::from(count);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut symbols = sigil_trace::SymbolTable::new();
+        let cf = symbols.intern("ComputeForces");
+        let split = Split {
+            cf_id: Some(cf),
+            ..Split::default()
+        };
+        let mut engine = Engine::with_symbols(split, symbols);
+        Fluidanimate::new(InputSize::SimSmall).run(&mut engine);
+        let split = engine.finish();
+        let share = split.cf_ops as f64 / split.total_ops as f64;
+        assert!(
+            share > 0.80,
+            "ComputeForces should be ~90% of ops, got {:.1}%",
+            share * 100.0
+        );
+    }
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Fluidanimate::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+}

@@ -1,0 +1,111 @@
+//! `libquantum` (SPEC): quantum-computer simulation via gate application
+//! over an amplitude vector.
+//!
+//! Paper finding this skeleton reproduces: libquantum joins
+//! streamcluster at the **high end of Figure 13** — gate applications on
+//! disjoint amplitude blocks are independent, so the dependency chains
+//! are short and wide. (The paper also notes the per-path work is small,
+//! so real-world extraction of this parallelism is hard.)
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const BLOCKS: u64 = 16;
+const AMPLITUDES_PER_BLOCK: u64 = 32;
+const GATES_PER_UNIT: u64 = 12;
+
+/// The libquantum workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Libquantum {
+    size: InputSize,
+}
+
+impl Libquantum {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Libquantum { size }
+    }
+
+    /// Gates applied.
+    pub fn gate_count(&self) -> u64 {
+        GATES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let gates = self.gate_count();
+        let mut space = AddrSpace::new();
+        let state = space.alloc(BLOCKS * AMPLITUDES_PER_BLOCK * 16); // complex f64
+
+        engine.scoped_named("main", |e| {
+            // Prepare |0…0⟩.
+            e.scoped_named("quantum_new_qureg", |e| {
+                let mut off = 0;
+                while off < state.size {
+                    e.write(state.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            for g in 0..gates {
+                let gate_name = match g % 3 {
+                    0 => "quantum_toffoli",
+                    1 => "quantum_cnot",
+                    _ => "quantum_sigma_x",
+                };
+                // One call per (gate, block): blocks are disjoint slices
+                // of the state vector, so calls within a gate are
+                // mutually independent; across gates each block chains
+                // only with itself.
+                for b in 0..BLOCKS {
+                    e.scoped_named(gate_name, |e| {
+                        let base = b * AMPLITUDES_PER_BLOCK * 16;
+                        for a in 0..AMPLITUDES_PER_BLOCK {
+                            e.read(state.addr(base + a * 16), 16);
+                            e.op(OpClass::FloatArith, 6);
+                            e.op(OpClass::IntArith, 4);
+                            e.write(state.addr(base + a * 16), 16);
+                        }
+                    });
+                }
+            }
+
+            // Measure: fold probabilities.
+            e.scoped_named("quantum_measure", |e| {
+                let mut off = 0;
+                while off < state.size {
+                    e.read(state.addr(off), 16);
+                    e.op(OpClass::FloatArith, 2);
+                    off += 16;
+                }
+                e.write(state.addr(0), 8);
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Libquantum::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn one_call_per_gate_block_pair() {
+        let mut e = Engine::new(CountingObserver::new());
+        let wl = Libquantum::new(InputSize::SimSmall);
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        // main + new_qureg + measure + gates×blocks.
+        assert_eq!(counts.calls, 3 + wl.gate_count() * BLOCKS);
+    }
+}

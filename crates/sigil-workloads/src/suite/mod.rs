@@ -1,0 +1,20 @@
+//! The synthetic benchmark suite: one module per PARSEC 2.1 benchmark
+//! the paper profiles, plus SPEC's `libquantum`.
+//!
+//! See the crate docs for the substitution rationale. Each module's docs
+//! describe which paper findings its communication skeleton reproduces.
+
+pub mod blackscholes;
+pub mod bodytrack;
+pub mod canneal;
+pub mod dedup;
+pub mod facesim;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod freqmine;
+pub mod libquantum;
+pub mod raytrace;
+pub mod streamcluster;
+pub mod swaptions;
+pub mod vips;
+pub mod x264;

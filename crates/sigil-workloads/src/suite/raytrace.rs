@@ -1,0 +1,121 @@
+//! `raytrace`: Whitted-style ray tracing against a BVH-organized scene.
+//!
+//! Paper findings this skeleton reproduces: raytrace is one of the
+//! memory-"intensive benchmarks" of Figure 6 (large scene footprint),
+//! and its upper BVH levels are re-read by every ray — populating the
+//! heavily-reused line buckets of Figure 12.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const BVH_NODES: u64 = 512;
+const TRIANGLES: u64 = 1024;
+const RAYS_PER_UNIT: u64 = 512;
+
+/// The raytrace workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Raytrace {
+    size: InputSize,
+}
+
+impl Raytrace {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Raytrace { size }
+    }
+
+    /// Primary rays cast.
+    pub fn ray_count(&self) -> u64 {
+        RAYS_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let rays = self.ray_count();
+        let mut space = AddrSpace::new();
+        let bvh = space.alloc(BVH_NODES * 32);
+        let triangles = space.alloc(TRIANGLES * 36);
+        let framebuffer = space.alloc(rays * 4);
+
+        engine.scoped_named("main", |e| {
+            // Load the scene.
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < bvh.size {
+                    e.write(bvh.addr(off), 8);
+                    off += 8;
+                }
+                let mut off = 0;
+                while off < triangles.size {
+                    e.write(triangles.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            e.scoped_named("render", |e| {
+                for r in 0..rays {
+                    e.scoped_named("traverse_bvh", |e| {
+                        // Root and upper levels re-read by every ray.
+                        let mut node = 0u64;
+                        for depth in 0..9u64 {
+                            e.read(bvh.addr(node * 32), 32);
+                            e.op(OpClass::FloatArith, 32);
+                            // Descend pseudo-randomly but deterministically.
+                            node = (node * 2 + 1 + ((r >> depth) & 1)).min(BVH_NODES - 1);
+                        }
+                        // Leaf: intersect a handful of triangles.
+                        for k in 0..4u64 {
+                            e.scoped_named("intersect_triangle", |e| {
+                                let tri = ((node * 13 + k * 7) % TRIANGLES) * 36;
+                                e.read(triangles.addr(tri), 36);
+                                e.op(OpClass::FloatArith, 22);
+                                // Normal computation re-reads vertex 0.
+                                e.read(triangles.addr(tri), 12);
+                                e.op(OpClass::FloatArith, 6);
+                            });
+                        }
+                    });
+                    e.scoped_named("shade", |e| {
+                        e.op(OpClass::FloatArith, 16);
+                        e.write(framebuffer.addr(r * 4), 4);
+                    });
+                }
+            });
+
+            e.syscall("sys_write", |e| {
+                let mut off = 0;
+                while off + 8 <= framebuffer.size {
+                    e.read(framebuffer.addr(off), 8);
+                    off += 8;
+                }
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Raytrace::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn bvh_root_is_heavily_reused() {
+        // Every ray reads node 0: reads of the root address must equal
+        // the ray count (plus initial load).
+        let wl = Raytrace::new(InputSize::SimSmall);
+        let mut e = Engine::new(CountingObserver::new());
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        assert!(counts.reads > wl.ray_count() * 9, "9 BVH levels per ray");
+    }
+}

@@ -1,0 +1,156 @@
+//! `streamcluster`: online k-median clustering of a point stream.
+//!
+//! Paper findings this skeleton reproduces:
+//!
+//! * §IV-C: the critical path runs
+//!   `drand48_iterate → nrand48_r → lrand48 → pkmedian → localSearch →
+//!   streamCluster → main`, and the benchmark "is characterized by many
+//!   short paths" — per-point gain evaluations are independent, so the
+//!   theoretical function-level parallelism is **high** (Figure 13);
+//! * Figure 8: limited data reuse — points are read per evaluation and
+//!   not revisited.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const POINTS: u64 = 128;
+const DIMS: u64 = 8;
+const ROUNDS_PER_UNIT: u64 = 6;
+
+/// The streamcluster workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Streamcluster {
+    size: InputSize,
+}
+
+impl Streamcluster {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Streamcluster { size }
+    }
+
+    /// Local-search rounds executed.
+    pub fn round_count(&self) -> u64 {
+        ROUNDS_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let rounds = self.round_count();
+        let mut space = AddrSpace::new();
+        let points = space.alloc(POINTS * DIMS * 8);
+        let centers = space.alloc(16 * DIMS * 8);
+        let gains = space.alloc(POINTS * 8);
+        let rng_state = space.alloc(64);
+
+        engine.scoped_named("main", |e| {
+            e.scoped_named("streamCluster", |e| {
+                // Stream the points in.
+                e.syscall("sys_read", |e| {
+                    let mut off = 0;
+                    while off < points.size {
+                        e.write(points.addr(off), 8);
+                        off += 8;
+                    }
+                });
+                e.write(rng_state.base, 16);
+
+                e.scoped_named("localSearch", |e| {
+                    for round in 0..rounds {
+                        e.scoped_named("pkmedian", |e| {
+                            // Draw a random feasible center: the paper's
+                            // rand chain, leaf-ward on the critical path.
+                            e.scoped_named("lrand48", |e| {
+                                e.scoped_named("nrand48_r", |e| {
+                                    e.scoped_named("drand48_iterate", |e| {
+                                        e.read(rng_state.base, 16);
+                                        e.op(OpClass::IntMulDiv, 4);
+                                        e.op(OpClass::IntArith, 6);
+                                        e.write(rng_state.base, 16);
+                                    });
+                                    e.read(rng_state.base, 8);
+                                    e.op(OpClass::IntArith, 4);
+                                    e.write(rng_state.addr(16), 8);
+                                });
+                                e.read(rng_state.addr(16), 8);
+                                e.op(OpClass::IntArith, 2);
+                                e.write(rng_state.addr(24), 8);
+                            });
+
+                            // Propose the center: write its coordinates.
+                            let center = centers.addr((round % 16) * DIMS * 8);
+                            e.read(rng_state.addr(24), 8);
+                            for d in 0..DIMS {
+                                e.read(points.addr(((round * 37) % POINTS) * DIMS * 8 + d * 8), 8);
+                                e.write(center + d * 8, 8);
+                            }
+
+                            // Evaluate the gain for every point — these
+                            // `dist` calls are the "many short paths":
+                            // each depends only on its point and the
+                            // center, never on another point's result.
+                            for p in 0..POINTS {
+                                e.scoped_named("dist", |e| {
+                                    for d in 0..DIMS {
+                                        e.read(points.addr(p * DIMS * 8 + d * 8), 8);
+                                        e.read(center + d * 8, 8);
+                                        e.op(OpClass::FloatArith, 3);
+                                    }
+                                    e.op(OpClass::FloatArith, 6);
+                                    e.write(gains.addr(p * 8), 8);
+                                });
+                            }
+
+                            // Fold the gains (cheap relative to dist).
+                            let mut off = 0;
+                            while off < gains.size {
+                                e.read(gains.addr(off), 8);
+                                e.op(OpClass::FloatArith, 1);
+                                off += 8;
+                            }
+                            e.write(rng_state.addr(32), 8);
+                        });
+                    }
+                });
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Streamcluster::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn rand_chain_is_present() {
+        use sigil_trace::observer::RecordingObserver;
+        let mut e = Engine::new(RecordingObserver::new());
+        Streamcluster::new(InputSize::SimSmall).run(&mut e);
+        let syms = e.symbols().clone();
+        for name in ["drand48_iterate", "nrand48_r", "lrand48", "pkmedian", "localSearch", "streamCluster"] {
+            assert!(syms.lookup(name).is_some(), "missing {name}");
+        }
+        let _ = e.finish();
+    }
+
+    #[test]
+    fn dist_dominates_call_count() {
+        let mut e = Engine::new(CountingObserver::new());
+        let wl = Streamcluster::new(InputSize::SimSmall);
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        // One dist call per point per round, plus the rand chain.
+        assert!(counts.calls >= wl.round_count() * POINTS);
+    }
+}

@@ -1,0 +1,130 @@
+//! `swaptions`: Heath–Jarrow–Morton Monte-Carlo swaption pricing.
+//!
+//! Paper finding this skeleton reproduces: swaptions is one of the
+//! **low-coverage** outliers in Figure 7 — its hot functions either sit
+//! in the simulation driver's self code or move too much path-matrix
+//! data per unit of compute to be attractive accelerator candidates.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{utility_call, AddrSpace, InputSize};
+
+const SWAPTIONS_PER_UNIT: u64 = 4;
+const TRIALS: u64 = 16;
+const PATH_BYTES: u64 = 1536;
+
+/// The swaptions workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Swaptions {
+    size: InputSize,
+}
+
+impl Swaptions {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Swaptions { size }
+    }
+
+    /// Swaptions priced.
+    pub fn swaption_count(&self) -> u64 {
+        SWAPTIONS_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let n = self.swaption_count();
+        let mut space = AddrSpace::new();
+        let params = space.alloc(n * 64);
+        let path = space.alloc(PATH_BYTES);
+        let discounts = space.alloc(512);
+        let results = space.alloc(n * 16);
+        let rng_state = space.alloc(32);
+        let scratch = space.alloc(256);
+
+        engine.scoped_named("main", |e| {
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < params.size {
+                    e.write(params.addr(off), 8);
+                    off += 8;
+                }
+            });
+            e.write(rng_state.base, 16);
+
+            for s in 0..n {
+                utility_call(e, "std::vector", params.addr(s * 64), 32, scratch.base, 24, 16);
+                for _t in 0..TRIALS {
+                    // Generate one forward-rate path: writes a large
+                    // matrix, reads parameters — communication-heavy
+                    // relative to its compute.
+                    e.scoped_named("HJM_SimPath_Forward_Blocking", |e| {
+                        e.read(params.addr(s * 64), 32);
+                        // RanUnif is compute-dense with self-local state:
+                        // its breakeven beats HJM's, which keeps HJM
+                        // expanded — the driver's path loop stays
+                        // uncovered (the paper's low-coverage shape).
+                        e.scoped_named("RanUnif", |e| {
+                            e.read(rng_state.base, 16);
+                            e.op(OpClass::IntMulDiv, 24);
+                            e.op(OpClass::IntArith, 36);
+                            e.write(rng_state.base, 16);
+                        });
+                        let mut off = 0;
+                        while off < PATH_BYTES {
+                            e.read(rng_state.base, 8);
+                            e.op(OpClass::FloatArith, 3);
+                            e.write(path.addr(off), 8);
+                            off += 8;
+                        }
+                    });
+
+                    // Discount factors over the path.
+                    e.scoped_named("Discount_Factors_Blocking", |e| {
+                        let mut off = 0;
+                        while off < PATH_BYTES {
+                            e.read(path.addr(off), 8);
+                            e.op(OpClass::FloatArith, 2);
+                            off += 8;
+                        }
+                        let mut off = 0;
+                        while off < discounts.size {
+                            e.write(discounts.addr(off), 8);
+                            off += 8;
+                        }
+                    });
+
+                    // Driver self-work: accumulate the payoff.
+                    e.read(discounts.base, 32);
+                    e.op(OpClass::FloatArith, 24);
+                    e.write(results.addr(s * 16), 16);
+                }
+                utility_call(e, "free", scratch.base, 24, scratch.addr(64), 8, 10);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        Swaptions::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn path_generation_is_communication_heavy() {
+        let mut e = Engine::new(CountingObserver::new());
+        Swaptions::new(InputSize::SimSmall).run(&mut e);
+        let counts = e.finish().into_counts();
+        // Bytes moved should rival retired compute ops (low arithmetic
+        // intensity — the reason coverage is poor).
+        assert!(counts.bytes_read + counts.bytes_written > counts.ops);
+    }
+}

@@ -1,0 +1,164 @@
+//! `x264`: H.264 video encoding (motion estimation + transform).
+//!
+//! The skeleton reproduces the encoder's signature memory behaviour: SAD
+//! motion search re-reads reference-frame windows many times (high
+//! line-level reuse, Figure 12), and each frame depends on the
+//! reconstructed previous frame.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass};
+
+use crate::common::{AddrSpace, InputSize};
+
+const FRAME_BYTES: u64 = 8192;
+const MACROBLOCKS: u64 = 16;
+const SEARCH_POSITIONS: u64 = 12;
+const FRAMES_PER_UNIT: u64 = 2;
+
+/// The x264 workload.
+#[derive(Debug, Clone, Copy)]
+pub struct X264 {
+    size: InputSize,
+}
+
+impl X264 {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        X264 { size }
+    }
+
+    /// Frames encoded.
+    pub fn frame_count(&self) -> u64 {
+        FRAMES_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let frames = self.frame_count();
+        let mut space = AddrSpace::new();
+        let current = space.alloc(FRAME_BYTES);
+        let reference = space.alloc(FRAME_BYTES);
+        let residual = space.alloc(FRAME_BYTES / 4);
+        let bitstream = space.alloc(FRAME_BYTES / 8);
+
+        engine.scoped_named("main", |e| {
+            // Bootstrap reference frame.
+            e.syscall("sys_read", |e| {
+                let mut off = 0;
+                while off < reference.size {
+                    e.write(reference.addr(off), 8);
+                    off += 8;
+                }
+            });
+
+            for _f in 0..frames {
+                e.syscall("sys_read", |e| {
+                    let mut off = 0;
+                    while off < current.size {
+                        e.write(current.addr(off), 8);
+                        off += 8;
+                    }
+                });
+
+                for mb in 0..MACROBLOCKS {
+                    let mb_off = mb * (FRAME_BYTES / MACROBLOCKS);
+                    // Motion search: SAD against SEARCH_POSITIONS
+                    // overlapping reference windows — the same reference
+                    // lines are re-read once per position.
+                    e.scoped_named("x264_me_search_ref", |e| {
+                        // The search loop re-reads the current macroblock
+                        // once per candidate position (within-call reuse,
+                        // 8 re-reads per byte), against fresh reference
+                        // windows.
+                        for pos in 0..SEARCH_POSITIONS {
+                            let window = (mb_off + pos * 8) % (FRAME_BYTES - 256);
+                            let mut off = 0;
+                            while off < 256 {
+                                e.read(current.addr(mb_off + off), 8);
+                                e.read(reference.addr(window + off), 8);
+                                e.op(OpClass::IntArith, 3);
+                                off += 8;
+                            }
+                        }
+                        // Sub-pel refinement of the winning position.
+                        e.scoped_named("x264_pixel_sad_16x16", |e| {
+                            let mut off = 0;
+                            while off < 256 {
+                                e.read(current.addr(mb_off + off), 8);
+                                e.read(reference.addr(mb_off + off), 8);
+                                e.op(OpClass::IntArith, 3);
+                                off += 8;
+                            }
+                        });
+                        e.op(OpClass::IntArith, 30);
+                    });
+
+                    // Transform + quantize the residual.
+                    e.scoped_named("x264_dct4x4", |e| {
+                        let mut off = 0;
+                        while off < 64 {
+                            e.read(current.addr(mb_off + off), 8);
+                            e.op(OpClass::IntArith, 8);
+                            e.write(residual.addr((mb * 64 + off) % (residual.size - 8)), 8);
+                            off += 8;
+                        }
+                    });
+
+                    // Entropy code.
+                    e.scoped_named("x264_cabac_encode", |e| {
+                        let mut off = 0;
+                        while off < 64 {
+                            e.read(residual.addr((mb * 64 + off) % (residual.size - 8)), 8);
+                            e.op(OpClass::IntArith, 12);
+                            off += 8;
+                        }
+                        e.write(bitstream.addr((mb * 16) % (bitstream.size - 16)), 16);
+                    });
+                }
+
+                // Reconstruct: current becomes the next reference.
+                e.scoped_named("x264_frame_recon", |e| {
+                    let mut off = 0;
+                    while off < FRAME_BYTES {
+                        e.read(current.addr(off), 8);
+                        e.op(OpClass::IntArith, 1);
+                        e.write(reference.addr(off), 8);
+                        off += 8;
+                    }
+                });
+            }
+
+            e.syscall("sys_write", |e| {
+                let mut off = 0;
+                while off < bitstream.size {
+                    e.read(bitstream.addr(off), 8);
+                    off += 8;
+                }
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced() {
+        let mut e = Engine::new(CountingObserver::new());
+        X264::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+    }
+
+    #[test]
+    fn reference_frame_is_reread_per_search_position() {
+        let mut e = Engine::new(CountingObserver::new());
+        let wl = X264::new(InputSize::SimSmall);
+        wl.run(&mut e);
+        let counts = e.finish().into_counts();
+        let sad_reads = wl.frame_count() * MACROBLOCKS * SEARCH_POSITIONS * (256 / 8) * 2;
+        assert!(counts.reads >= sad_reads);
+    }
+}

@@ -1,0 +1,205 @@
+//! Guest programs for the `sigil-vm` interpreter.
+//!
+//! These kernels exercise the DBI path: the VM executes them as
+//! unmodified guest binaries while the profilers observe. They are used
+//! by the examples and by the VM-overhead benchmarks.
+
+use sigil_vm::{FaluOp, Program, ProgramBuilder};
+
+/// A program that allocates two `n`-element vectors, fills them, and sums
+/// them element-wise through a `vadd` function, returning the checksum of
+/// the result.
+///
+/// # Panics
+///
+/// Panics if the generated program fails verification (a bug in this
+/// module, not in the caller's input).
+pub fn vector_add(n: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let vadd = pb.declare("vadd");
+
+    // main: r0=a, r1=b, r2=c, r3=i, r4=scratch, r5=tmp, r6=checksum
+    let mut main = pb.function("main", 8);
+    main.alloc_imm(0, n * 8);
+    main.alloc_imm(1, n * 8);
+    main.alloc_imm(2, n * 8);
+    // Fill a[i] = i, b[i] = 2i.
+    main.loop_range(3, 4, 0, n, |f| {
+        f.imm(5, 8);
+        f.mul(5, 3, 5); // offset = i*8
+        f.add(5, 0, 5); // &a[i]
+        f.store(3, 5, 0, 8);
+        f.sub(5, 5, 0);
+        f.add(5, 1, 5); // &b[i]
+        f.imm(6, 2);
+        f.mul(6, 3, 6);
+        f.store(6, 5, 0, 8);
+    });
+    main.call(vadd, &[0, 1, 2], None);
+    // Checksum c.
+    main.imm(6, 0);
+    main.loop_range(3, 4, 0, n, |f| {
+        f.imm(5, 8);
+        f.mul(5, 3, 5);
+        f.add(5, 2, 5);
+        f.load(5, 5, 0, 8);
+        f.add(6, 6, 5);
+    });
+    main.ret_reg(6);
+    main.finish();
+
+    // vadd(a, b, c): r0..r2 args, r3=i, r4=scratch, r5/r6/r7 temps.
+    let mut f = pb.define(vadd, 8);
+    // Capture n via an immediate (compiled-in length).
+    f.loop_range(3, 4, 0, n, |f| {
+        f.imm(5, 8);
+        f.mul(5, 3, 5);
+        f.add(6, 0, 5);
+        f.load(6, 6, 0, 8); // a[i]
+        f.add(7, 1, 5);
+        f.load(7, 7, 0, 8); // b[i]
+        f.add(6, 6, 7);
+        f.add(7, 2, 5);
+        f.store(6, 7, 0, 8); // c[i]
+    });
+    f.ret();
+    f.finish();
+
+    pb.build().expect("vector_add generates a valid program")
+}
+
+/// A recursive Fibonacci program (exercises deep call trees and the
+/// calltree context machinery).
+///
+/// # Panics
+///
+/// Panics if the generated program fails verification.
+pub fn fibonacci(n: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let fib = pb.declare("fib");
+
+    let mut main = pb.function("main", 2);
+    main.imm(0, n);
+    main.call(fib, &[0], Some(1));
+    main.ret_reg(1);
+    main.finish();
+
+    // fib(n): r0 = n, r1/r2 temps, r3 cond.
+    let mut f = pb.define(fib, 4);
+    let base = f.block();
+    let rec = f.block();
+    f.imm(1, 2);
+    f.cmplt(3, 0, 1); // n < 2 ?
+    f.br(3, base, rec);
+    f.switch_to(base);
+    f.ret_reg(0);
+    f.switch_to(rec);
+    f.imm(1, 1);
+    f.sub(1, 0, 1); // n-1
+    f.call(fib, &[1], Some(2));
+    f.imm(1, 2);
+    f.sub(1, 0, 1); // n-2
+    f.mov(3, 2); // save fib(n-1)
+    f.call(fib, &[1], Some(2));
+    f.add(2, 2, 3);
+    f.ret_reg(2);
+    f.finish();
+
+    pb.build().expect("fibonacci generates a valid program")
+}
+
+/// A streaming dot-product over two float vectors with a separate
+/// producer function (exercises producer→consumer classification on
+/// VM-executed code).
+///
+/// # Panics
+///
+/// Panics if the generated program fails verification.
+pub fn dot_product(n: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let fill = pb.declare("fill");
+    let dot = pb.declare("dot");
+
+    let mut main = pb.function("main", 4);
+    main.alloc_imm(0, n * 8);
+    main.alloc_imm(1, n * 8);
+    main.call(fill, &[0], None);
+    main.call(fill, &[1], None);
+    main.call(dot, &[0, 1], Some(2));
+    main.ret_reg(2);
+    main.finish();
+
+    // fill(p): writes float(i) at p[i].
+    let mut f = pb.define(fill, 6);
+    f.loop_range(1, 2, 0, n, |f| {
+        f.imm(3, 8);
+        f.mul(3, 1, 3);
+        f.add(3, 0, 3);
+        f.store(1, 3, 0, 8);
+    });
+    f.ret();
+    f.finish();
+
+    // dot(a, b): accumulates bitwise-float products.
+    let mut f = pb.define(dot, 8);
+    f.fimm(6, 0.0);
+    f.loop_range(2, 3, 0, n, |f| {
+        f.imm(4, 8);
+        f.mul(4, 2, 4);
+        f.add(5, 0, 4);
+        f.load(5, 5, 0, 8);
+        f.add(7, 1, 4);
+        f.load(7, 7, 0, 8);
+        f.falu(FaluOp::FMul, 5, 5, 7);
+        f.falu(FaluOp::FAdd, 6, 6, 5);
+    });
+    f.ret_reg(6);
+    f.finish();
+
+    pb.build().expect("dot_product generates a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+    use sigil_trace::Engine;
+    use sigil_vm::Interpreter;
+
+    fn execute(program: &Program) -> Option<u64> {
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(program)
+            .run(&mut engine)
+            .expect("kernel must not trap");
+        let _ = engine.finish();
+        result
+    }
+
+    #[test]
+    fn vector_add_checksum() {
+        // c[i] = i + 2i = 3i; sum = 3 * n(n-1)/2.
+        let n = 10;
+        assert_eq!(execute(&vector_add(n)), Some(3 * n * (n - 1) / 2));
+    }
+
+    #[test]
+    fn fibonacci_value() {
+        assert_eq!(execute(&fibonacci(10)), Some(55));
+        assert_eq!(execute(&fibonacci(1)), Some(1));
+        assert_eq!(execute(&fibonacci(0)), Some(0));
+    }
+
+    #[test]
+    fn dot_product_runs_clean() {
+        // fill writes integers reinterpreted as f64 bit patterns; the
+        // checksum value is not meaningful, but execution must complete
+        // with a balanced trace.
+        let program = dot_product(16);
+        let mut engine = Engine::new(CountingObserver::new());
+        let result = Interpreter::new(&program).run(&mut engine);
+        assert!(result.is_ok());
+        let counts = engine.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.reads >= 32);
+    }
+}

@@ -1,0 +1,75 @@
+//! What-if offload estimation: combine the partitioning heuristic with
+//! the execution model the paper's companion work used to "measure
+//! overall gains with offloaded functions" (§V).
+//!
+//! For the chosen benchmark, take the top trimmed-calltree candidates
+//! and sweep assumed accelerator speedups, printing the whole-program
+//! speedup each would deliver.
+//!
+//! ```text
+//! cargo run --release --example accelerator_whatif [benchmark]
+//! ```
+
+use sigil::analysis::breakeven::BusModel;
+use sigil::analysis::partition::{trim_calltree, PartitionConfig};
+use sigil::analysis::whatif::{estimate_offload, OffloadScenario};
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "blackscholes".to_owned())
+        .parse()
+        .unwrap_or(Benchmark::Blackscholes);
+
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    let bus = BusModel::soc_default();
+    let trimmed = trim_calltree(&profile, &PartitionConfig::default());
+    let top: Vec<_> = trimmed.leaves.iter().take(3).collect();
+    println!("{bench}: what-if for the top {} candidates\n", top.len());
+
+    for candidate in &top {
+        println!(
+            "{} (breakeven {:.3}, coverage {:.1}%):",
+            candidate.name,
+            candidate.breakeven,
+            candidate.coverage * 100.0
+        );
+        for accel in [1.0, candidate.breakeven, 2.0, 10.0, 100.0] {
+            let est = estimate_offload(
+                &profile,
+                &[OffloadScenario {
+                    ctx: candidate.ctx,
+                    accel_speedup: accel,
+                }],
+                &bus,
+            )
+            .expect("single scenario is always disjoint");
+            println!(
+                "  accel {accel:>8.3}x -> program {:.3}x",
+                est.speedup()
+            );
+        }
+    }
+
+    // All top candidates at once, each with a 10x accelerator.
+    let scenarios: Vec<OffloadScenario> = top
+        .iter()
+        .map(|c| OffloadScenario {
+            ctx: c.ctx,
+            accel_speedup: 10.0,
+        })
+        .collect();
+    let est = estimate_offload(&profile, &scenarios, &bus).expect("trimmed leaves are disjoint");
+    println!(
+        "\nall {} candidates at 10x each -> program {:.3}x",
+        scenarios.len(),
+        est.speedup()
+    );
+}

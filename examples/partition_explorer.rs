@@ -1,0 +1,56 @@
+//! HW/SW partitioning case study (paper §IV-A): profile a benchmark,
+//! trim its calltree, and list accelerator candidates ranked by
+//! breakeven speedup.
+//!
+//! ```text
+//! cargo run --release --example partition_explorer [benchmark]
+//! ```
+
+use sigil::analysis::partition::{rank_functions, trim_calltree, PartitionConfig};
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dedup".to_owned())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}; using dedup");
+            Benchmark::Dedup
+        });
+
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    let config = PartitionConfig::default();
+    let trimmed = trim_calltree(&profile, &config);
+    println!(
+        "{bench}: {} candidate leaves cover {:.1}% of estimated execution time\n",
+        trimmed.leaves.len(),
+        trimmed.coverage * 100.0
+    );
+    println!(
+        "{:>9} {:>12} {:>8} {:>12} {:>12}  candidate",
+        "S(be)", "t_sw (cyc)", "cover", "in uniq B", "out uniq B"
+    );
+    for leaf in &trimmed.leaves {
+        println!(
+            "{:>9.3} {:>12} {:>7.1}% {:>12} {:>12}  {}",
+            leaf.breakeven,
+            leaf.inclusive_cycles,
+            leaf.coverage * 100.0,
+            leaf.comm_in_unique,
+            leaf.comm_out_unique,
+            leaf.name
+        );
+    }
+
+    println!("\nall functions by breakeven speedup (a designer would start at the top):");
+    for row in rank_functions(&profile, &config) {
+        println!("  {:<36} {:>8.3}", row.name, row.breakeven);
+    }
+}

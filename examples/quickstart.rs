@@ -1,0 +1,50 @@
+//! Quickstart: profile a tiny hand-written trace and read the
+//! classified communication back out.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sigil::core::{report, SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+
+fn main() {
+    // 1. Create an engine whose observer is the Sigil profiler.
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+
+    // 2. Describe an execution: main calls a producer that fills a
+    //    buffer, then a consumer that reads it twice.
+    let buffer = 0x1000u64;
+    engine.scoped_named("main", |e| {
+        e.scoped_named("produce", |e| {
+            for i in 0..32 {
+                e.write(buffer + i * 8, 8);
+                e.op(OpClass::IntArith, 2);
+            }
+        });
+        e.scoped_named("consume", |e| {
+            for _pass in 0..2 {
+                for i in 0..32 {
+                    e.read(buffer + i * 8, 8);
+                    e.op(OpClass::FloatArith, 4);
+                }
+            }
+        });
+    });
+
+    // 3. Finish and inspect.
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    print!("{}", report::full_report(&profile));
+
+    let consume = profile
+        .function_by_name("consume")
+        .expect("consume was profiled");
+    println!(
+        "consume: {} unique input bytes (true read set), {} re-read bytes",
+        consume.comm.input_unique_bytes, consume.comm.input_nonunique_bytes
+    );
+    assert_eq!(consume.comm.input_unique_bytes, 256);
+    assert_eq!(consume.comm.input_nonunique_bytes, 256);
+}

@@ -1,0 +1,70 @@
+//! Data-reuse case study (paper §IV-B): reuse-count breakdowns, the
+//! per-function lifetime ranking, and ASCII lifetime histograms for the
+//! vips deep-dive functions.
+//!
+//! ```text
+//! cargo run --release --example reuse_explorer [benchmark]
+//! ```
+
+use sigil::analysis::reuse_analysis::{
+    function_reuse_rows, lifetime_histogram_of, line_breakdown_percent, reuse_breakdown_percent,
+};
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+fn histogram(profile: &sigil::core::Profile, name: &str) {
+    match lifetime_histogram_of(profile, name) {
+        Some(hist) => {
+            println!("\nreuse-lifetime histogram of `{name}` (bin = 1000 retired ops):");
+            let max = hist.iter().map(|(_, c)| c).max().unwrap_or(1);
+            for (bin, count) in hist.iter() {
+                println!("{bin:>10} {count:>10} {}", "#".repeat(((count * 40) / max) as usize));
+            }
+        }
+        None => println!("\n`{name}` has no reuse records"),
+    }
+}
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vips".to_owned())
+        .parse()
+        .unwrap_or(Benchmark::Vips);
+
+    let config = SigilConfig::default().with_reuse_mode().with_line_mode(64);
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    if let Some(pct) = reuse_breakdown_percent(&profile) {
+        println!(
+            "{bench}: byte reuse  0: {:.1}% | 1-9: {:.1}% | >9: {:.1}%",
+            pct[0], pct[1], pct[2]
+        );
+    }
+    if let Some(pct) = line_breakdown_percent(&profile) {
+        println!(
+            "64B lines  <10: {:.1}% | <100: {:.1}% | <1k: {:.1}% | <10k: {:.1}% | >10k: {:.1}%",
+            pct[0], pct[1], pct[2], pct[3], pct[4]
+        );
+    }
+
+    println!("\ntop functions by reused bytes:");
+    if let Some(rows) = function_reuse_rows(&profile) {
+        for row in rows.iter().take(8) {
+            println!(
+                "  {:<24} reused {:>9} B of {:>9} B, avg lifetime {:>9.0} ops",
+                row.label, row.reused_bytes, row.total_bytes, row.avg_lifetime
+            );
+        }
+    }
+
+    if bench == Benchmark::Vips {
+        // The paper's Figures 10 and 11.
+        histogram(&profile, "conv_gen");
+        histogram(&profile, "imb_XYZ2Lab");
+    }
+}

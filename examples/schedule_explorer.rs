@@ -1,0 +1,51 @@
+//! Scheduling case study (paper §IV-C): map a workload's dependency
+//! chains onto a fixed number of cores and watch the realizable speedup
+//! approach the theoretical function-level-parallelism limit.
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer [benchmark]
+//! ```
+
+use sigil::analysis::critical_path::CriticalPath;
+use sigil::analysis::schedule::schedule;
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "streamcluster".to_owned())
+        .parse()
+        .unwrap_or(Benchmark::Streamcluster);
+
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_events()));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    let limit = CriticalPath::from_profile(&profile)
+        .expect("event recording enabled")
+        .max_parallelism();
+    println!("{bench}: theoretical function-level parallelism limit {limit:.2}x\n");
+    println!(
+        "{:>6} {:>10} {:>9} {:>12}",
+        "cores", "makespan", "speedup", "utilization"
+    );
+    for cores in [1, 2, 4, 8, 16, 32] {
+        let s = schedule(&profile, cores).expect("event recording enabled");
+        println!(
+            "{cores:>6} {:>10} {:>8.2}x {:>11.1}%",
+            s.makespan,
+            s.speedup(),
+            s.utilization() * 100.0
+        );
+    }
+
+    let s = schedule(&profile, 4).expect("event recording enabled");
+    println!("\nper-core load at 4 cores:");
+    for (core, load) in s.per_core_load().iter().enumerate() {
+        let pct = 100.0 * *load as f64 / s.makespan.max(1) as f64;
+        println!("  core {core}: {:<40} {pct:5.1}%", "#".repeat((pct / 2.5) as usize));
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's Figures 1 & 2 walkthrough: a toy program whose control
+//! data-flow graph is built, exported to Graphviz, and partitioned by
+//! merging function sub-trees.
+//!
+//! The toy calltree is `main → {A → {C, D}, B → D}`: function `D` is
+//! called from two contexts (the paper's `D1`/`D2` split), and `C`
+//! produces data consumed both inside A's sub-tree (absorbed when A is
+//! merged) and outside it (charged to the merged node).
+//!
+//! ```text
+//! cargo run --example toy_cdfg
+//! ```
+
+use sigil::analysis::dot::to_dot;
+use sigil::analysis::inclusive::inclusive_table;
+use sigil::analysis::partition::{trim_calltree, PartitionConfig};
+use sigil::analysis::Cdfg;
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+
+fn main() {
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    engine.scoped_named("main", |e| {
+        e.scoped_named("A", |e| {
+            e.op(OpClass::IntArith, 400);
+            e.scoped_named("C", |e| {
+                e.op(OpClass::IntArith, 2000);
+                e.write(0x100, 16); // later consumed by D2 (outside A)
+                e.write(0x200, 8); // consumed by D1 (inside A)
+            });
+            e.scoped_named("D", |e| {
+                e.read(0x200, 8);
+                e.op(OpClass::IntArith, 900);
+            });
+        });
+        e.scoped_named("B", |e| {
+            e.op(OpClass::IntArith, 300);
+            e.scoped_named("D", |e| {
+                e.read(0x100, 16);
+                e.op(OpClass::IntArith, 900);
+            });
+        });
+    });
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    // Figure 1: the control data-flow graph.
+    let cdfg = Cdfg::from_profile(&profile);
+    println!("== Figure 1: control data-flow graph (Graphviz) ==");
+    println!("{}", to_dot(&cdfg));
+
+    // Figure 2: merging A's sub-tree discards the internal C→D1 edge and
+    // accumulates the crossing C→D2 edge into A's communication cost.
+    let inclusive = inclusive_table(&cdfg);
+    let a = cdfg
+        .nodes()
+        .iter()
+        .find(|n| n.name == "A")
+        .expect("A profiled");
+    let inc = &inclusive[a.ctx.index()];
+    println!("== Figure 2: merging node A with its sub-tree ==");
+    println!(
+        "inclusive ops = {} (A + C + D1), crossing out = {} B, crossing in = {} B",
+        inc.costs.ops_total(),
+        inc.comm_out_unique,
+        inc.comm_in_unique
+    );
+    assert_eq!(inc.costs.ops_total(), 400 + 2000 + 900);
+    assert_eq!(inc.comm_out_unique, 16, "only the C→D2 edge crosses");
+    assert_eq!(inc.comm_in_unique, 0);
+
+    // And the resulting accelerator candidates.
+    let trimmed = trim_calltree(&profile, &PartitionConfig::default());
+    println!("\n== trimmed calltree candidates ==");
+    for leaf in &trimmed.leaves {
+        println!(
+            "  {:<6} S(be) = {:.3}, coverage = {:.1}%",
+            leaf.name,
+            leaf.breakeven,
+            leaf.coverage * 100.0
+        );
+    }
+}

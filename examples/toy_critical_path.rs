@@ -1,0 +1,71 @@
+//! The paper's Figure 3 walkthrough: dependency chains with
+//! non-blocking calls and the critical path of a toy program.
+//!
+//! `main` calls `A`; `A` calls `C` and produces data; after `C` returns,
+//! control re-enters `A` (a *second fragment node* for the same call);
+//! `D` consumes data from `A`, and later a link from `C` to `D` pulls
+//! `D` onto the critical path — exactly the sequence of updates the
+//! paper steps through.
+//!
+//! ```text
+//! cargo run --example toy_critical_path
+//! ```
+
+use sigil::analysis::critical_path::CriticalPath;
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+
+fn main() {
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_events()));
+    engine.scoped_named("main", |e| {
+        e.scoped_named("A", |e| {
+            e.op(OpClass::IntArith, 10); // A's first fragment
+            e.scoped_named("C", |e| {
+                e.op(OpClass::IntArith, 34);
+                e.write(0x300, 8); // C → D link, established later
+            });
+            // Control re-enters A: a separate fragment node, ordered
+            // after A's first fragment.
+            e.op(OpClass::IntArith, 18);
+            e.write(0x200, 8); // A → D link
+        });
+        e.scoped_named("D", |e| {
+            e.read(0x200, 8); // consume from A
+            e.op(OpClass::IntArith, 12);
+            e.read(0x300, 8); // consume from C: critical path now includes D
+            e.op(OpClass::IntArith, 13);
+        });
+    });
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    let cp = CriticalPath::from_profile(&profile).expect("event recording enabled");
+    println!("serial length : {} ops", cp.serial_ops);
+    println!("critical path : {} ops", cp.length_ops);
+    println!("max function-level parallelism: {:.2}x", cp.max_parallelism());
+    println!("\nfragments on the critical path:");
+    for frag in &cp.path {
+        println!(
+            "  {:<12} self = {:>3} ops, finish = {:>4}",
+            profile
+                .symbols()
+                .get_name(
+                    profile.callgrind.tree.node(frag.ctx).func.expect("named fragment")
+                )
+                .unwrap_or("?"),
+            frag.self_ops,
+            frag.finish
+        );
+    }
+
+    let names = cp.function_names(&profile);
+    println!("\npath: {}", names.join(" -> "));
+    assert!(
+        names.contains(&"D".to_owned()),
+        "the C→D link must pull D onto the critical path"
+    );
+    assert!(
+        names.contains(&"C".to_owned()),
+        "the path runs through C, the longer branch"
+    );
+}

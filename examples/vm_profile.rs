@@ -1,0 +1,40 @@
+//! The DBI path: run an unmodified guest program on the `sigil-vm`
+//! interpreter while Sigil observes it — the reproduction's analogue of
+//! `valgrind --tool=sigil ./a.out`.
+//!
+//! ```text
+//! cargo run --example vm_profile
+//! ```
+
+use sigil::core::{report, SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::vm::{disasm, Interpreter};
+use sigil::workloads::vm_kernels;
+
+fn main() {
+    let program = vm_kernels::dot_product(512);
+    println!("== guest program (disassembly, truncated) ==");
+    for line in disasm::program_to_string(&program).lines().take(24) {
+        println!("{line}");
+    }
+    println!("...\n");
+
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_reuse_mode()));
+    let result = Interpreter::new(&program)
+        .run(&mut engine)
+        .expect("guest runs to completion");
+    println!("guest returned: {result:?}\n");
+
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+    print!("{}", report::full_report(&profile));
+
+    // The classification sees through the VM: `dot` consumed exactly the
+    // two vectors `fill` produced.
+    let dot = profile.function_by_name("dot").expect("dot executed");
+    println!(
+        "\n`dot` unique input bytes: {} (two 512-element f64 vectors = 8192)",
+        dot.comm.input_unique_bytes
+    );
+    assert_eq!(dot.comm.input_unique_bytes, 2 * 512 * 8);
+}

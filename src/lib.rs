@@ -1,0 +1,62 @@
+//! # sigil — platform-independent function-level communication analysis
+//!
+//! A from-scratch Rust reproduction of *"Platform-independent analysis of
+//! function-level communication in workloads"* (Nilakantan & Hempstead,
+//! IISWC 2013), including every substrate the paper's tool depends on.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`trace`] | `sigil-trace` | execution-event model + tracing engine (Valgrind-primitive layer) |
+//! | [`mem`] | `sigil-mem` | shadow memory (two-level table, reuse extension, FIFO limiter, line mode) |
+//! | [`vm`] | `sigil-vm` | guest bytecode VM: the dynamic-binary-instrumentation stand-in |
+//! | [`callgrind`] | `sigil-callgrind` | calltree, cost vectors, cache & branch simulation, cycle estimation |
+//! | [`core`] | `sigil-core` | the Sigil profiler: communication classification, aggregates, event files |
+//! | [`analysis`] | `sigil-analysis` | CDFGs, partitioning, breakeven speedup, critical path, reuse histograms |
+//! | [`workloads`] | `sigil-workloads` | synthetic PARSEC-2.1-like workload suite + libquantum |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sigil::core::{SigilConfig, SigilProfiler};
+//! use sigil::trace::{Engine, OpClass};
+//!
+//! // Trace a tiny "program": producer writes a buffer, consumer reads it.
+//! let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+//! let main = engine.symbols_mut().intern("main");
+//! let produce = engine.symbols_mut().intern("produce");
+//! let consume = engine.symbols_mut().intern("consume");
+//!
+//! engine.call(main);
+//! engine.scoped(produce, |e| {
+//!     for i in 0..16 {
+//!         e.write(0x1000 + i * 8, 8);
+//!         e.op(OpClass::IntArith, 2);
+//!     }
+//! });
+//! engine.scoped(consume, |e| {
+//!     for i in 0..16 {
+//!         e.read(0x1000 + i * 8, 8);
+//!         e.op(OpClass::FloatArith, 4);
+//!     }
+//! });
+//! engine.ret();
+//!
+//! let (profiler, symbols) = engine.finish_with_symbols();
+//! let profile = profiler.into_profile(symbols);
+//!
+//! // `consume` read 128 unique bytes, all produced by `produce`.
+//! let consume_fn = profile.function_by_name("consume").unwrap();
+//! assert_eq!(consume_fn.comm.input_unique_bytes, 128);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sigil_analysis as analysis;
+pub use sigil_callgrind as callgrind;
+pub use sigil_core as core;
+pub use sigil_mem as mem;
+pub use sigil_trace as trace;
+pub use sigil_vm as vm;
+pub use sigil_workloads as workloads;

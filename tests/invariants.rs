@@ -1,0 +1,165 @@
+//! Property-based integration tests: invariants of the whole stack under
+//! randomly generated (but well-formed) traces.
+
+use proptest::prelude::*;
+use sigil::analysis::critical_path::CriticalPath;
+use sigil::analysis::inclusive::inclusive_table;
+use sigil::analysis::Cdfg;
+use sigil::core::{Profile, SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+
+/// A random but structurally valid traced program.
+#[derive(Debug, Clone)]
+enum Step {
+    Call(u8),
+    Return,
+    Read(u16, u8),
+    Write(u16, u8),
+    Ops(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..6).prop_map(Step::Call),
+        Just(Step::Return),
+        (any::<u16>(), 1u8..16).prop_map(|(a, s)| Step::Read(a, s)),
+        (any::<u16>(), 1u8..16).prop_map(|(a, s)| Step::Write(a, s)),
+        (1u8..50).prop_map(Step::Ops),
+    ]
+}
+
+fn run_steps(steps: &[Step], config: SigilConfig) -> Profile {
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    let fns: Vec<_> = (0..6)
+        .map(|i| engine.symbols_mut().intern(&format!("f{i}")))
+        .collect();
+    let main = engine.symbols_mut().intern("main");
+    engine.call(main);
+    let mut depth = 0usize;
+    for step in steps {
+        match step {
+            Step::Call(f) => {
+                if depth < 40 {
+                    engine.call(fns[*f as usize % fns.len()]);
+                    depth += 1;
+                }
+            }
+            Step::Return => {
+                if depth > 0 {
+                    engine.ret();
+                    depth -= 1;
+                }
+            }
+            Step::Read(addr, size) => engine.read(u64::from(*addr), u32::from(*size)),
+            Step::Write(addr, size) => engine.write(u64::from(*addr), u32::from(*size)),
+            Step::Ops(n) => engine.op(OpClass::IntArith, u32::from(*n)),
+        }
+    }
+    while depth > 0 {
+        engine.ret();
+        depth -= 1;
+    }
+    engine.ret();
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_classification_partitions_total_reads(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        let profile = run_steps(&steps, SigilConfig::default());
+        let mut classified = 0u64;
+        let mut total = 0u64;
+        for ctx in &profile.contexts {
+            classified += ctx.comm.input_unique_bytes
+                + ctx.comm.input_nonunique_bytes
+                + ctx.comm.local_unique_bytes
+                + ctx.comm.local_nonunique_bytes;
+            total += ctx.comm.bytes_read;
+        }
+        prop_assert_eq!(classified, total);
+    }
+
+    #[test]
+    fn outputs_match_cross_function_inputs(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        let profile = run_steps(&steps, SigilConfig::default());
+        // Every byte counted as someone's output was counted as someone
+        // else's input — except bytes never written (root-attributed).
+        let outputs: u64 = profile.contexts.iter()
+            .map(|c| c.comm.output_unique_bytes + c.comm.output_nonunique_bytes)
+            .sum();
+        let inputs: u64 = profile.contexts.iter()
+            .map(|c| c.comm.input_unique_bytes + c.comm.input_nonunique_bytes)
+            .sum();
+        prop_assert_eq!(outputs, inputs);
+    }
+
+    #[test]
+    fn edge_weights_sum_to_input_totals(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        let profile = run_steps(&steps, SigilConfig::default());
+        let edge_unique: u64 = profile.edges.iter().map(|e| e.unique_bytes).sum();
+        let input_unique: u64 = profile.contexts.iter()
+            .map(|c| c.comm.input_unique_bytes)
+            .sum();
+        prop_assert_eq!(edge_unique, input_unique);
+    }
+
+    #[test]
+    fn inclusive_costs_dominate_exclusive(steps in prop::collection::vec(step_strategy(), 0..300)) {
+        let profile = run_steps(&steps, SigilConfig::default());
+        let cdfg = Cdfg::from_profile(&profile);
+        let table = inclusive_table(&cdfg);
+        for node in cdfg.nodes() {
+            let inc = &table[node.ctx.index()];
+            prop_assert!(inc.costs.ir >= node.costs.ir);
+            prop_assert!(inc.costs.ops_total() >= node.costs.ops_total());
+        }
+        // Root-inclusive equals whole-program totals.
+        let total = profile.callgrind.total_costs();
+        prop_assert_eq!(table[0].costs, total);
+    }
+
+    #[test]
+    fn critical_path_bounded_by_serial_length(steps in prop::collection::vec(step_strategy(), 1..300)) {
+        let profile = run_steps(&steps, SigilConfig::default().with_events());
+        if let Ok(cp) = CriticalPath::from_profile(&profile) {
+            prop_assert!(cp.length_ops <= cp.serial_ops);
+            prop_assert!(cp.max_parallelism() >= 1.0 - 1e-9);
+            // The path's fragment finish times are non-decreasing.
+            for pair in cp.path.windows(2) {
+                prop_assert!(pair[0].finish <= pair[1].finish);
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_mode_counts_match_baseline_comm(steps in prop::collection::vec(step_strategy(), 0..200)) {
+        // Turning on reuse mode must not change communication counts.
+        let base = run_steps(&steps, SigilConfig::default());
+        let reuse = run_steps(&steps, SigilConfig::default().with_reuse_mode());
+        prop_assert_eq!(&base.edges, &reuse.edges);
+        prop_assert_eq!(base.total_unique_bytes(), reuse.total_unique_bytes());
+        // And the reuse records exist.
+        let (zero, low, high) = reuse.reuse_breakdown().expect("reuse on");
+        let nonunique: u64 = reuse.contexts.iter()
+            .map(|c| c.comm.nonunique_bytes())
+            .sum();
+        // Total reuse events across records equal non-unique reads.
+        let total_reuse: u64 = reuse.reuse.as_ref().expect("reuse on")
+            .iter().map(|r| r.total_reuse_count).sum();
+        prop_assert_eq!(total_reuse, nonunique);
+        let _ = (zero, low, high);
+    }
+
+    #[test]
+    fn shadow_limit_never_undercounts_uniqueness(steps in prop::collection::vec(step_strategy(), 0..200)) {
+        let unlimited = run_steps(&steps, SigilConfig::default());
+        let limited = run_steps(&steps, SigilConfig::default().with_shadow_limit(2));
+        // Evicted shadow state re-reads as "unique input": uniqueness can
+        // only grow, total reads stay identical.
+        prop_assert!(limited.total_unique_bytes() >= unlimited.total_unique_bytes());
+        prop_assert_eq!(limited.total_bytes_read(), unlimited.total_bytes_read());
+    }
+}

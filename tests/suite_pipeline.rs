@@ -1,0 +1,161 @@
+//! Integration test: the full pipeline (profile → partition → reuse →
+//! critical path) over the entire synthetic benchmark suite.
+
+use sigil::analysis::critical_path::CriticalPath;
+use sigil::analysis::partition::{trim_calltree, PartitionConfig};
+use sigil::analysis::reuse_analysis::reuse_breakdown_percent;
+use sigil::core::{Profile, SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+fn profile(bench: Benchmark, config: SigilConfig) -> Profile {
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+#[test]
+fn every_benchmark_profiles_cleanly() {
+    for bench in Benchmark::ALL {
+        let p = profile(bench, SigilConfig::default());
+        assert!(p.callgrind.total_ops > 0, "{bench}");
+        assert!(p.total_bytes_read() > 0, "{bench}");
+        assert!(
+            p.total_unique_bytes() <= p.total_bytes_read(),
+            "{bench}: unique cannot exceed total"
+        );
+        assert!(!p.edges.is_empty(), "{bench} must communicate");
+    }
+}
+
+#[test]
+fn partitioning_yields_candidates_for_every_benchmark() {
+    let config = PartitionConfig::default();
+    for bench in Benchmark::ALL {
+        let p = profile(bench, SigilConfig::default());
+        let trimmed = trim_calltree(&p, &config);
+        assert!(!trimmed.leaves.is_empty(), "{bench} has no candidates");
+        assert!(
+            trimmed.coverage > 0.0 && trimmed.coverage <= 1.0 + 1e-9,
+            "{bench} coverage {}",
+            trimmed.coverage
+        );
+        for leaf in &trimmed.leaves {
+            assert!(leaf.breakeven >= 1.0, "{bench}:{}", leaf.name);
+            assert!(leaf.breakeven.is_finite(), "{bench}:{}", leaf.name);
+            assert_ne!(leaf.name, "main", "{bench}: entry is not a candidate");
+        }
+    }
+}
+
+#[test]
+fn paper_shape_low_coverage_exceptions() {
+    // Figure 7: canneal, ferret and swaptions are the low-coverage
+    // exceptions; compute-dense benchmarks sit above 55%.
+    let config = PartitionConfig::default();
+    let coverage = |b: Benchmark| trim_calltree(&profile(b, SigilConfig::default()), &config).coverage;
+    let low = [Benchmark::Canneal, Benchmark::Ferret, Benchmark::Swaptions];
+    let high = [
+        Benchmark::Blackscholes,
+        Benchmark::Fluidanimate,
+        Benchmark::Vips,
+        Benchmark::Dedup,
+    ];
+    for b in low {
+        assert!(coverage(b) < 0.55, "{b} should be a low-coverage exception");
+    }
+    for b in high {
+        assert!(coverage(b) > 0.55, "{b} should be >55% covered");
+    }
+}
+
+#[test]
+fn paper_shape_reuse_breakdown() {
+    // Figure 8: zero-reuse dominates for blackscholes and streamcluster.
+    for bench in [Benchmark::Blackscholes, Benchmark::Streamcluster] {
+        let p = profile(bench, SigilConfig::default().with_reuse_mode());
+        let pct = reuse_breakdown_percent(&p).expect("reuse mode");
+        assert!(
+            pct[0] > 50.0,
+            "{bench}: zero-reuse should dominate, got {pct:?}"
+        );
+        assert!(pct[2] < 25.0, "{bench}: >9 reuse should be small, got {pct:?}");
+    }
+}
+
+#[test]
+fn paper_shape_parallelism_extremes() {
+    // Figure 13: fluidanimate ≈ 1 (serial ComputeForces chain);
+    // streamcluster and libquantum are high.
+    let parallelism = |b: Benchmark| {
+        let p = profile(b, SigilConfig::default().with_events());
+        CriticalPath::from_profile(&p)
+            .expect("events recorded")
+            .max_parallelism()
+    };
+    let fluid = parallelism(Benchmark::Fluidanimate);
+    assert!(fluid < 1.5, "fluidanimate should be serial, got {fluid:.2}");
+    let sc = parallelism(Benchmark::Streamcluster);
+    assert!(sc > 8.0, "streamcluster should be highly parallel, got {sc:.2}");
+    let lq = parallelism(Benchmark::Libquantum);
+    assert!(lq > 5.0, "libquantum should be highly parallel, got {lq:.2}");
+    assert!(sc > 3.0 * fluid && lq > 3.0 * fluid);
+}
+
+#[test]
+fn paper_shape_vips_lifetimes() {
+    // Figure 9: conv_gen's average reuse lifetime far exceeds
+    // imb_XYZ2Lab's.
+    let p = profile(Benchmark::Vips, SigilConfig::default().with_reuse_mode());
+    let conv = p.context_reuse_by_name("conv_gen").expect("conv_gen reuses");
+    let lab = p
+        .context_reuse_by_name("imb_XYZ2Lab")
+        .expect("imb_XYZ2Lab reuses");
+    assert!(
+        conv.avg_reused_lifetime() > 10.0 * lab.avg_reused_lifetime(),
+        "conv_gen {} vs imb_XYZ2Lab {}",
+        conv.avg_reused_lifetime(),
+        lab.avg_reused_lifetime()
+    );
+    // Figure 11: imb_XYZ2Lab peaks at lifetime bin 0.
+    let (first_bin, first_count) = lab.histogram.iter().next().expect("nonempty");
+    assert_eq!(first_bin, 0);
+    assert!(first_count * 2 > lab.histogram.total(), "peak at bin 0");
+    // Figure 10: conv_gen has a long tail.
+    assert!(
+        conv.histogram.max_lifetime_bin().expect("nonempty")
+            > lab.histogram.max_lifetime_bin().expect("nonempty")
+    );
+}
+
+#[test]
+fn dedup_under_memory_limit_stays_close_to_unlimited() {
+    // §III-A: the FIFO limiter's accuracy loss on dedup is negligible.
+    let unlimited = profile(Benchmark::Dedup, SigilConfig::default());
+    let limited = profile(
+        Benchmark::Dedup,
+        SigilConfig::default().with_shadow_limit(32),
+    );
+    assert!(limited.memory.evicted_chunks > 0, "limit must bite");
+    assert!(
+        limited.memory.resident_chunks <= 128,
+        "residency respects the cap"
+    );
+    let u = unlimited.total_unique_bytes() as f64;
+    let l = limited.total_unique_bytes() as f64;
+    // Eviction can only *increase* apparent uniqueness, and only mildly.
+    assert!(l >= u);
+    assert!(l <= u * 1.10, "accuracy loss should be small: {u} -> {l}");
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs() {
+    for bench in [Benchmark::Canneal, Benchmark::Freqmine, Benchmark::Vips] {
+        let a = profile(bench, SigilConfig::default().with_reuse_mode());
+        let b = profile(bench, SigilConfig::default().with_reuse_mode());
+        assert_eq!(a.edges, b.edges, "{bench}");
+        assert_eq!(a.total_unique_bytes(), b.total_unique_bytes(), "{bench}");
+        assert_eq!(a.reuse_breakdown(), b.reuse_breakdown(), "{bench}");
+    }
+}

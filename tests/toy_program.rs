@@ -1,0 +1,130 @@
+//! Integration test: the paper's Figures 1–3 toy-program walkthrough,
+//! end to end through the public API.
+
+use sigil::analysis::critical_path::CriticalPath;
+use sigil::analysis::inclusive::inclusive_table;
+use sigil::analysis::Cdfg;
+use sigil::core::{Profile, SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+
+/// Builds the toy of Figures 1/2: main → {A → {C, D1}, B → D2}, with
+/// edges C→D2 (16 B), C→D1 (8 B), main→A (4 B), A-local data.
+fn toy_profile(config: SigilConfig) -> Profile {
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    engine.scoped_named("main", |e| {
+        e.write(0x400, 4); // main → A edge
+        e.scoped_named("A", |e| {
+            e.read(0x400, 4);
+            e.op(OpClass::IntArith, 100);
+            e.scoped_named("C", |e| {
+                e.op(OpClass::IntArith, 500);
+                e.write(0x100, 16); // → D2
+                e.write(0x200, 8); // → D1
+            });
+            e.scoped_named("D", |e| {
+                e.read(0x200, 8);
+                e.op(OpClass::IntArith, 200);
+            });
+        });
+        e.scoped_named("B", |e| {
+            e.op(OpClass::IntArith, 50);
+            e.scoped_named("D", |e| {
+                e.read(0x100, 16);
+                e.op(OpClass::IntArith, 200);
+            });
+        });
+    });
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+fn ctx_of(cdfg: &Cdfg, name: &str, nth: usize) -> sigil::callgrind::ContextId {
+    cdfg.nodes()
+        .iter()
+        .filter(|n| n.name == name)
+        .nth(nth)
+        .unwrap_or_else(|| panic!("node {name}[{nth}]"))
+        .ctx
+}
+
+#[test]
+fn figure1_edges_have_expected_weights() {
+    let profile = toy_profile(SigilConfig::default());
+    let cdfg = Cdfg::from_profile(&profile);
+
+    // D appears in two contexts (the paper's D1 and D2).
+    let d_count = cdfg.nodes().iter().filter(|n| n.name == "D").count();
+    assert_eq!(d_count, 2);
+
+    let c = ctx_of(&cdfg, "C", 0);
+    let d1 = ctx_of(&cdfg, "D", 0);
+    let d2 = ctx_of(&cdfg, "D", 1);
+    let a = ctx_of(&cdfg, "A", 0);
+    let main = ctx_of(&cdfg, "main", 0);
+
+    let weight = |p, q| {
+        cdfg.data_edges()
+            .iter()
+            .find(|e| e.producer == p && e.consumer == q)
+            .map(|e| e.unique_bytes)
+    };
+    assert_eq!(weight(c, d1), Some(8));
+    assert_eq!(weight(c, d2), Some(16));
+    assert_eq!(weight(main, a), Some(4));
+}
+
+#[test]
+fn figure2_merging_a_discards_internal_edges() {
+    let profile = toy_profile(SigilConfig::default());
+    let cdfg = Cdfg::from_profile(&profile);
+    let table = inclusive_table(&cdfg);
+    let a = ctx_of(&cdfg, "A", 0);
+
+    let inc = &table[a.index()];
+    // Inside A's box: C→D1 (8 B) discarded. Crossing: C→D2 out (16 B),
+    // main→A in (4 B).
+    assert_eq!(inc.comm_out_unique, 16);
+    assert_eq!(inc.comm_in_unique, 4);
+    // Computation accumulates over the sub-tree.
+    assert_eq!(inc.costs.ops_total(), 100 + 500 + 200);
+}
+
+#[test]
+fn figure3_critical_path_runs_through_c_and_d() {
+    let profile = toy_profile(SigilConfig::default().with_events());
+    let cp = CriticalPath::from_profile(&profile).expect("events recorded");
+    let names = cp.function_names(&profile);
+    assert!(names.contains(&"C".to_owned()), "path {names:?}");
+    assert!(names.contains(&"D".to_owned()), "path {names:?}");
+    assert!(cp.length_ops <= cp.serial_ops);
+    assert!(cp.max_parallelism() >= 1.0);
+    // B's 50-op fragment and D2 can overlap with A's sub-tree only up to
+    // the C→D2 data dependency: the path must be longer than C alone.
+    assert!(cp.length_ops > 500);
+}
+
+#[test]
+fn profile_is_deterministic() {
+    let a = toy_profile(SigilConfig::default());
+    let b = toy_profile(SigilConfig::default());
+    assert_eq!(a.edges, b.edges);
+    assert_eq!(a.contexts, b.contexts);
+    assert_eq!(a.callgrind.total_ops, b.callgrind.total_ops);
+}
+
+#[test]
+fn unique_totals_are_consistent() {
+    let profile = toy_profile(SigilConfig::default());
+    for row in profile.function_rows() {
+        let comm = row.comm;
+        assert_eq!(
+            comm.input_unique_bytes
+                + comm.input_nonunique_bytes
+                + comm.local_unique_bytes
+                + comm.local_nonunique_bytes,
+            comm.bytes_read,
+            "{}: read classification must partition total reads",
+            row.name
+        );
+    }
+}

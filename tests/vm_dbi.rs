@@ -1,0 +1,158 @@
+//! Integration test: the VM-executed (DBI) path produces profiles
+//! equivalent to directly traced executions of the same logical program.
+
+use sigil::core::{SigilConfig, SigilProfiler};
+use sigil::trace::{Engine, OpClass};
+use sigil::vm::{Interpreter, ProgramBuilder};
+use sigil::workloads::vm_kernels;
+
+#[test]
+fn vm_producer_consumer_matches_direct_trace() {
+    // Guest: fill writes n u64s; sum reads them back.
+    let n = 64u64;
+    let mut pb = ProgramBuilder::new();
+    let fill = pb.declare("fill");
+    let sum = pb.declare("sum");
+    let mut main = pb.function("main", 3);
+    main.alloc_imm(0, n * 8);
+    main.call(fill, &[0], None);
+    main.call(sum, &[0], Some(1));
+    main.ret_reg(1);
+    main.finish();
+    let mut f = pb.define(fill, 5);
+    f.loop_range(1, 2, 0, n, |f| {
+        f.imm(3, 8);
+        f.mul(3, 1, 3);
+        f.add(3, 0, 3);
+        f.store(1, 3, 0, 8);
+    });
+    f.ret();
+    f.finish();
+    let mut s = pb.define(sum, 6);
+    s.imm(4, 0);
+    s.loop_range(1, 2, 0, n, |f| {
+        f.imm(3, 8);
+        f.mul(3, 1, 3);
+        f.add(3, 0, 3);
+        f.load(3, 3, 0, 8);
+        f.add(4, 4, 3);
+    });
+    s.ret_reg(4);
+    s.finish();
+    let program = pb.build().expect("verifies");
+
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    let result = Interpreter::new(&program)
+        .run(&mut engine)
+        .expect("no trap");
+    assert_eq!(result, Some((0..n).sum()));
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+
+    // Classification sees through the interpreter: `sum` consumed
+    // exactly the n*8 unique bytes `fill` produced.
+    let sum_fn = profile.function_by_name("sum").expect("sum ran");
+    assert_eq!(sum_fn.comm.input_unique_bytes, n * 8);
+    assert_eq!(sum_fn.comm.input_nonunique_bytes, 0);
+    let fill_fn = profile.function_by_name("fill").expect("fill ran");
+    assert_eq!(fill_fn.comm.output_unique_bytes, n * 8);
+
+    // The fill→sum data edge exists with the right weight.
+    let edge_bytes: u64 = profile
+        .edges
+        .iter()
+        .filter(|e| {
+            let tree = &profile.callgrind.tree;
+            let name = |ctx| {
+                tree.node(ctx)
+                    .func
+                    .and_then(|f| profile.symbols().get_name(f))
+                    .unwrap_or("")
+                    .to_owned()
+            };
+            name(e.producer) == "fill" && name(e.consumer) == "sum"
+        })
+        .map(|e| e.unique_bytes)
+        .sum();
+    assert_eq!(edge_bytes, n * 8);
+}
+
+#[test]
+fn recursive_guest_builds_folded_contexts() {
+    let program = vm_kernels::fibonacci(12);
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    let result = Interpreter::new(&program).run(&mut engine).expect("no trap");
+    assert_eq!(result, Some(144));
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+    let fib = profile.function_by_name("fib").expect("fib ran");
+    // fib(12) makes 465 calls in total.
+    assert_eq!(fib.calls, 465);
+    // Self-recursion folds: the calltree stays tiny despite 465 calls.
+    assert!(profile.callgrind.tree.len() < 10);
+}
+
+#[test]
+fn vm_kernels_profile_under_all_modes() {
+    for program in [
+        vm_kernels::vector_add(256),
+        vm_kernels::dot_product(256),
+        vm_kernels::fibonacci(10),
+    ] {
+        let config = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_events();
+        let mut engine = Engine::new(SigilProfiler::new(config));
+        Interpreter::new(&program)
+            .run(&mut engine)
+            .expect("kernel runs clean");
+        let (profiler, symbols) = engine.finish_with_symbols();
+        let profile = profiler.into_profile(symbols);
+        assert!(profile.reuse.is_some());
+        assert!(profile.lines.is_some());
+        assert!(profile.events.is_some());
+        assert!(profile.callgrind.total_ops > 0);
+    }
+}
+
+#[test]
+fn vm_and_direct_trace_agree_on_event_counts() {
+    // The same logical work described two ways must present identical
+    // memory traffic to the profiler.
+    let n = 32u64;
+    let program = {
+        let mut pb = ProgramBuilder::new();
+        let mut main = pb.function("main", 4);
+        main.alloc_imm(0, n * 8);
+        main.loop_range(1, 2, 0, n, |f| {
+            f.imm(3, 8);
+            f.mul(3, 1, 3);
+            f.add(3, 0, 3);
+            f.store(1, 3, 0, 8);
+        });
+        main.ret();
+        main.finish();
+        pb.build().expect("verifies")
+    };
+    let mut vm_engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    Interpreter::new(&program)
+        .run(&mut vm_engine)
+        .expect("no trap");
+    let (p, s) = vm_engine.finish_with_symbols();
+    let vm_profile = p.into_profile(s);
+
+    let mut direct = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    direct.scoped_named("main", |e| {
+        for i in 0..n {
+            e.write(0x1000_0000 + i * 8, 8);
+            e.op(OpClass::IntArith, 1);
+        }
+    });
+    let (p, s) = direct.finish_with_symbols();
+    let direct_profile = p.into_profile(s);
+
+    let vm_main = vm_profile.function_by_name("main").expect("main");
+    let direct_main = direct_profile.function_by_name("main").expect("main");
+    assert_eq!(vm_main.comm.bytes_written, direct_main.comm.bytes_written);
+}
