@@ -104,11 +104,7 @@ pub fn bb_curve(profile: &Profile, function: &str) -> Option<Vec<BufferPoint>> {
 /// # Panics
 ///
 /// Panics if `fraction` is not within `[0, 1]`.
-pub fn retention_for_hit_fraction(
-    profile: &Profile,
-    function: &str,
-    fraction: f64,
-) -> Option<u64> {
+pub fn retention_for_hit_fraction(profile: &Profile, function: &str, fraction: f64) -> Option<u64> {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1], got {fraction}"

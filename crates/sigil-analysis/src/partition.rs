@@ -287,7 +287,11 @@ mod tests {
         let pos = |name: &str| rows.iter().position(|r| r.name == name).expect(name);
         assert!(pos("kernel") < pos("chatty"));
         let kernel = &rows[pos("kernel")];
-        assert!(kernel.breakeven < 1.1, "compute-heavy ≈ 1.0, got {}", kernel.breakeven);
+        assert!(
+            kernel.breakeven < 1.1,
+            "compute-heavy ≈ 1.0, got {}",
+            kernel.breakeven
+        );
         let chatty = &rows[pos("chatty")];
         assert!(chatty.breakeven > kernel.breakeven);
     }

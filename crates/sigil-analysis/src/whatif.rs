@@ -211,7 +211,11 @@ mod tests {
         .expect("valid scenario");
         // Kernel is ~90% of cycles: 10x on it gives roughly 1/(0.1+0.09)
         // ≈ 5x, definitely between 3x and 10x.
-        assert!(est.speedup() > 3.0 && est.speedup() < 10.0, "{}", est.speedup());
+        assert!(
+            est.speedup() > 3.0 && est.speedup() < 10.0,
+            "{}",
+            est.speedup()
+        );
     }
 
     #[test]
@@ -265,7 +269,12 @@ mod tests {
     fn overlapping_scenarios_rejected() {
         let profile = profile();
         let cdfg = Cdfg::from_profile(&profile);
-        let main = cdfg.nodes().iter().find(|n| n.name == "main").expect("main").ctx;
+        let main = cdfg
+            .nodes()
+            .iter()
+            .find(|n| n.name == "main")
+            .expect("main")
+            .ctx;
         let kernel = kernel_ctx(&profile);
         let err = estimate_offload(
             &profile,

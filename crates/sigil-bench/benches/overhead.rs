@@ -60,9 +60,8 @@ fn overhead(c: &mut Criterion) {
             &bench,
             |b, &bench| {
                 b.iter(|| {
-                    let mut engine = Engine::new(SigilProfiler::new(
-                        SigilConfig::default().with_reuse_mode(),
-                    ));
+                    let mut engine =
+                        Engine::new(SigilProfiler::new(SigilConfig::default().with_reuse_mode()));
                     bench.run(InputSize::SimSmall, &mut engine);
                     let (p, s) = engine.finish_with_symbols();
                     p.into_profile(s)

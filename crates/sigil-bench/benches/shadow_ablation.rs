@@ -1,12 +1,13 @@
 //! Ablation of the shadow-memory design (DESIGN.md): the paper's
 //! two-level chunked table vs a naive flat `HashMap<addr, object>`
 //! shadow, on sequential and strided access patterns; plus the cost of
-//! the FIFO limiter.
+//! the FIFO/LRU limiter and the one-entry MRU chunk cache.
 
 use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sigil_mem::{EvictionPolicy, ShadowObject, ShadowTable};
+use sigil_core::sweep::run_parallel;
+use sigil_mem::{EvictionPolicy, MemoryStats, ShadowObject, ShadowTable};
 use sigil_trace::CallNumber;
 
 const TOUCHES: u64 = 100_000;
@@ -35,7 +36,34 @@ fn run_hashmap(addrs: impl Iterator<Item = u64>, map: &mut HashMap<u64, ShadowOb
     }
 }
 
+/// Prints the MRU chunk-cache hit rate per access pattern, so the timing
+/// numbers below can be read against how often the hot path actually
+/// skipped the hash probe. The patterns are independent, so they are
+/// characterized concurrently via the sweep driver.
+fn report_mru_hit_rates() {
+    let patterns: Vec<&str> = vec!["sequential", "strided"];
+    let stats: Vec<(&str, MemoryStats)> = run_parallel(patterns.len(), patterns, |pattern| {
+        let mut table: ShadowTable<ShadowObject> = ShadowTable::new();
+        match pattern {
+            "sequential" => run_table(sequential_addrs(), &mut table),
+            _ => run_table(strided_addrs(), &mut table),
+        }
+        (pattern, table.stats())
+    });
+    println!("--- MRU chunk-cache hit rates ({TOUCHES} touches) ---");
+    for (pattern, stats) in stats {
+        println!(
+            "{pattern:>12}: {:.2}% hits ({} of {} accesses, {} probes)",
+            stats.mru_hit_rate() * 100.0,
+            stats.mru_hits,
+            stats.accesses,
+            stats.table_probes
+        );
+    }
+}
+
 fn shadow_ablation(c: &mut Criterion) {
+    report_mru_hit_rates();
     let mut group = c.benchmark_group("shadow_ablation");
     group.sample_size(20);
 

@@ -14,7 +14,11 @@ fn main() {
         "Ablation: shadow-memory limit vs classification accuracy (dedup, simsmall)",
         "the FIFO limiter's accuracy loss is negligible until the budget gets tiny",
     );
-    let baseline = profile(Benchmark::Dedup, InputSize::SimSmall, SigilConfig::default());
+    let baseline = profile(
+        Benchmark::Dedup,
+        InputSize::SimSmall,
+        SigilConfig::default(),
+    );
     let true_unique = baseline.total_unique_bytes();
     println!(
         "unlimited: {} unique bytes, {:.2} MiB shadow",

@@ -1,8 +1,16 @@
-//! Runs every figure/table binary's logic in sequence by spawning the
-//! sibling binaries. Convenience wrapper for regenerating the whole
-//! evaluation (`cargo run --release -p sigil-bench --bin all_figures`).
+//! Runs every figure/table binary's logic by spawning the sibling
+//! binaries. Convenience wrapper for regenerating the whole evaluation
+//! (`cargo run --release -p sigil-bench --bin all_figures [-- --jobs N]`).
+//!
+//! With `--jobs N` (default 1) up to N figure binaries run concurrently —
+//! each is an independent process, so this is the same embarrassingly
+//! parallel shape as `sigil sweep --jobs`. Output is captured per binary
+//! and printed in the fixed figure order regardless of completion order.
 
+use std::path::PathBuf;
 use std::process::{Command, ExitCode};
+
+use sigil_core::sweep::run_parallel;
 
 const TARGETS: [&str; 17] = [
     "fig04_slowdown",
@@ -24,23 +32,85 @@ const TARGETS: [&str; 17] = [
     "ext_reuse_distance",
 ];
 
+struct FigureRun {
+    target: &'static str,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    success: bool,
+    wall_ms: f64,
+}
+
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a value")?;
+                jobs = value.parse().map_err(|_| "bad --jobs value".to_owned())?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+            }
+            other => return Err(format!("unknown option `{other}` (only --jobs <n>)")),
+        }
+    }
+    Ok(jobs)
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match parse_jobs(&args) {
+        Ok(jobs) => jobs,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let current = std::env::current_exe().expect("current exe path");
-    let bindir = current.parent().expect("exe has a parent dir");
+    let bindir = current
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
     for target in TARGETS {
-        let path = bindir.join(target);
-        if !path.exists() {
+        if !bindir.join(target).exists() {
             eprintln!(
                 "error: `{target}` not built; run `cargo build --release -p sigil-bench --bins` first"
             );
             return ExitCode::FAILURE;
         }
-        let status = Command::new(&path).status().expect("spawn figure binary");
-        if !status.success() {
-            eprintln!("error: `{target}` failed with {status}");
-            return ExitCode::FAILURE;
+    }
+
+    let runs = run_parallel(jobs, TARGETS.to_vec(), |target| {
+        let path: PathBuf = bindir.join(target);
+        let start = std::time::Instant::now();
+        let output = Command::new(&path).output().expect("spawn figure binary");
+        FigureRun {
+            target,
+            stdout: output.stdout,
+            stderr: output.stderr,
+            success: output.status.success(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    });
+
+    let mut failed = false;
+    for run in &runs {
+        print!("{}", String::from_utf8_lossy(&run.stdout));
+        eprint!("{}", String::from_utf8_lossy(&run.stderr));
+        if !run.success {
+            eprintln!("error: `{}` failed", run.target);
+            failed = true;
         }
         println!();
     }
-    ExitCode::SUCCESS
+    println!("--- per-figure wall time (ms), jobs={jobs} ---");
+    for run in &runs {
+        println!("{:>10.1}  {}", run.wall_ms, run.target);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

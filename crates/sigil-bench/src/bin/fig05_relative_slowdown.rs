@@ -13,10 +13,7 @@ fn main() {
         "Figure 5: slowdown of Sigil relative to Callgrind",
         "fairly consistent ~8-9x across benchmarks and input sizes; dedup an outlier",
     );
-    println!(
-        "{:>14} {:>14} {:>14}",
-        "benchmark", "simsmall", "simmedium"
-    );
+    println!("{:>14} {:>14} {:>14}", "benchmark", "simsmall", "simmedium");
     let mut csv = Vec::new();
     for bench in Benchmark::parsec() {
         let small = measure_overhead(bench, InputSize::SimSmall, 2);

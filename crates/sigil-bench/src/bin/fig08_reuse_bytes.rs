@@ -16,10 +16,7 @@ fn main() {
         "Figure 8: data bytes by reuse count (simsmall, reuse mode)",
         "zero-reuse dominates; >9 reuse is a small sliver for most benchmarks",
     );
-    println!(
-        "{:>14} {:>10} {:>10} {:>10}",
-        "benchmark", "0", "1-9", ">9"
-    );
+    println!("{:>14} {:>10} {:>10} {:>10}", "benchmark", "0", "1-9", ">9");
     let mut csv = Vec::new();
     for bench in Benchmark::parsec() {
         let p = profile(
@@ -39,12 +36,6 @@ fn main() {
     }
     csv_header("benchmark,zero_pct,low_pct,high_pct");
     for (bench, pct) in csv {
-        println!(
-            "{},{:.3},{:.3},{:.3}",
-            bench.name(),
-            pct[0],
-            pct[1],
-            pct[2]
-        );
+        println!("{},{:.3},{:.3},{:.3}", bench.name(), pct[0], pct[1], pct[2]);
     }
 }

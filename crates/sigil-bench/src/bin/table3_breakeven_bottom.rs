@@ -30,7 +30,14 @@ fn main() {
         let ranked = rank_functions(&p, &config);
         println!("\n{}:", bench.name());
         println!("{:>10}  function", "S(be)");
-        for row in ranked.iter().rev().take(5).collect::<Vec<_>>().into_iter().rev() {
+        for row in ranked
+            .iter()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
             println!("{:>10.3}  {}", row.breakeven, row.name);
             csv.push((bench, row.name.clone(), row.breakeven));
         }

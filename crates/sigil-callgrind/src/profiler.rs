@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use sigil_trace::{
-    ExecutionObserver, FunctionId, OpClock, RuntimeEvent, SymbolTable, Timestamp,
-};
+use sigil_trace::{ExecutionObserver, FunctionId, OpClock, RuntimeEvent, SymbolTable, Timestamp};
 
 use crate::branch::BranchPredictor;
 use crate::cache::{CacheConfig, CacheHierarchy};

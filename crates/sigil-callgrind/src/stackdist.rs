@@ -149,7 +149,10 @@ impl ReuseDistanceObserver {
     ///
     /// Panics unless `line_size` is a power of two.
     pub fn new(line_size: u32) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         ReuseDistanceObserver {
             line_shift: line_size.trailing_zeros(),
             last_slot: HashMap::new(),
@@ -167,8 +170,8 @@ impl ReuseDistanceObserver {
         let distance = match self.last_slot.get(&line).copied() {
             Some(slot) => {
                 // Distinct lines accessed after `slot`: marks in (slot, now).
-                let after_slot = self.marks.prefix(self.next_slot.saturating_sub(1))
-                    - self.marks.prefix(slot);
+                let after_slot =
+                    self.marks.prefix(self.next_slot.saturating_sub(1)) - self.marks.prefix(slot);
                 self.histogram.record(after_slot);
                 self.marks.add(slot, -1);
                 Some(after_slot)

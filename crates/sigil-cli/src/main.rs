@@ -11,6 +11,7 @@
 //! sigil run <file.svm> [--reuse] [--lines N]    # assemble + profile a guest program
 //! sigil trace <benchmark> -o <file.sgtr>        # record a platform-independent trace
 //! sigil replay <file.sgtr> [--reuse] [...]      # profile from a recorded trace
+//! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
 //! sigil list                                    # available benchmarks
 //! ```
 
@@ -28,9 +29,9 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|list> [target] [options]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
-              --limit <chunks> --cores <n> -o <file> --json"
+              --limit <chunks> --cores <n> --jobs <n> -o <file> --json"
 }
 
 #[derive(Debug, Clone)]
@@ -43,6 +44,7 @@ struct Options {
     events: bool,
     limit: Option<usize>,
     cores: usize,
+    jobs: usize,
     output: Option<String>,
     json: bool,
 }
@@ -54,7 +56,10 @@ impl Options {
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let target = args.first().ok_or("missing benchmark or file name")?.clone();
+    let target = args
+        .first()
+        .ok_or("missing benchmark or file name")?
+        .clone();
     let mut opts = Options {
         target,
         size: InputSize::SimSmall,
@@ -63,6 +68,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         events: false,
         limit: None,
         cores: 4,
+        jobs: 1,
         output: None,
         json: false,
     };
@@ -94,6 +100,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.cores = value.parse().map_err(|_| "bad --cores value")?;
                 if opts.cores == 0 {
                     return Err("--cores must be at least 1".to_owned());
+                }
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = value.parse().map_err(|_| "bad --jobs value")?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
                 }
             }
             "-o" | "--output" => {
@@ -289,6 +302,52 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let benches =
+        sigil_workloads::Benchmark::parse_selection(&opts.target).map_err(|e| e.to_string())?;
+    let names: Vec<(String, String)> = benches
+        .iter()
+        .map(|b| (b.name().to_string(), opts.size.to_string()))
+        .collect();
+    let config = sigil_config(opts);
+    let entries = sigil_core::sweep::sweep(opts.jobs, &names, |name| {
+        let bench: Benchmark = name.parse().expect("sweep names come from parse_selection");
+        let mut engine = Engine::new(SigilProfiler::new(config));
+        bench.run(opts.size, &mut engine);
+        let (profiler, symbols) = engine.finish_with_symbols();
+        profiler.into_profile(symbols)
+    });
+    if opts.json {
+        let json = serde_json::to_string_pretty(&entries).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!(
+        "# sweep of {} workload(s) at {} with --jobs {}",
+        entries.len(),
+        opts.size,
+        opts.jobs
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>9}  workload",
+        "wall(ms)", "ops", "edges", "accesses", "mru%"
+    );
+    for entry in &entries {
+        println!(
+            "{:>14.2} {:>10} {:>12} {:>12} {:>8.1}%  {}",
+            entry.wall_ms,
+            entry.profile.callgrind.total_ops,
+            entry.profile.edges.len(),
+            entry.profile.memory.accesses,
+            entry.profile.memory.mru_hit_rate() * 100.0,
+            entry.name
+        );
+    }
+    let total_ms: f64 = entries.iter().map(|e| e.wall_ms).sum();
+    println!("# sum of per-workload wall times: {total_ms:.2} ms");
+    Ok(())
+}
+
 fn cmd_trace(opts: &Options) -> Result<(), String> {
     let bench = opts.bench()?;
     let output = opts.output.as_deref().ok_or("trace needs -o <file>")?;
@@ -296,8 +355,8 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
     bench.run(opts.size, &mut engine);
     let (recorder, symbols) = engine.finish_with_symbols();
     let events = recorder.into_events();
-    let file = std::fs::File::create(output)
-        .map_err(|e| format!("cannot create `{output}`: {e}"))?;
+    let file =
+        std::fs::File::create(output).map_err(|e| format!("cannot create `{output}`: {e}"))?;
     let mut writer = std::io::BufWriter::new(file);
     sigil_trace::io::write_trace(&mut writer, &symbols, &events).map_err(|e| e.to_string())?;
     println!("wrote {} events to {output}", events.len());
@@ -308,8 +367,7 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     let file = std::fs::File::open(&opts.target)
         .map_err(|e| format!("cannot open `{}`: {e}", opts.target))?;
     let mut reader = std::io::BufReader::new(file);
-    let (symbols, events) =
-        sigil_trace::io::read_trace(&mut reader).map_err(|e| e.to_string())?;
+    let (symbols, events) = sigil_trace::io::read_trace(&mut reader).map_err(|e| e.to_string())?;
     let mut profiler = SigilProfiler::new(sigil_config(opts));
     sigil_trace::io::replay(&events, &mut profiler);
     let profile = profiler.into_profile(symbols);
@@ -341,6 +399,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "trace" => cmd_trace(&opts),
         "replay" => cmd_replay(&opts),
+        "sweep" => cmd_sweep(&opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     });
     match result {
@@ -367,14 +426,35 @@ mod tests {
         assert_eq!(opts.size, InputSize::SimSmall);
         assert!(!opts.reuse && !opts.events && !opts.json);
         assert_eq!(opts.cores, 4);
+        assert_eq!(opts.jobs, 1);
         assert!(opts.bench().is_ok());
+    }
+
+    #[test]
+    fn parse_jobs_flag() {
+        let opts = parse_options(&args(&["all", "--jobs", "6"])).expect("parses");
+        assert_eq!(opts.jobs, 6);
+        assert!(parse_options(&args(&["all", "--jobs", "0"])).is_err());
+        assert!(parse_options(&args(&["all", "--jobs", "x"])).is_err());
     }
 
     #[test]
     fn parse_all_flags() {
         let opts = parse_options(&args(&[
-            "dedup", "--size", "simmedium", "--reuse", "--lines", "128", "--events", "--limit",
-            "32", "--cores", "8", "-o", "out.sgtr", "--json",
+            "dedup",
+            "--size",
+            "simmedium",
+            "--reuse",
+            "--lines",
+            "128",
+            "--events",
+            "--limit",
+            "32",
+            "--cores",
+            "8",
+            "-o",
+            "out.sgtr",
+            "--json",
         ]))
         .expect("parses");
         assert_eq!(opts.size, InputSize::SimMedium);

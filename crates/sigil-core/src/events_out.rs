@@ -219,9 +219,10 @@ impl EventFile {
                     file.records.push(EventRecord::Call {
                         parent_call: CallNumber::from_raw(parent),
                         call: CallNumber::from_raw(call),
-                        ctx: ContextId(u32::try_from(ctx).map_err(|_| {
-                            (line, format!("context id {ctx} out of range"))
-                        })?),
+                        ctx: ContextId(
+                            u32::try_from(ctx)
+                                .map_err(|_| (line, format!("context id {ctx} out of range")))?,
+                        ),
                     });
                 }
                 Some("COMP") => {
@@ -230,9 +231,10 @@ impl EventFile {
                     let ops = field(parts.next(), "ops", line)?;
                     file.records.push(EventRecord::Compute {
                         call: CallNumber::from_raw(call),
-                        ctx: ContextId(u32::try_from(ctx).map_err(|_| {
-                            (line, format!("context id {ctx} out of range"))
-                        })?),
+                        ctx: ContextId(
+                            u32::try_from(ctx)
+                                .map_err(|_| (line, format!("context id {ctx} out of range")))?,
+                        ),
                         ops,
                     });
                 }

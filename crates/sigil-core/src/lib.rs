@@ -62,6 +62,7 @@ pub mod profiler;
 pub mod report;
 pub mod reuse;
 pub mod stats;
+pub mod sweep;
 
 pub use config::SigilConfig;
 pub use events_out::{EventFile, EventRecord};
@@ -69,3 +70,4 @@ pub use profile::{ContextComm, FunctionComm, Profile};
 pub use profiler::{LineReport, SigilProfiler};
 pub use reuse::{ContextReuse, LifetimeHistogram, ReuseBucket};
 pub use stats::{CommEdge, CommStats};
+pub use sweep::SweepEntry;

@@ -261,7 +261,11 @@ mod tests {
     #[test]
     fn function_rows_cover_all_functions() {
         let profile = two_function_profile();
-        let names: Vec<String> = profile.function_rows().into_iter().map(|r| r.name).collect();
+        let names: Vec<String> = profile
+            .function_rows()
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
         assert!(names.contains(&"main".to_owned()));
         assert!(names.contains(&"a".to_owned()));
         assert!(names.contains(&"b".to_owned()));

@@ -259,10 +259,7 @@ impl SigilProfiler {
             // (classified *local* for the byte accounting above, but
             // still a real dependency between the two call nodes of the
             // Figure 3 construction).
-            if !repeat
-                && producer.is_some()
-                && producer_call != frame.call
-                && self.events.is_some()
+            if !repeat && producer.is_some() && producer_call != frame.call && self.events.is_some()
             {
                 // Flush the consumer's pending ops first so they precede
                 // the transfer.

@@ -1,0 +1,150 @@
+//! Parallel sweep driver: profile independent workloads concurrently.
+//!
+//! Each [`crate::SigilProfiler`] owns all of its state (shadow table,
+//! calltree, edge accumulators), so profiling N independent workloads is
+//! embarrassingly parallel: one profiler per worker thread, no sharing.
+//! [`run_parallel`] provides the generic fan-out — a fixed pool of
+//! `std::thread` workers pulling items off a shared atomic cursor — and
+//! [`SweepEntry`] is the per-workload result record (profile plus wall
+//! time) that drivers serialize into results JSON.
+//!
+//! Results are returned **in input order** regardless of which worker
+//! finished first, and each item is processed by exactly one worker, so
+//! a sweep at `jobs = N` is observably identical to the serial sweep
+//! apart from wall time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::Profile;
+
+/// Runs `worker` over `items` on `jobs` threads, returning outputs in
+/// input order.
+///
+/// With `jobs <= 1` (or a single item) everything runs on the calling
+/// thread — useful both as the serial baseline and to keep single-job
+/// runs free of any thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from `worker` once all threads have stopped.
+pub fn run_parallel<I, O, F>(jobs: usize, items: Vec<I>, worker: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(worker).collect();
+    }
+
+    let total = items.len();
+    // Hand items to the pool behind Options so each is taken exactly once.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let item = slots[index]
+                    .lock()
+                    .expect("sweep item lock")
+                    .take()
+                    .expect("each sweep item is claimed once");
+                let output = worker(item);
+                *results[index].lock().expect("sweep result lock") = Some(output);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep result lock")
+                .expect("every sweep item produced a result")
+        })
+        .collect()
+}
+
+/// One workload's result within a sweep: the profile plus how long this
+/// workload took to profile (recorded in the results JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepEntry {
+    /// Workload name (benchmark id).
+    pub name: String,
+    /// Input size label the workload ran at.
+    pub size: String,
+    /// Wall-clock time spent profiling this workload, in milliseconds.
+    pub wall_ms: f64,
+    /// The measured profile.
+    pub profile: Profile,
+}
+
+/// Runs `produce` for every named workload on `jobs` threads and wraps
+/// each output profile in a timed [`SweepEntry`].
+///
+/// `produce` receives the workload name and must synthesize its profile
+/// from scratch (it runs once per workload, on whichever worker thread
+/// claims it).
+pub fn sweep<F>(jobs: usize, names: &[(String, String)], produce: F) -> Vec<SweepEntry>
+where
+    F: Fn(&str) -> Profile + Sync,
+{
+    run_parallel(jobs, names.to_vec(), |(name, size)| {
+        let start = Instant::now();
+        let profile = produce(&name);
+        SweepEntry {
+            name,
+            size,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            profile,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_keep_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = run_parallel(8, items.clone(), |v| v * 2);
+        assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = run_parallel(1, items.clone(), |v| v * v + 1);
+        let parallel = run_parallel(4, items, |v| v * v + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn each_item_processed_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let outputs = run_parallel(3, vec![(); 37], |()| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outputs.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn zero_jobs_degrades_to_serial() {
+        assert_eq!(run_parallel(0, vec![5u32], |v| v + 1), vec![6]);
+        assert_eq!(run_parallel(0, Vec::<u32>::new(), |v| v + 1), vec![]);
+    }
+}

@@ -4,10 +4,13 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-/// A snapshot of the shadow memory footprint.
+/// A snapshot of the shadow memory footprint and hot-path counters.
 ///
 /// The paper's Figure 6 plots Sigil's memory usage per workload and input
-/// size; this is the measured quantity in our reproduction.
+/// size; this is the measured quantity in our reproduction. The access
+/// counters additionally expose how the shadow hot path behaved: every
+/// `slot_mut` is an access, served either by the one-entry MRU chunk
+/// cache (`mru_hits`) or by a first-level hash probe (`table_probes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemoryStats {
     /// Second-level chunks currently resident.
@@ -18,12 +21,28 @@ pub struct MemoryStats {
     pub resident_bytes: u64,
     /// Chunks evicted by the FIFO/LRU limiter so far.
     pub evicted_chunks: u64,
+    /// Total shadow slot accesses (`slot_mut` calls).
+    pub accesses: u64,
+    /// Accesses served by the one-entry MRU chunk cache.
+    pub mru_hits: u64,
+    /// Accesses that fell through to the first-level hash probe.
+    pub table_probes: u64,
 }
 
 impl MemoryStats {
     /// Resident footprint in mebibytes.
     pub fn resident_mib(&self) -> f64 {
         self.resident_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Fraction of accesses served by the MRU chunk cache, in `[0, 1]`.
+    /// Zero when no accesses were recorded.
+    pub fn mru_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.mru_hits as f64 / self.accesses as f64
+        }
     }
 
     /// Component-wise sum of two snapshots (e.g. byte table + line table).
@@ -34,6 +53,9 @@ impl MemoryStats {
             resident_slots: self.resident_slots + other.resident_slots,
             resident_bytes: self.resident_bytes + other.resident_bytes,
             evicted_chunks: self.evicted_chunks + other.evicted_chunks,
+            accesses: self.accesses + other.accesses,
+            mru_hits: self.mru_hits + other.mru_hits,
+            table_probes: self.table_probes + other.table_probes,
         }
     }
 }
@@ -42,10 +64,11 @@ impl fmt::Display for MemoryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.2} MiB resident ({} chunks, {} evicted)",
+            "{:.2} MiB resident ({} chunks, {} evicted, {:.1}% MRU hits)",
             self.resident_mib(),
             self.resident_chunks,
-            self.evicted_chunks
+            self.evicted_chunks,
+            self.mru_hit_rate() * 100.0
         )
     }
 }
@@ -70,18 +93,39 @@ mod tests {
             resident_slots: 10,
             resident_bytes: 100,
             evicted_chunks: 2,
+            accesses: 50,
+            mru_hits: 40,
+            table_probes: 10,
         };
         let b = MemoryStats {
             resident_chunks: 3,
             resident_slots: 30,
             resident_bytes: 300,
             evicted_chunks: 4,
+            accesses: 8,
+            mru_hits: 2,
+            table_probes: 6,
         };
         let c = a.combined(b);
         assert_eq!(c.resident_chunks, 4);
         assert_eq!(c.resident_slots, 40);
         assert_eq!(c.resident_bytes, 400);
         assert_eq!(c.evicted_chunks, 6);
+        assert_eq!(c.accesses, 58);
+        assert_eq!(c.mru_hits, 42);
+        assert_eq!(c.table_probes, 16);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_accesses() {
+        assert_eq!(MemoryStats::default().mru_hit_rate(), 0.0);
+        let stats = MemoryStats {
+            accesses: 8,
+            mru_hits: 6,
+            table_probes: 2,
+            ..MemoryStats::default()
+        };
+        assert!((stats.mru_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property tests pinning the limited `ShadowTable` to an executable
+//! reference model: a deliberately naive chunk map with explicit FIFO /
+//! LRU bookkeeping. The real table's slab recycling, intrusive recency
+//! list, and one-entry MRU cache must be invisible — same victims, same
+//! eviction counts, same visible slot values as the model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sigil_mem::{EvictionPolicy, ShadowTable, CHUNK_SLOTS};
+
+/// Chunk-granular reference implementation of the eviction semantics.
+struct ModelTable {
+    /// key -> (alloc sequence, last-touch sequence, slot values).
+    chunks: BTreeMap<u64, (u64, u64, BTreeMap<u64, u32>)>,
+    limit: usize,
+    policy: EvictionPolicy,
+    seq: u64,
+    evicted: u64,
+}
+
+impl ModelTable {
+    fn new(limit: usize, policy: EvictionPolicy) -> Self {
+        ModelTable {
+            chunks: BTreeMap::new(),
+            limit,
+            policy,
+            seq: 0,
+            evicted: 0,
+        }
+    }
+
+    fn key(addr: u64) -> u64 {
+        addr / CHUNK_SLOTS as u64
+    }
+
+    fn write(&mut self, addr: u64, value: u32) {
+        let key = Self::key(addr);
+        self.seq += 1;
+        if let Some((_, touch, slots)) = self.chunks.get_mut(&key) {
+            *touch = self.seq;
+            slots.insert(addr, value);
+            return;
+        }
+        while self.chunks.len() >= self.limit {
+            let victim = match self.policy {
+                EvictionPolicy::Fifo => self
+                    .chunks
+                    .iter()
+                    .min_by_key(|(_, (alloc, _, _))| *alloc)
+                    .map(|(&k, _)| k),
+                EvictionPolicy::Lru => self
+                    .chunks
+                    .iter()
+                    .min_by_key(|(_, (_, touch, _))| *touch)
+                    .map(|(&k, _)| k),
+            };
+            let victim = victim.expect("limit >= 1 and table over limit");
+            self.chunks.remove(&victim);
+            self.evicted += 1;
+        }
+        self.chunks
+            .insert(key, (self.seq, self.seq, BTreeMap::from([(addr, value)])));
+    }
+
+    /// Visible slot value: `None` if the chunk is not resident, the
+    /// written value or the default 0 otherwise.
+    fn get(&self, addr: u64) -> Option<u32> {
+        self.chunks
+            .get(&Self::key(addr))
+            .map(|(_, _, slots)| slots.get(&addr).copied().unwrap_or(0))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Write(u64, u32),
+    Read(u64),
+    Clear,
+}
+
+fn addr_strategy() -> impl Strategy<Value = u64> + Clone {
+    // A handful of chunks so evictions and revisits are frequent.
+    (0u64..12, 0u64..CHUNK_SLOTS as u64).prop_map(|(chunk, off)| chunk * CHUNK_SLOTS as u64 + off)
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (addr_strategy(), any::<u32>()).prop_map(|(a, v)| Action::Write(a, v)),
+        addr_strategy().prop_map(Action::Read),
+        (0u8..40).prop_map(|roll| {
+            if roll == 0 {
+                Action::Clear
+            } else {
+                Action::Read(u64::from(roll))
+            }
+        }),
+    ]
+}
+
+fn check_against_model(
+    actions: &[Action],
+    limit: usize,
+    policy: EvictionPolicy,
+) -> Result<(), TestCaseError> {
+    let mut table: ShadowTable<u32> = ShadowTable::with_chunk_limit(limit, policy);
+    let mut model = ModelTable::new(limit, policy);
+    for action in actions {
+        match *action {
+            Action::Write(addr, value) => {
+                *table.slot_mut(addr) = value;
+                model.write(addr, value);
+            }
+            Action::Read(addr) => {
+                // Exercises both the MRU-cached and the probing read path.
+                prop_assert_eq!(table.get(addr).copied(), model.get(addr), "read {}", addr);
+            }
+            Action::Clear => {
+                table.clear();
+                model = ModelTable::new(limit, policy);
+            }
+        }
+        prop_assert!(
+            table.chunk_count() <= limit,
+            "resident {} exceeds limit {}",
+            table.chunk_count(),
+            limit
+        );
+        prop_assert_eq!(table.evicted_chunks(), model.evicted);
+    }
+    // Final sweep: every address the model knows about must agree, so
+    // victim selection matched the model on every eviction along the way.
+    let resident: Vec<u64> = model.chunks.keys().copied().collect();
+    prop_assert_eq!(table.chunk_count(), resident.len());
+    for key in 0u64..12 {
+        let probe = key * CHUNK_SLOTS as u64;
+        prop_assert_eq!(
+            table.get(probe).is_some(),
+            resident.contains(&key),
+            "chunk {} residency",
+            key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fifo_matches_reference_model(
+        actions in prop::collection::vec(action_strategy(), 1..250),
+        limit in 1usize..6,
+    ) {
+        check_against_model(&actions, limit, EvictionPolicy::Fifo)?;
+    }
+
+    #[test]
+    fn lru_matches_reference_model(
+        actions in prop::collection::vec(action_strategy(), 1..250),
+        limit in 1usize..6,
+    ) {
+        check_against_model(&actions, limit, EvictionPolicy::Lru)?;
+    }
+
+    #[test]
+    fn mru_cached_reads_agree_with_uncached_get(
+        writes in prop::collection::vec((addr_strategy(), any::<u32>()), 1..200),
+    ) {
+        // Unbounded table: every written value stays visible. Reading
+        // immediately after a write goes through the MRU cache; reading
+        // after touching a different chunk goes through the hash probe.
+        // Both must agree with a flat address->value model.
+        let mut table: ShadowTable<u32> = ShadowTable::new();
+        let mut flat: BTreeMap<u64, u32> = BTreeMap::new();
+        for &(addr, value) in &writes {
+            *table.slot_mut(addr) = value;
+            flat.insert(addr, value);
+            prop_assert_eq!(table.get(addr), Some(&value), "hot read-after-write");
+        }
+        for (&addr, &value) in &flat {
+            prop_assert_eq!(table.get(addr), Some(&value), "cold probe of {}", addr);
+        }
+        let stats = table.stats();
+        prop_assert_eq!(stats.accesses, writes.len() as u64);
+        prop_assert_eq!(stats.mru_hits + stats.table_probes, stats.accesses);
+    }
+}

@@ -74,7 +74,9 @@ impl<O: ExecutionObserver> Engine<O> {
     }
 
     fn state(&self) -> &ThreadState {
-        self.threads.get(&self.current).expect("current thread exists")
+        self.threads
+            .get(&self.current)
+            .expect("current thread exists")
     }
 
     fn state_mut(&mut self) -> &mut ThreadState {

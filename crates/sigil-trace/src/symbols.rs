@@ -1,6 +1,6 @@
 //! Function symbol table.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -28,7 +28,9 @@ use crate::ids::FunctionId;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SymbolTable {
     names: Vec<String>,
-    by_name: HashMap<String, FunctionId>,
+    // BTreeMap, not HashMap: serialized profiles must be byte-identical
+    // across runs and threads, so map iteration order has to be stable.
+    by_name: BTreeMap<String, FunctionId>,
 }
 
 impl SymbolTable {

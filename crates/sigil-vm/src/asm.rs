@@ -196,7 +196,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut ids: HashMap<&str, FuncId> = HashMap::new();
     for f in &functions {
         if ids.contains_key(f.name) {
-            return Err(AsmError::new(0, format!("function `{}` defined twice", f.name)));
+            return Err(AsmError::new(
+                0,
+                format!("function `{}` defined twice", f.name),
+            ));
         }
         ids.insert(f.name, pb.declare(f.name));
     }
@@ -288,9 +291,19 @@ fn parse_instruction(
             let dst = parse_reg(dst_tok, line)?;
             let rhs = tok(2)?;
             if let Some(op) = alu_op(rhs) {
-                fb.alu(op, dst, parse_reg(tok(3)?, line)?, parse_reg(tok(4)?, line)?);
+                fb.alu(
+                    op,
+                    dst,
+                    parse_reg(tok(3)?, line)?,
+                    parse_reg(tok(4)?, line)?,
+                );
             } else if let Some(op) = falu_op(rhs) {
-                fb.falu(op, dst, parse_reg(tok(3)?, line)?, parse_reg(tok(4)?, line)?);
+                fb.falu(
+                    op,
+                    dst,
+                    parse_reg(tok(3)?, line)?,
+                    parse_reg(tok(4)?, line)?,
+                );
             } else if let Some(width) = rhs.strip_prefix("load") {
                 let size: u8 = width
                     .parse()
@@ -307,7 +320,12 @@ fn parse_instruction(
                 fb.imm(dst, parse_imm(rhs, line)?);
             }
         }
-        other => return Err(AsmError::new(line, format!("unknown instruction `{other}`"))),
+        other => {
+            return Err(AsmError::new(
+                line,
+                format!("unknown instruction `{other}`"),
+            ))
+        }
     }
     Ok(())
 }
@@ -363,7 +381,9 @@ mod tests {
     fn run(source: &str) -> Option<u64> {
         let program = assemble(source).expect("assembles");
         let mut engine = Engine::new(CountingObserver::new());
-        let result = Interpreter::new(&program).run(&mut engine).expect("no trap");
+        let result = Interpreter::new(&program)
+            .run(&mut engine)
+            .expect("no trap");
         let _ = engine.finish();
         result
     }

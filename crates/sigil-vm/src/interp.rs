@@ -325,7 +325,12 @@ mod tests {
     use crate::builder::ProgramBuilder;
     use sigil_trace::observer::{CountingObserver, RecordingObserver};
 
-    fn run_program(program: &Program) -> (Result<Option<u64>, Trap>, sigil_trace::observer::EventCounts) {
+    fn run_program(
+        program: &Program,
+    ) -> (
+        Result<Option<u64>, Trap>,
+        sigil_trace::observer::EventCounts,
+    ) {
         let mut engine = Engine::new(CountingObserver::new());
         engine.set_strict(false);
         let result = Interpreter::new(program).run(&mut engine);

@@ -104,7 +104,10 @@ impl fmt::Display for VerifyError {
                 "call in {func} passes {args} args but {callee} has only {n_regs} registers"
             ),
             VerifyError::EmptyRegisterFile { func } => {
-                write!(f, "{func} declares zero registers but contains instructions")
+                write!(
+                    f,
+                    "{func} declares zero registers but contains instructions"
+                )
             }
         }
     }
@@ -182,7 +185,11 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
                         check_reg(*dst)?;
                         check_reg(*size)?;
                     }
-                    Inst::Call { func: callee, args, dst } => {
+                    Inst::Call {
+                        func: callee,
+                        args,
+                        dst,
+                    } => {
                         let Some(target) = program.functions.get(callee.index()) else {
                             return Err(VerifyError::FunctionOutOfRange {
                                 func: fid,
@@ -270,7 +277,11 @@ mod tests {
         let err = verify(&single_fn_program(func)).unwrap_err();
         assert!(matches!(
             err,
-            VerifyError::RegisterOutOfRange { reg: 5, n_regs: 1, .. }
+            VerifyError::RegisterOutOfRange {
+                reg: 5,
+                n_regs: 1,
+                ..
+            }
         ));
     }
 

@@ -61,15 +61,11 @@ fn build(insts: &[RandInst]) -> sigil_vm::Program {
         match *inst {
             RandInst::Imm(d, v) => f.imm(d.into(), v),
             RandInst::Mov(d, s) => f.mov(d.into(), s.into()),
-            RandInst::Alu(o, d, a, b) => {
-                f.alu(ALU_OPS[o as usize], d.into(), a.into(), b.into())
-            }
+            RandInst::Alu(o, d, a, b) => f.alu(ALU_OPS[o as usize], d.into(), a.into(), b.into()),
             RandInst::Falu(o, d, a, b) => {
                 f.falu(FALU_OPS[o as usize], d.into(), a.into(), b.into())
             }
-            RandInst::Load(d, off, s) => {
-                f.load(d.into(), 7, i64::from(off) * 8, SIZES[s as usize])
-            }
+            RandInst::Load(d, off, s) => f.load(d.into(), 7, i64::from(off) * 8, SIZES[s as usize]),
             RandInst::Store(src, off, s) => {
                 f.store(src.into(), 7, i64::from(off) * 8, SIZES[s as usize])
             }

@@ -65,7 +65,11 @@ impl Region {
     ///
     /// Panics if `i` is out of range (debug builds only).
     pub fn addr(&self, i: u64) -> Addr {
-        debug_assert!(i < self.size, "offset {i} out of region of {} bytes", self.size);
+        debug_assert!(
+            i < self.size,
+            "offset {i} out of region of {} bytes",
+            self.size
+        );
         self.base + i
     }
 
@@ -223,7 +227,10 @@ mod tests {
 
     #[test]
     fn region_indexing() {
-        let r = Region { base: 0x100, size: 64 };
+        let r = Region {
+            base: 0x100,
+            size: 64,
+        };
         assert_eq!(r.addr(3), 0x103);
         assert_eq!(r.elem(2, 8), 0x110);
         assert_eq!(r.len(8), 8);

@@ -75,6 +75,15 @@ impl Benchmark {
         }
     }
 
+    /// Parses a sweep selection: `all`, a single name, or a
+    /// comma-separated list of names (duplicates preserved in order).
+    pub fn parse_selection(spec: &str) -> Result<Vec<Benchmark>, ParseBenchmarkError> {
+        if spec == "all" {
+            return Ok(Self::ALL.to_vec());
+        }
+        spec.split(',').map(|name| name.trim().parse()).collect()
+    }
+
     /// Runs the benchmark at `size`, emitting its trace through `engine`.
     pub fn run<O: ExecutionObserver>(self, size: InputSize, engine: &mut Engine<O>) {
         match self {
@@ -150,6 +159,16 @@ mod tests {
             assert_eq!(bench.name().parse::<Benchmark>(), Ok(bench));
         }
         assert!("nope".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn selection_parses_all_lists_and_rejects_unknowns() {
+        assert_eq!(Benchmark::parse_selection("all").unwrap().len(), 14);
+        assert_eq!(
+            Benchmark::parse_selection("vips, dedup,canneal").unwrap(),
+            vec![Benchmark::Vips, Benchmark::Dedup, Benchmark::Canneal]
+        );
+        assert!(Benchmark::parse_selection("vips,nope").is_err());
     }
 
     #[test]

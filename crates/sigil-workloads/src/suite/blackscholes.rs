@@ -50,8 +50,24 @@ impl Blackscholes {
             // (Table III residents).
             e.write(heap_meta.base, 64);
             utility_call(e, "dl_addr", heap_meta.base, 48, scratch.base, 8, 24);
-            utility_call(e, "std::string::assign", input_text.base, 32, scratch.addr(8), 16, 20);
-            utility_call(e, "operator new", heap_meta.addr(64), 24, scratch.addr(24), 16, 18);
+            utility_call(
+                e,
+                "std::string::assign",
+                input_text.base,
+                32,
+                scratch.addr(8),
+                16,
+                20,
+            );
+            utility_call(
+                e,
+                "operator new",
+                heap_meta.addr(64),
+                24,
+                scratch.addr(24),
+                16,
+                18,
+            );
 
             // Read the option file (opaque syscall produces the bytes).
             e.syscall("sys_read", |e| {
@@ -74,7 +90,15 @@ impl Blackscholes {
                 });
                 // Occasionally push back a char (stream utility).
                 if i % 24 == 0 {
-                    utility_call(e, "_IO_sputbackc", input_text.addr(i * 64), 16, scratch.addr(40), 8, 8);
+                    utility_call(
+                        e,
+                        "_IO_sputbackc",
+                        input_text.addr(i * 64),
+                        16,
+                        scratch.addr(40),
+                        8,
+                        8,
+                    );
                 }
 
                 // Price the option.

@@ -71,7 +71,15 @@ impl Bodytrack {
                         IMAGE_BYTES,
                     );
                 }
-                utility_call(e, "std::vector", matrices.addr(64), 32, particles.base, 24, 20);
+                utility_call(
+                    e,
+                    "std::vector",
+                    matrices.addr(64),
+                    32,
+                    particles.base,
+                    24,
+                    20,
+                );
 
                 // Particle filter: every particle scores the silhouette
                 // error against all camera images.
@@ -80,7 +88,8 @@ impl Bodytrack {
                         e.read(particles.addr(p * 64), 8);
                         for cam in 0..CAMERAS {
                             // Sample a body-sized window of the image.
-                            let window = images.addr(cam * IMAGE_BYTES + (p * 96) % (IMAGE_BYTES - 512));
+                            let window =
+                                images.addr(cam * IMAGE_BYTES + (p * 96) % (IMAGE_BYTES - 512));
                             let mut off = 0;
                             while off < 512 {
                                 e.read(window + off, 8);

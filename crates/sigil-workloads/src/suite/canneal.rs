@@ -51,7 +51,15 @@ impl Canneal {
         engine.scoped_named("main", |e| {
             // Parse the netlist: locale/string utility storm, then the
             // elements arrive from a file.
-            utility_call(e, "std::locale::locale", names.base, 64, scratch.base, 16, 18);
+            utility_call(
+                e,
+                "std::locale::locale",
+                names.base,
+                64,
+                scratch.base,
+                16,
+                18,
+            );
             e.syscall("sys_read", |e| {
                 let mut off = 0;
                 while off < netlist.size {
@@ -72,7 +80,15 @@ impl Canneal {
                     off += 8;
                 }
             });
-            utility_call(e, "std::basic_string", names.base, 48, scratch.addr(16), 24, 26);
+            utility_call(
+                e,
+                "std::basic_string",
+                names.base,
+                48,
+                scratch.addr(16),
+                24,
+                26,
+            );
 
             // Annealing: the driver itself does routing-cost bookkeeping
             // (self cost in main, depressing Figure 7 coverage).
@@ -137,11 +153,35 @@ impl Canneal {
 
                 // Multiprecision utility noise.
                 if rng.gen_ratio(1, 16) {
-                    utility_call(e, "__mpn_rshift", scratch.addr(56), 24, scratch.addr(80), 16, 12);
-                    utility_call(e, "__mpn_lshift", scratch.addr(80), 24, scratch.addr(96), 16, 12);
+                    utility_call(
+                        e,
+                        "__mpn_rshift",
+                        scratch.addr(56),
+                        24,
+                        scratch.addr(80),
+                        16,
+                        12,
+                    );
+                    utility_call(
+                        e,
+                        "__mpn_lshift",
+                        scratch.addr(80),
+                        24,
+                        scratch.addr(96),
+                        16,
+                        12,
+                    );
                 }
                 if rng.gen_ratio(1, 32) {
-                    utility_call(e, "free", netlist.addr(a * 32), 24, scratch.addr(104), 8, 10);
+                    utility_call(
+                        e,
+                        "free",
+                        netlist.addr(a * 32),
+                        24,
+                        scratch.addr(104),
+                        8,
+                        10,
+                    );
                 }
             }
         });

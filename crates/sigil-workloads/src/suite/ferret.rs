@@ -90,7 +90,15 @@ impl Ferret {
                         off += 8;
                     }
                 });
-                utility_call(e, "std::basic_string", features.base, 24, scratch.base, 16, 14);
+                utility_call(
+                    e,
+                    "std::basic_string",
+                    features.base,
+                    24,
+                    scratch.base,
+                    16,
+                    14,
+                );
 
                 // Index probe: hash-bucket reads, little compute.
                 e.scoped_named("LSH_query", |e| {

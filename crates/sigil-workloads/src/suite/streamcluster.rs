@@ -138,7 +138,14 @@ mod tests {
         let mut e = Engine::new(RecordingObserver::new());
         Streamcluster::new(InputSize::SimSmall).run(&mut e);
         let syms = e.symbols().clone();
-        for name in ["drand48_iterate", "nrand48_r", "lrand48", "pkmedian", "localSearch", "streamCluster"] {
+        for name in [
+            "drand48_iterate",
+            "nrand48_r",
+            "lrand48",
+            "pkmedian",
+            "localSearch",
+            "streamCluster",
+        ] {
             assert!(syms.lookup(name).is_some(), "missing {name}");
         }
         let _ = e.finish();

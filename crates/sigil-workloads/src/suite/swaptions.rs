@@ -52,7 +52,15 @@ impl Swaptions {
             e.write(rng_state.base, 16);
 
             for s in 0..n {
-                utility_call(e, "std::vector", params.addr(s * 64), 32, scratch.base, 24, 16);
+                utility_call(
+                    e,
+                    "std::vector",
+                    params.addr(s * 64),
+                    32,
+                    scratch.base,
+                    24,
+                    16,
+                );
                 for _t in 0..TRIALS {
                     // Generate one forward-rate path: writes a large
                     // matrix, reads parameters — communication-heavy

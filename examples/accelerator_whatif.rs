@@ -51,10 +51,7 @@ fn main() {
                 &bus,
             )
             .expect("single scenario is always disjoint");
-            println!(
-                "  accel {accel:>8.3}x -> program {:.3}x",
-                est.speedup()
-            );
+            println!("  accel {accel:>8.3}x -> program {:.3}x", est.speedup());
         }
     }
 

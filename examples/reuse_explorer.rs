@@ -19,7 +19,10 @@ fn histogram(profile: &sigil::core::Profile, name: &str) {
             println!("\nreuse-lifetime histogram of `{name}` (bin = 1000 retired ops):");
             let max = hist.iter().map(|(_, c)| c).max().unwrap_or(1);
             for (bin, count) in hist.iter() {
-                println!("{bin:>10} {count:>10} {}", "#".repeat(((count * 40) / max) as usize));
+                println!(
+                    "{bin:>10} {count:>10} {}",
+                    "#".repeat(((count * 40) / max) as usize)
+                );
             }
         }
         None => println!("\n`{name}` has no reuse records"),

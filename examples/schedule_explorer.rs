@@ -46,6 +46,9 @@ fn main() {
     println!("\nper-core load at 4 cores:");
     for (core, load) in s.per_core_load().iter().enumerate() {
         let pct = 100.0 * *load as f64 / s.makespan.max(1) as f64;
-        println!("  core {core}: {:<40} {pct:5.1}%", "#".repeat((pct / 2.5) as usize));
+        println!(
+            "  core {core}: {:<40} {pct:5.1}%",
+            "#".repeat((pct / 2.5) as usize)
+        );
     }
 }

@@ -42,7 +42,10 @@ fn main() {
     let cp = CriticalPath::from_profile(&profile).expect("event recording enabled");
     println!("serial length : {} ops", cp.serial_ops);
     println!("critical path : {} ops", cp.length_ops);
-    println!("max function-level parallelism: {:.2}x", cp.max_parallelism());
+    println!(
+        "max function-level parallelism: {:.2}x",
+        cp.max_parallelism()
+    );
     println!("\nfragments on the critical path:");
     for frag in &cp.path {
         println!(
@@ -50,7 +53,12 @@ fn main() {
             profile
                 .symbols()
                 .get_name(
-                    profile.callgrind.tree.node(frag.ctx).func.expect("named fragment")
+                    profile
+                        .callgrind
+                        .tree
+                        .node(frag.ctx)
+                        .func
+                        .expect("named fragment")
                 )
                 .unwrap_or("?"),
             frag.self_ops,

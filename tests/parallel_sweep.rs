@@ -1,0 +1,94 @@
+//! Integration test: the parallel suite sweep must be a pure wall-clock
+//! optimization — per-workload profiles byte-identical to a serial run,
+//! with per-workload wall time recorded alongside.
+
+use sigil::core::sweep::{run_parallel, sweep};
+use sigil::core::{Profile, SigilConfig, SigilProfiler};
+use sigil::trace::Engine;
+use sigil::workloads::{Benchmark, InputSize};
+
+const SWEEP: [Benchmark; 5] = [
+    Benchmark::Vips,
+    Benchmark::Dedup,
+    Benchmark::Canneal,
+    Benchmark::Streamcluster,
+    Benchmark::Blackscholes,
+];
+
+fn produce(name: &str) -> Profile {
+    let bench: Benchmark = name.parse().expect("known benchmark");
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+    bench.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+fn sweep_with_jobs(jobs: usize) -> Vec<(String, String)> {
+    let names: Vec<(String, String)> = SWEEP
+        .iter()
+        .map(|b| (b.name().to_string(), InputSize::SimSmall.to_string()))
+        .collect();
+    sweep(jobs, &names, produce)
+        .into_iter()
+        .map(|entry| {
+            assert!(
+                entry.wall_ms > 0.0,
+                "{}: per-workload wall time must be recorded",
+                entry.name
+            );
+            let json = serde_json::to_string(&entry.profile).expect("profile serializes");
+            (entry.name, json)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_profiles_are_byte_identical_to_serial() {
+    let serial = sweep_with_jobs(1);
+    let parallel = sweep_with_jobs(4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((serial_name, serial_json), (parallel_name, parallel_json)) in
+        serial.iter().zip(parallel.iter())
+    {
+        assert_eq!(serial_name, parallel_name, "sweep order must be stable");
+        assert_eq!(
+            serial_json, parallel_json,
+            "{serial_name}: parallel profile differs from serial"
+        );
+    }
+}
+
+#[test]
+fn sweep_entries_expose_hot_path_counters() {
+    let names = vec![(
+        Benchmark::Vips.name().to_string(),
+        InputSize::SimSmall.to_string(),
+    )];
+    let entries = sweep(2, &names, produce);
+    assert_eq!(entries.len(), 1);
+    let memory = &entries[0].profile.memory;
+    assert!(memory.accesses > 0, "shadow accesses must be counted");
+    assert!(
+        memory.mru_hits > 0,
+        "a streaming workload must hit the MRU cache"
+    );
+    assert_eq!(
+        memory.accesses,
+        memory.mru_hits + memory.table_probes,
+        "hits and probes must partition accesses"
+    );
+    assert!(
+        memory.mru_hit_rate() > 0.5,
+        "hit rate {}",
+        memory.mru_hit_rate()
+    );
+}
+
+#[test]
+fn run_parallel_preserves_order_under_uneven_load() {
+    // Items deliberately sized so late items finish before early ones.
+    let items: Vec<u64> = (0..12).rev().collect();
+    let serial = run_parallel(1, items.clone(), |n| n * n);
+    let parallel = run_parallel(3, items, |n| n * n);
+    assert_eq!(serial, parallel);
+}

@@ -54,7 +54,8 @@ fn paper_shape_low_coverage_exceptions() {
     // Figure 7: canneal, ferret and swaptions are the low-coverage
     // exceptions; compute-dense benchmarks sit above 55%.
     let config = PartitionConfig::default();
-    let coverage = |b: Benchmark| trim_calltree(&profile(b, SigilConfig::default()), &config).coverage;
+    let coverage =
+        |b: Benchmark| trim_calltree(&profile(b, SigilConfig::default()), &config).coverage;
     let low = [Benchmark::Canneal, Benchmark::Ferret, Benchmark::Swaptions];
     let high = [
         Benchmark::Blackscholes,
@@ -80,7 +81,10 @@ fn paper_shape_reuse_breakdown() {
             pct[0] > 50.0,
             "{bench}: zero-reuse should dominate, got {pct:?}"
         );
-        assert!(pct[2] < 25.0, "{bench}: >9 reuse should be small, got {pct:?}");
+        assert!(
+            pct[2] < 25.0,
+            "{bench}: >9 reuse should be small, got {pct:?}"
+        );
     }
 }
 
@@ -97,9 +101,15 @@ fn paper_shape_parallelism_extremes() {
     let fluid = parallelism(Benchmark::Fluidanimate);
     assert!(fluid < 1.5, "fluidanimate should be serial, got {fluid:.2}");
     let sc = parallelism(Benchmark::Streamcluster);
-    assert!(sc > 8.0, "streamcluster should be highly parallel, got {sc:.2}");
+    assert!(
+        sc > 8.0,
+        "streamcluster should be highly parallel, got {sc:.2}"
+    );
     let lq = parallelism(Benchmark::Libquantum);
-    assert!(lq > 5.0, "libquantum should be highly parallel, got {lq:.2}");
+    assert!(
+        lq > 5.0,
+        "libquantum should be highly parallel, got {lq:.2}"
+    );
     assert!(sc > 3.0 * fluid && lq > 3.0 * fluid);
 }
 
@@ -108,7 +118,9 @@ fn paper_shape_vips_lifetimes() {
     // Figure 9: conv_gen's average reuse lifetime far exceeds
     // imb_XYZ2Lab's.
     let p = profile(Benchmark::Vips, SigilConfig::default().with_reuse_mode());
-    let conv = p.context_reuse_by_name("conv_gen").expect("conv_gen reuses");
+    let conv = p
+        .context_reuse_by_name("conv_gen")
+        .expect("conv_gen reuses");
     let lab = p
         .context_reuse_by_name("imb_XYZ2Lab")
         .expect("imb_XYZ2Lab reuses");

@@ -74,12 +74,21 @@ fn threads_keep_independent_call_stacks() {
     // hangs off the root (worker thread started with an empty stack).
     let (consumer_ctx, _) = tree
         .iter()
-        .find(|(_, n)| n.func.is_some_and(|f| symbols.get_name(f) == Some("consumer_loop")))
+        .find(|(_, n)| {
+            n.func
+                .is_some_and(|f| symbols.get_name(f) == Some("consumer_loop"))
+        })
         .expect("consumer context");
-    assert_eq!(tree.path_label(consumer_ctx, symbols), "main->consumer_loop");
+    assert_eq!(
+        tree.path_label(consumer_ctx, symbols),
+        "main->consumer_loop"
+    );
     let (producer_ctx, _) = tree
         .iter()
-        .find(|(_, n)| n.func.is_some_and(|f| symbols.get_name(f) == Some("producer_loop")))
+        .find(|(_, n)| {
+            n.func
+                .is_some_and(|f| symbols.get_name(f) == Some("producer_loop"))
+        })
         .expect("producer context");
     assert_eq!(tree.path_label(producer_ctx, symbols), "producer_loop");
 }

@@ -81,7 +81,9 @@ fn vm_producer_consumer_matches_direct_trace() {
 fn recursive_guest_builds_folded_contexts() {
     let program = vm_kernels::fibonacci(12);
     let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
-    let result = Interpreter::new(&program).run(&mut engine).expect("no trap");
+    let result = Interpreter::new(&program)
+        .run(&mut engine)
+        .expect("no trap");
     assert_eq!(result, Some(144));
     let (profiler, symbols) = engine.finish_with_symbols();
     let profile = profiler.into_profile(symbols);

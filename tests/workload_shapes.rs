@@ -21,7 +21,12 @@ fn blackscholes_math_calls_are_compute_dense() {
     use sigil::analysis::partition::{rank_functions, PartitionConfig};
     let p = profile(Benchmark::Blackscholes, SigilConfig::default());
     let ranked = rank_functions(&p, &PartitionConfig::default());
-    for name in ["_ieee754_exp", "_ieee754_log", "_ieee754_expf", "_ieee754_logf"] {
+    for name in [
+        "_ieee754_exp",
+        "_ieee754_log",
+        "_ieee754_expf",
+        "_ieee754_logf",
+    ] {
         let row = ranked
             .iter()
             .find(|r| r.name == name)
@@ -41,7 +46,9 @@ fn blackscholes_utility_functions_are_communication_heavy() {
     // Table III residents: little compute relative to bytes moved.
     let p = profile(Benchmark::Blackscholes, SigilConfig::default());
     for name in ["free", "operator new", "dl_addr"] {
-        let f = p.function_by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+        let f = p
+            .function_by_name(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
         assert!(
             f.costs.ops_total() < 4 * (f.comm.bytes_read + f.comm.bytes_written),
             "{name} should be communication-bound"
@@ -65,7 +72,9 @@ fn bodytrack_fleximage_set_is_a_mover() {
     // The paper flags FlexImage::Set as memcpy-dominated — a candidate
     // for *communication* acceleration.
     let p = profile(Benchmark::Bodytrack, SigilConfig::default());
-    let set = p.function_by_name("FlexImage::Set").expect("FlexImage::Set");
+    let set = p
+        .function_by_name("FlexImage::Set")
+        .expect("FlexImage::Set");
     assert!(
         set.comm.bytes_read + set.comm.bytes_written > 4 * set.costs.ops_total(),
         "bytes {}+{} vs ops {}",
@@ -81,7 +90,10 @@ fn bodytrack_fleximage_set_is_a_mover() {
 fn canneal_swap_locations_swaps_vectors() {
     let p = profile(Benchmark::Canneal, SigilConfig::default());
     let swap = p.function_by_name("netlist::swap_locations").expect("swap");
-    assert_eq!(swap.comm.bytes_read, swap.comm.bytes_written, "a swap moves symmetrically");
+    assert_eq!(
+        swap.comm.bytes_read, swap.comm.bytes_written,
+        "a swap moves symmetrically"
+    );
     assert!(swap.calls > 100, "annealing performs many swaps");
 }
 
@@ -110,7 +122,9 @@ fn streamcluster_rand_chain_nests_correctly() {
 fn fluidanimate_forces_read_previous_frame_positions() {
     let p = profile(Benchmark::Fluidanimate, SigilConfig::default());
     let forces = p.function_by_name("ComputeForces").expect("ComputeForces");
-    let advance = p.function_by_name("AdvanceParticles").expect("AdvanceParticles");
+    let advance = p
+        .function_by_name("AdvanceParticles")
+        .expect("AdvanceParticles");
     // AdvanceParticles produces the positions ComputeForces consumes.
     assert!(advance.comm.output_unique_bytes > 0);
     assert!(forces.comm.input_unique_bytes > 0);
@@ -126,9 +140,15 @@ fn vips_conv_gen_has_two_contexts() {
     let symbols = p.symbols();
     let conv_contexts = tree
         .iter()
-        .filter(|(_, n)| n.func.is_some_and(|f| symbols.get_name(f) == Some("conv_gen")))
+        .filter(|(_, n)| {
+            n.func
+                .is_some_and(|f| symbols.get_name(f) == Some("conv_gen"))
+        })
         .count();
-    assert_eq!(conv_contexts, 2, "the paper's conv_gen(1)/conv_gen(2) split");
+    assert_eq!(
+        conv_contexts, 2,
+        "the paper's conv_gen(1)/conv_gen(2) split"
+    );
 }
 
 #[test]
@@ -158,7 +178,10 @@ fn libquantum_blocks_are_self_contained() {
     // same kind... at minimum, the state is re-read across gate kinds.
     let toffoli = p.function_by_name("quantum_toffoli").expect("toffoli");
     assert!(toffoli.comm.bytes_read >= toffoli.comm.bytes_written);
-    assert!(toffoli.comm.input_unique_bytes > 0, "consumes prior gate output");
+    assert!(
+        toffoli.comm.input_unique_bytes > 0,
+        "consumes prior gate output"
+    );
 }
 
 #[test]
@@ -175,7 +198,11 @@ fn syscalls_appear_in_every_io_benchmark() {
 #[test]
 fn simlarge_scales_every_benchmark() {
     use sigil::trace::observer::CountingObserver;
-    for bench in [Benchmark::Blackscholes, Benchmark::Canneal, Benchmark::Libquantum] {
+    for bench in [
+        Benchmark::Blackscholes,
+        Benchmark::Canneal,
+        Benchmark::Libquantum,
+    ] {
         let count = |size: InputSize| {
             let mut e = Engine::new(CountingObserver::new());
             bench.run(size, &mut e);

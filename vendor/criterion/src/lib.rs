@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset this workspace's benches use: benchmark groups,
+//! `sample_size`, `bench_with_input` with a [`BenchmarkId`], the
+//! [`Bencher::iter`] timing loop, and the `criterion_group!` /
+//! `criterion_main!` macros (benches here set `harness = false`).
+//!
+//! Instead of upstream's statistical analysis it runs a short warmup,
+//! times `sample_size` batches, and prints the per-iteration mean and
+//! min to stdout — enough to compare configurations side by side.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to each bench target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// Identifies one benchmark as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be at least 1");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks `routine` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+        };
+        routine(&mut bencher, input);
+        println!(
+            "{}/{}/{}: mean {:.1} ns/iter, min {:.1} ns/iter ({} samples)",
+            self.name, id.function, id.parameter, bencher.mean_ns, bencher.min_ns, bencher.samples
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::new(name, "-"), &(), |b, ()| routine(b))
+    }
+
+    /// Ends the group (upstream flushes reports here; we print a rule).
+    pub fn finish(self) {
+        println!("== end group {} ==", self.name);
+    }
+}
+
+/// Timing loop handle handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean/min per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup, and calibrate how many iterations fill ~2ms so that
+        // fast routines are not dominated by timer resolution.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().as_nanos().max(1);
+        let iters_per_sample = ((2_000_000 / once) as usize).clamp(1, 10_000);
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let sample_ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += sample_ns;
+            min_ns = min_ns.min(sample_ns);
+        }
+        self.mean_ns = total_ns / self.samples as f64;
+        self.min_ns = min_ns;
+    }
+}
+
+/// Bundles bench target functions into one named runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main()` invoking each group (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1u32), &5u64, |b, &input| {
+            b.iter(|| {
+                runs += 1;
+                input * 2
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

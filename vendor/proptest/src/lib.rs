@@ -1,0 +1,523 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, [`strategy::Just`],
+//! integer-range and tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`], `prop_oneof!`, the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from upstream: failing cases are reported but not
+//! shrunk, and the value stream is driven by a fixed deterministic
+//! seed per case index (no persistence files). That keeps failures
+//! reproducible run-to-run without any filesystem side effects.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion in the property body failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(message) => write!(f, "{message}"),
+            }
+        }
+    }
+
+    /// Deterministic value source handed to strategies (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Executes `property` against `cases` freshly generated values.
+    pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut property: F)
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            // Per-case seed keyed on the property name so sibling
+            // properties in one file see independent streams.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed = (seed ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = TestRng::from_seed(seed ^ (u64::from(case) << 1));
+            let value = strategy.generate(&mut rng);
+            if let Err(error) = property(value) {
+                panic!(
+                    "property `{name}` failed at case {case}/{}: {error}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    let offset = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    self.start.wrapping_add(offset as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_strategy_signed {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    let offset = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    (self.start as i64).wrapping_add(offset as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Object-safe strategy used by [`Union`] to mix arm types.
+    pub trait DynStrategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+        /// Clones behind the box.
+        fn clone_box(&self) -> Box<dyn DynStrategy<Value = Self::Value>>;
+    }
+
+    impl<S> DynStrategy for S
+    where
+        S: Strategy + Clone + 'static,
+    {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+        fn clone_box(&self) -> Box<dyn DynStrategy<Value = S::Value>> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// Boxes a strategy for use as a [`Union`] arm (`prop_oneof!`).
+    pub fn into_dyn<S>(strategy: S) -> Box<dyn DynStrategy<Value = S::Value>>
+    where
+        S: Strategy + Clone + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    /// Picks one of several same-valued strategies uniformly.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn DynStrategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<Box<dyn DynStrategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.iter().map(|arm| arm.clone_box()).collect(),
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let index = rng.below(self.arms.len() as u64) as usize;
+            self.arms[index].dyn_generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with `size` in the given range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniformly picks among strategy arms that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::into_dyn($arm)),+
+        ])
+    };
+}
+
+/// Declares property-test functions; supports an optional
+/// `#![proptest_config(..)]` header applying to every property.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(pat in strategy, ..) { body }` into a
+/// plain test fn driving the runner. Split from `proptest!` so the
+/// optional config head never nests inside the per-fn repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ( $($strategy,)+ );
+            $crate::test_runner::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |( $($arg,)+ )| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op_strategy() -> crate::strategy::Union<Op> {
+        prop_oneof![(0u8..10).prop_map(Op::Push), Just(Op::Pop),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_in_bounds(ops in prop::collection::vec(op_strategy(), 1..20)) {
+            prop_assert!(!ops.is_empty());
+            prop_assert!(ops.len() < 20);
+        }
+
+        #[test]
+        fn tuples_and_ranges(value in 5u64..9, flag in any::<bool>()) {
+            prop_assert!((5..9).contains(&value), "value {} flag {}", value, flag);
+            prop_assert_eq!(value, value);
+            prop_assert_ne!(value, value + 1);
+        }
+    }
+
+    #[test]
+    fn union_is_cloneable_and_deterministic() {
+        let strategy = op_strategy();
+        let cloned = strategy.clone();
+        let mut a = crate::test_runner::TestRng::from_seed(3);
+        let mut b = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..32 {
+            assert_eq!(strategy.generate(&mut a), cloned.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is unavailable in this build environment (no network,
+//! no registry cache), so this crate provides the small API surface the
+//! workspace actually uses: `Serialize`/`Deserialize` traits, derive
+//! macros for plain structs and enums (including `#[serde(skip)]`), and
+//! impls for the std types that appear in profiles.
+//!
+//! Instead of serde's visitor-based data model, values round-trip through
+//! an owned [`Content`] tree which `serde_json` (the sibling stand-in)
+//! renders to and parses from JSON text. Representation choices mirror
+//! serde's defaults: structs are maps, newtype structs are transparent,
+//! enums are externally tagged, `Option` maps to `null`/value.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Unit / null.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (used for negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, `Vec`).
+    Seq(Vec<Content>),
+    /// Key-value map (structs, `HashMap`, enum payloads).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short description of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Unit => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "signed integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up a string key in struct-shaped map content.
+pub fn map_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+/// Error produced when [`Content`] cannot be decoded into a value.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Error for a struct field absent from the serialized map.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// Error for content of an unexpected shape.
+    pub fn unexpected(expected: &str, got: &Content) -> Self {
+        DeError::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be rendered into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into content.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Decodes content into a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the content shape does not match.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    ref other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let raw = u64::from_content(content)?;
+        usize::try_from(raw).map_err(|_| DeError::custom(format!("{raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("{v} out of range for i64")))?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => return Err(DeError::unexpected("signed integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        (*self as i64).to_content()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let raw = i64::from_content(content)?;
+        isize::try_from(raw).map_err(|_| DeError::custom(format!("{raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref other => Err(DeError::unexpected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(v) => Ok(v),
+            ref other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Unit => Ok(()),
+            other => Err(DeError::unexpected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Unit,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Unit => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| DeError::unexpected("sequence", content))?;
+        let decoded: Vec<T> = items
+            .iter()
+            .map(T::from_content)
+            .collect::<Result<_, _>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N} elements")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::unexpected("tuple sequence", content))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected a {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Decodes a map key that JSON forced into a string back into typed
+/// content (JSON object keys are always strings, so integer-keyed maps
+/// round-trip through quoted decimals, as with real `serde_json`).
+fn decode_key<K: Deserialize>(key: &Content) -> Result<K, DeError> {
+    match K::from_content(key) {
+        Ok(k) => Ok(k),
+        Err(original) => {
+            if let Content::Str(s) = key {
+                if let Ok(unsigned) = s.parse::<u64>() {
+                    return K::from_content(&Content::U64(unsigned));
+                }
+                if let Ok(signed) = s.parse::<i64>() {
+                    return K::from_content(&Content::I64(signed));
+                }
+            }
+            Err(original)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((decode_key::<K>(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((decode_key::<K>(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_uses_unit_for_none() {
+        assert_eq!(Option::<u8>::None.to_content(), Content::Unit);
+        assert_eq!(Option::<u8>::from_content(&Content::Unit).unwrap(), None);
+        assert_eq!(
+            Option::<u8>::from_content(&Content::U64(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn integer_keyed_maps_round_trip_through_string_keys() {
+        let mut map = HashMap::new();
+        map.insert(7u32, "seven".to_owned());
+        let content = map.to_content();
+        // Simulate the JSON round trip: keys become strings.
+        let Content::Map(entries) = content else {
+            panic!("map content")
+        };
+        let stringified = Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let Content::U64(raw) = k else {
+                        panic!("u64 key")
+                    };
+                    (Content::Str(raw.to_string()), v)
+                })
+                .collect(),
+        );
+        let back: HashMap<u32, String> = HashMap::from_content(&stringified).unwrap();
+        assert_eq!(back, map);
+    }
+}

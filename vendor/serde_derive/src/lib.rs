@@ -1,0 +1,517 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]`
+//! * tuple structs (newtype structs serialize transparently)
+//! * unit structs
+//! * enums with unit, tuple, and struct variants (externally tagged)
+//!
+//! Generics are intentionally unsupported — no type in the workspace
+//! derives serde with generic parameters.
+
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "struct" => {
+                return parse_struct(&mut tokens);
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "enum" => {
+                return parse_enum(&mut tokens);
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn parse_struct(tokens: &mut Tokens) -> Item {
+    let name = expect_ident(tokens);
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+            name,
+            fields: Fields::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+            name,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+    }
+}
+
+fn parse_enum(tokens: &mut Tokens) -> Item {
+    let name = expect_ident(tokens);
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic enum `{name}` is not supported")
+        }
+        other => panic!("serde_derive: expected enum body, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(ident) = tt else {
+            panic!("serde_derive: expected variant name, got {tt:?}");
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: ident.to_string(),
+            fields,
+        });
+    }
+    Item::Enum { name, variants }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let skip = skip_attributes(&mut tokens);
+        match tokens.peek() {
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(ident) = tt else {
+            panic!("serde_derive: expected field name, got {tt:?}");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field {
+            name: ident.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    count + usize::from(saw_tokens)
+}
+
+/// Consumes leading attributes; returns whether `#[serde(skip)]` was seen.
+fn skip_attributes(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        let Some(TokenTree::Group(group)) = tokens.next() else {
+            panic!("serde_derive: `#` not followed by an attribute group");
+        };
+        if attribute_is_serde_skip(group.stream()) {
+            skip = true;
+        }
+    }
+    skip
+}
+
+fn attribute_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                let fname = &field.name;
+                let _ = write!(
+                    pushes,
+                    "entries.push((::serde::Content::Str(\"{fname}\".to_owned()), \
+                     ::serde::Serialize::to_content(&self.{fname})));"
+                );
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Content::Map(entries)"
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Content::Unit".to_owned(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                let fname = &field.name;
+                if field.skip {
+                    let _ = write!(inits, "{fname}: ::std::default::Default::default(),");
+                } else {
+                    let _ = write!(
+                        inits,
+                        "{fname}: ::serde::Deserialize::from_content(\
+                           ::serde::map_get(entries, \"{fname}\").ok_or_else(|| \
+                           ::serde::DeError::missing_field(\"{name}\", \"{fname}\"))?)?,"
+                    );
+                }
+            }
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                   ::serde::DeError::unexpected(\"map for struct {name}\", content))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+            )
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| \
+                   ::serde::DeError::unexpected(\"sequence for struct {name}\", content))?; \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                   ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = content; ::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_owned()),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\
+                       ::serde::Content::Str(\"{vname}\".to_owned()), \
+                       ::serde::Serialize::to_content(f0))]),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}({binders}) => ::serde::Content::Map(vec![(\
+                       ::serde::Content::Str(\"{vname}\".to_owned()), \
+                       ::serde::Content::Seq(vec![{items}]))]),",
+                    binders = binders.join(", "),
+                    items = items.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::serde::Content::Str(\"{0}\".to_owned()), \
+                             ::serde::Serialize::to_content({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(vec![(\
+                       ::serde::Content::Str(\"{vname}\".to_owned()), \
+                       ::serde::Content::Map(vec![{entries}]))]),",
+                    binders = binders.join(", "),
+                    entries = entries.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ match self {{ {arms} }} }} \
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for variant in variants {
+        if matches!(variant.fields, Fields::Unit) {
+            let vname = &variant.name;
+            let _ = write!(
+                unit_arms,
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            );
+        }
+    }
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {}
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                       ::serde::Deserialize::from_content(value)?)),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                    .collect();
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vname}\" => {{ \
+                       let items = value.as_seq().ok_or_else(|| \
+                         ::serde::DeError::unexpected(\"sequence for {name}::{vname}\", value))?; \
+                       if items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong arity for {name}::{vname}\")); }} \
+                       ::std::result::Result::Ok({name}::{vname}({items})) }},",
+                    items = items.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let mut inits = String::new();
+                for field in fields {
+                    let fname = &field.name;
+                    if field.skip {
+                        let _ = write!(inits, "{fname}: ::std::default::Default::default(),");
+                    } else {
+                        let _ = write!(
+                            inits,
+                            "{fname}: ::serde::Deserialize::from_content(\
+                               ::serde::map_get(entries, \"{fname}\").ok_or_else(|| \
+                               ::serde::DeError::missing_field(\"{name}::{vname}\", \
+                               \"{fname}\"))?)?,"
+                        );
+                    }
+                }
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vname}\" => {{ \
+                       let entries = value.as_map().ok_or_else(|| \
+                         ::serde::DeError::unexpected(\"map for {name}::{vname}\", value))?; \
+                       ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }},"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ \
+             match content {{ \
+               ::serde::Content::Str(tag) => match tag.as_str() {{ \
+                 {unit_arms} \
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                   format!(\"unknown {name} variant `{{other}}`\"))), \
+               }}, \
+               ::serde::Content::Map(entries) if entries.len() == 1 => {{ \
+                 let (tag, value) = &entries[0]; \
+                 let ::serde::Content::Str(tag) = tag else {{ \
+                   return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"enum tag must be a string\")); }}; \
+                 match tag.as_str() {{ \
+                   {tagged_arms} \
+                   other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown {name} variant `{{other}}`\"))), \
+                 }} \
+               }}, \
+               other => ::std::result::Result::Err(::serde::DeError::unexpected(\
+                 \"string or single-entry map for enum {name}\", other)), \
+             }} \
+           }} \
+         }}"
+    )
+}
