@@ -59,6 +59,7 @@ pub struct Cdfg {
 impl Cdfg {
     /// Builds the CDFG from a finished profile.
     pub fn from_profile(profile: &Profile) -> Self {
+        let _span = sigil_obs::span("analysis:cdfg");
         let symbols = profile.symbols();
         let nodes = profile
             .callgrind

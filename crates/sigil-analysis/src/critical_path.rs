@@ -279,6 +279,7 @@ impl CriticalPath {
         profile: &Profile,
         comm: &CommModel,
     ) -> Result<Self, CriticalPathError> {
+        let _span = sigil_obs::span("analysis:critical_path");
         let events = profile
             .events
             .as_ref()

@@ -142,6 +142,7 @@ impl Trimmer<'_> {
 /// assert!(trimmed.leaves[0].breakeven < 1.01, "pure compute ≈ breakeven 1");
 /// ```
 pub fn trim_calltree(profile: &Profile, config: &PartitionConfig) -> TrimmedTree {
+    let _span = sigil_obs::span("analysis:trim_calltree");
     let cdfg = Cdfg::from_profile(profile);
     let inclusive = inclusive_table(&cdfg);
     let model = profile.callgrind.cycle_model;
@@ -201,6 +202,7 @@ pub fn trim_calltree(profile: &Profile, config: &PartitionConfig) -> TrimmedTree
 /// tail its Table III.
 pub fn rank_functions(profile: &Profile, config: &PartitionConfig) -> Vec<Candidate> {
     use std::collections::HashMap;
+    let _span = sigil_obs::span("analysis:rank_functions");
     let cdfg = Cdfg::from_profile(profile);
     let inclusive = inclusive_table(&cdfg);
     let model = profile.callgrind.cycle_model;

@@ -28,6 +28,7 @@ pub struct ReuseRow {
 /// Returns `None` when the profile was not collected in reuse mode.
 pub fn function_reuse_rows(profile: &Profile) -> Option<Vec<ReuseRow>> {
     use std::collections::HashMap;
+    let _span = sigil_obs::span("analysis:reuse_rows");
     let reuse = profile.reuse.as_ref()?;
     let tree = &profile.callgrind.tree;
     let symbols = profile.symbols();

@@ -1,6 +1,9 @@
 //! Criterion companion to Figures 4/5: per-benchmark cost of a native
 //! (null-observer) run vs Callgrind-like profiling vs full Sigil
-//! profiling of the same trace.
+//! profiling of the same trace, plus the cost of running the same
+//! profile with `sigil-obs` instrumentation enabled vs disabled
+//! (`sigil_obs_off` should match `sigil` — the disabled path is a
+//! handful of relaxed atomic loads).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sigil_callgrind::{CallgrindConfig, CallgrindProfiler};
@@ -66,6 +69,38 @@ fn overhead(c: &mut Criterion) {
                     let (p, s) = engine.finish_with_symbols();
                     p.into_profile(s)
                 });
+            },
+        );
+        // Same profile run with observability off (the default) and on:
+        // the off column is the guard against instrumentation creep in
+        // the hot path, the on column prices the spans + metric export.
+        group.bench_with_input(
+            BenchmarkId::new("sigil_obs_off", bench.name()),
+            &bench,
+            |b, &bench| {
+                sigil_obs::set_enabled(false);
+                b.iter(|| {
+                    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    let (p, s) = engine.finish_with_symbols();
+                    p.into_profile(s)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sigil_obs_on", bench.name()),
+            &bench,
+            |b, &bench| {
+                sigil_obs::set_enabled(true);
+                b.iter(|| {
+                    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+                    bench.run(InputSize::SimSmall, &mut engine);
+                    let (p, s) = engine.finish_with_symbols();
+                    p.into_profile(s)
+                });
+                sigil_obs::set_enabled(false);
+                sigil_obs::span::clear();
+                sigil_obs::metrics::clear();
             },
         );
     }

@@ -10,6 +10,7 @@ use sigil_mem::EvictionPolicy;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("ablation_memlimit");
     header(
         "Ablation: shadow-memory limit vs classification accuracy (dedup, simsmall)",
         "the FIFO limiter's accuracy loss is negligible until the budget gets tiny",

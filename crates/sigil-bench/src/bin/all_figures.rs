@@ -6,6 +6,11 @@
 //! each is an independent process, so this is the same embarrassingly
 //! parallel shape as `sigil sweep --jobs`. Output is captured per binary
 //! and printed in the fixed figure order regardless of completion order.
+//!
+//! With `--metrics-dir <dir>` every child binary writes a
+//! `<dir>/<bin>.metrics.json` snapshot (via the `SIGIL_METRICS_DIR`
+//! environment variable) and the driver writes its own
+//! `<dir>/all_figures.metrics.json` with per-figure counters.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -40,33 +45,57 @@ struct FigureRun {
     wall_ms: f64,
 }
 
-fn parse_jobs(args: &[String]) -> Result<usize, String> {
-    let mut jobs = 1usize;
+struct DriverOptions {
+    jobs: usize,
+    metrics_dir: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<DriverOptions, String> {
+    let mut opts = DriverOptions {
+        jobs: 1,
+        metrics_dir: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jobs" => {
                 let value = it.next().ok_or("--jobs needs a value")?;
-                jobs = value.parse().map_err(|_| "bad --jobs value".to_owned())?;
-                if jobs == 0 {
+                opts.jobs = value.parse().map_err(|_| "bad --jobs value".to_owned())?;
+                if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".to_owned());
                 }
             }
-            other => return Err(format!("unknown option `{other}` (only --jobs <n>)")),
+            "--metrics-dir" => {
+                let value = it.next().ok_or("--metrics-dir needs a directory")?;
+                opts.metrics_dir = Some(PathBuf::from(value));
+            }
+            other => {
+                return Err(format!(
+                    "unknown option `{other}` (only --jobs <n> --metrics-dir <dir>)"
+                ))
+            }
         }
     }
-    Ok(jobs)
+    Ok(opts)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = match parse_jobs(&args) {
-        Ok(jobs) => jobs,
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
         Err(message) => {
             eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
+    let jobs = opts.jobs;
+    if let Some(dir) = &opts.metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create `{}`: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        sigil_obs::set_enabled(true);
+    }
     let current = std::env::current_exe().expect("current exe path");
     let bindir = current
         .parent()
@@ -81,16 +110,32 @@ fn main() -> ExitCode {
         }
     }
 
+    let ok_counter = sigil_obs::metrics::counter("figures.succeeded");
+    let fail_counter = sigil_obs::metrics::counter("figures.failed");
+    let wall_hist =
+        sigil_obs::metrics::histogram("figures.wall_ms", &[100, 500, 1000, 5000, 30_000, 120_000]);
     let runs = run_parallel(jobs, TARGETS.to_vec(), |target| {
+        let _span = sigil_obs::span_with(|| format!("figure:{target}"));
         let path: PathBuf = bindir.join(target);
         let start = std::time::Instant::now();
-        let output = Command::new(&path).output().expect("spawn figure binary");
+        let mut command = Command::new(&path);
+        if let Some(dir) = &opts.metrics_dir {
+            command.env(sigil_bench::obs::METRICS_DIR_ENV, dir);
+        }
+        let output = command.output().expect("spawn figure binary");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if output.status.success() {
+            ok_counter.inc();
+        } else {
+            fail_counter.inc();
+        }
+        wall_hist.observe(wall_ms.round() as u64);
         FigureRun {
             target,
             stdout: output.stdout,
             stderr: output.stderr,
             success: output.status.success(),
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
         }
     });
 
@@ -107,6 +152,13 @@ fn main() -> ExitCode {
     println!("--- per-figure wall time (ms), jobs={jobs} ---");
     for run in &runs {
         println!("{:>10.1}  {}", run.wall_ms, run.target);
+    }
+    if let Some(dir) = &opts.metrics_dir {
+        let path = dir.join("all_figures.metrics.json");
+        if let Err(e) = std::fs::write(&path, sigil_obs::metrics::snapshot_json()) {
+            eprintln!("error: cannot write `{}`: {e}", path.display());
+            failed = true;
+        }
     }
     if failed {
         ExitCode::FAILURE

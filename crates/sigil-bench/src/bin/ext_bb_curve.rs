@@ -9,6 +9,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("ext_bb_curve");
     header(
         "Extension: buffer-retention vs external-refetch curve (vips)",
         "§IV-B2: reuse data determines accelerator buffer sizes (Cong et al. BB-curves)",

@@ -10,6 +10,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("ext_comm_critpath");
     header(
         "Extension: communication-aware critical paths",
         "charging transfers (100-op setup, 8 B/op) shrinks the extractable parallelism",

@@ -12,6 +12,7 @@ use sigil_workloads::{Benchmark, InputSize};
 const CAPACITIES: [u64; 5] = [64, 256, 1024, 4096, 16384];
 
 fn main() {
+    let _obs = sigil_bench::obs::session("ext_reuse_distance");
     header(
         "Extension: LRU reuse-distance miss ratios (64-byte lines)",
         "streaming benchmarks stay miss-bound at any capacity; iterative ones fall off fast",

@@ -16,6 +16,7 @@ use sigil_workloads::{Benchmark, InputSize};
 const CORES: [usize; 5] = [1, 2, 4, 8, 16];
 
 fn main() {
+    let _obs = sigil_bench::obs::session("ext_schedule");
     header(
         "Extension: dependency chains scheduled onto fixed core counts",
         "realizable speedups saturate at the Figure 13 theoretical limit",

@@ -10,6 +10,7 @@ use sigil_bench::{csv_header, header, measure_overhead};
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig04_slowdown");
     header(
         "Figure 4: slowdown of Sigil and Callgrind relative to native (simsmall)",
         "Sigil >> Callgrind >> 1; Sigil average 580x on Valgrind-based DBI",

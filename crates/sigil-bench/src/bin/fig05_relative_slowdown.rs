@@ -9,6 +9,7 @@ use sigil_bench::{csv_header, header, measure_overhead};
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig05_relative_slowdown");
     header(
         "Figure 5: slowdown of Sigil relative to Callgrind",
         "fairly consistent ~8-9x across benchmarks and input sizes; dedup an outlier",

@@ -10,6 +10,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig06_memory");
     header(
         "Figure 6: shadow-memory usage for baseline profiling",
         "usage grows with data size; facesim/raytrace/dedup are the memory-intensive ones",

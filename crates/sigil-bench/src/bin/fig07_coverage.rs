@@ -11,6 +11,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig07_coverage");
     header(
         "Figure 7: coverage of trimmed-calltree leaf nodes (simsmall)",
         "most benchmarks >50%; canneal/ferret/swaptions low",

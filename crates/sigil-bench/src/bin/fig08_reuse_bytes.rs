@@ -12,6 +12,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig08_reuse_bytes");
     header(
         "Figure 8: data bytes by reuse count (simsmall, reuse mode)",
         "zero-reuse dominates; >9 reuse is a small sliver for most benchmarks",

@@ -12,6 +12,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig09_vips_lifetimes");
     header(
         "Figure 9: average reuse lifetime of top vips functions (simsmall)",
         "conv_gen(1) highest, imb_XYZ2Lab lowest average lifetime",

@@ -11,6 +11,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig10_conv_gen_hist");
     header(
         "Figure 10: reuse-lifetime distribution of conv_gen in vips",
         "central peak + long tail (bad temporal locality)",

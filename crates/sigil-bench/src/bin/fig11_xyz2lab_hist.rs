@@ -11,6 +11,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig11_xyz2lab_hist");
     header(
         "Figure 11: reuse-lifetime distribution of imb_XYZ2Lab in vips",
         "peak at bin 0 (immediate re-read), short tail (good temporal locality)",

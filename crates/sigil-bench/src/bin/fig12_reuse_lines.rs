@@ -11,6 +11,7 @@ use sigil_core::{LineReport, SigilConfig};
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig12_reuse_lines");
     header(
         "Figure 12: memory lines by reuse count (simsmall, 64-byte lines)",
         "streaming benchmarks (dedup/bodytrack/streamcluster) have many low-reuse lines",

@@ -15,6 +15,7 @@ use sigil_core::SigilConfig;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn main() {
+    let _obs = sigil_bench::obs::session("fig13_parallelism");
     header(
         "Figure 13: maximum function-level parallelism (simsmall)",
         "streamcluster & libquantum high; fluidanimate ~1 (ComputeForces chain)",

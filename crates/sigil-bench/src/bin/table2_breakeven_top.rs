@@ -20,6 +20,7 @@ const TABLE_BENCHES: [Benchmark; 4] = [
 ];
 
 fn main() {
+    let _obs = sigil_bench::obs::session("table2_breakeven_top");
     header(
         "Table II: breakeven speedup, top 5 functions per benchmark (simsmall)",
         "top candidates are compute-dense kernels/math calls with S(be) close to 1",

@@ -19,6 +19,7 @@ const TABLE_BENCHES: [Benchmark; 4] = [
 ];
 
 fn main() {
+    let _obs = sigil_bench::obs::session("table3_breakeven_bottom");
     header(
         "Table III: breakeven speedup, worst 5 functions per benchmark (simsmall)",
         "worst candidates are utility functions (ctors/dtors/initializers), S(be) 1.1-7.5",

@@ -10,6 +10,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod obs;
+
 use sigil_callgrind::{CallgrindConfig, CallgrindProfiler};
 use sigil_core::sweep::{sweep, SweepEntry};
 use sigil_core::{Profile, SigilConfig, SigilProfiler};

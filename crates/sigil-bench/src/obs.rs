@@ -1,0 +1,83 @@
+//! Observability plumbing for the figure binaries.
+//!
+//! Each figure/table binary opens an [`session`] guard as the first line
+//! of `main`; when the driver (`all_figures --metrics-dir <dir>`, or any
+//! caller that sets [`METRICS_DIR_ENV`]) asked for metrics, the guard
+//! enables [`sigil_obs`] for the process and drops a
+//! `<dir>/<bin>.metrics.json` snapshot on exit. Without the variable the
+//! guard is a no-op, so standalone figure runs stay uninstrumented.
+
+use std::path::PathBuf;
+
+/// Environment variable naming the directory where figure binaries write
+/// their metrics snapshots (`<dir>/<bin>.metrics.json`).
+pub const METRICS_DIR_ENV: &str = "SIGIL_METRICS_DIR";
+
+/// Returns the metrics directory requested by the environment, if any.
+pub fn metrics_dir() -> Option<PathBuf> {
+    std::env::var_os(METRICS_DIR_ENV).map(PathBuf::from)
+}
+
+/// Enables observability when [`METRICS_DIR_ENV`] is set.
+pub fn init_from_env() {
+    if metrics_dir().is_some() {
+        sigil_obs::set_enabled(true);
+    }
+}
+
+/// Writes this binary's metrics snapshot to the directory named by
+/// [`METRICS_DIR_ENV`] (creating it if needed). No-op when unset; write
+/// failures are reported on stderr but never abort the figure run.
+pub fn finish(bin_name: &str) {
+    let Some(dir) = metrics_dir() else {
+        return;
+    };
+    let path = dir.join(format!("{bin_name}.metrics.json"));
+    let result = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, sigil_obs::metrics::snapshot_json()));
+    if let Err(e) = result {
+        eprintln!(
+            "warning: cannot write metrics snapshot `{}`: {e}",
+            path.display()
+        );
+    }
+}
+
+/// RAII pairing of [`init_from_env`] and [`finish`] — open as the first
+/// line of a figure binary's `main` and the snapshot is written however
+/// `main` exits.
+pub struct Session {
+    bin: &'static str,
+}
+
+/// Starts a metrics session for the named figure binary.
+pub fn session(bin: &'static str) -> Session {
+    init_from_env();
+    Session { bin }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        finish(self.bin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_without_env_is_a_noop() {
+        // When SIGIL_METRICS_DIR is unset (the normal test environment)
+        // finish must not panic or write anything.
+        if metrics_dir().is_none() {
+            finish("test_fig_does_not_exist");
+        }
+    }
+
+    #[test]
+    fn session_guard_is_droppable() {
+        let guard = session("test_fig_guard");
+        drop(guard);
+    }
+}

@@ -14,6 +14,13 @@
 //! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
 //! sigil list                                    # available benchmarks
 //! ```
+//!
+//! Every command additionally accepts the observability flags
+//! `--log-level <off|warn|info|debug>`, `--trace-out <file>` (Chrome
+//! trace-event JSON of the run's phase spans) and `--metrics-out <file>`
+//! (metrics snapshot JSON); either output flag switches `sigil-obs`
+//! collection on for the process. `-h`/`--help` and `-V`/`--version`
+//! short-circuit before any command runs.
 
 use std::process::ExitCode;
 
@@ -24,6 +31,8 @@ use sigil_analysis::reuse_analysis;
 use sigil_analysis::schedule::schedule;
 use sigil_analysis::Cdfg;
 use sigil_core::{report, Profile, SigilConfig, SigilProfiler};
+use sigil_obs::log::Level;
+use sigil_obs::{obs_debug, obs_info};
 use sigil_trace::observer::RecordingObserver;
 use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
@@ -31,7 +40,10 @@ use sigil_workloads::{Benchmark, InputSize};
 fn usage() -> &'static str {
     "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|list> [target] [options]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
-              --limit <chunks> --cores <n> --jobs <n> -o <file> --json"
+              --limit <chunks> --cores <n> --jobs <n> -o <file> --json\n\
+              --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
+              -h | --help    print this help\n\
+              -V | --version print the version"
 }
 
 #[derive(Debug, Clone)]
@@ -47,6 +59,12 @@ struct Options {
     jobs: usize,
     output: Option<String>,
     json: bool,
+    /// Log verbosity for the `obs_*` macros (stderr).
+    log_level: Level,
+    /// Write a Chrome trace-event JSON file of the run's spans here.
+    trace_out: Option<String>,
+    /// Write a metrics snapshot JSON file here.
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -71,6 +89,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         jobs: 1,
         output: None,
         json: false,
+        log_level: Level::Info,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -113,6 +134,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("-o needs a file name")?;
                 opts.output = Some(value.clone());
             }
+            "--log-level" => {
+                let value = it.next().ok_or("--log-level needs a value")?;
+                opts.log_level = value
+                    .parse()
+                    .map_err(|_| format!("unknown log level `{value}` (off|warn|info|debug)"))?;
+            }
+            "--trace-out" => {
+                let value = it.next().ok_or("--trace-out needs a file name")?;
+                opts.trace_out = Some(value.clone());
+            }
+            "--metrics-out" => {
+                let value = it.next().ok_or("--metrics-out needs a file name")?;
+                opts.metrics_out = Some(value.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -138,10 +173,34 @@ fn sigil_config(opts: &Options) -> SigilConfig {
 
 fn collect(opts: &Options) -> Result<Profile, String> {
     let bench = opts.bench()?;
+    let _profile_span = sigil_obs::span_with(|| format!("profile:{}", opts.target));
+    obs_debug!("profiling {} at {}", opts.target, opts.size);
     let mut engine = Engine::new(SigilProfiler::new(sigil_config(opts)));
-    bench.run(opts.size, &mut engine);
+    {
+        let _trace_span = sigil_obs::span("trace");
+        bench.run(opts.size, &mut engine);
+    }
     let (profiler, symbols) = engine.finish_with_symbols();
     Ok(profiler.into_profile(symbols))
+}
+
+/// Writes the Chrome trace and/or metrics snapshot after a successful
+/// command, when the corresponding output flags were given.
+fn write_observability(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        sigil_obs::write_chrome_trace(path)
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        obs_info!(
+            "wrote chrome trace ({} spans) to {path}",
+            sigil_obs::span::count()
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, sigil_obs::metrics::snapshot_json())
+            .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        obs_info!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_profile(opts: &Options) -> Result<(), String> {
@@ -329,17 +388,18 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         opts.jobs
     );
     println!(
-        "{:>14} {:>10} {:>12} {:>12} {:>9}  workload",
-        "wall(ms)", "ops", "edges", "accesses", "mru%"
+        "{:>14} {:>10} {:>12} {:>12} {:>9} {:>8}  workload",
+        "wall(ms)", "ops", "edges", "accesses", "mru%", "evict"
     );
     for entry in &entries {
         println!(
-            "{:>14.2} {:>10} {:>12} {:>12} {:>8.1}%  {}",
+            "{:>14.2} {:>10} {:>12} {:>12} {:>8.1}% {:>8}  {}",
             entry.wall_ms,
             entry.profile.callgrind.total_ops,
             entry.profile.edges.len(),
-            entry.profile.memory.accesses,
-            entry.profile.memory.mru_hit_rate() * 100.0,
+            entry.memory.accesses,
+            entry.memory.mru_hit_rate() * 100.0,
+            entry.memory.evicted_chunks,
             entry.name
         );
     }
@@ -378,6 +438,18 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help")
+        || args.first().map(String::as_str) == Some("help")
+    {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "-V" || a == "--version")
+        || args.first().map(String::as_str) == Some("version")
+    {
+        println!("sigil {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let Some(command) = args.first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
@@ -388,19 +460,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let result = parse_options(&args[1..]).and_then(|opts| match command.as_str() {
-        "profile" => cmd_profile(&opts),
-        "partition" => cmd_partition(&opts),
-        "reuse" => cmd_reuse(&opts),
-        "critpath" => cmd_critpath(&opts),
-        "schedule" => cmd_schedule(&opts),
-        "calltree" => cmd_calltree(&opts),
-        "dot" => cmd_dot(&opts),
-        "run" => cmd_run(&opts),
-        "trace" => cmd_trace(&opts),
-        "replay" => cmd_replay(&opts),
-        "sweep" => cmd_sweep(&opts),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    let result = parse_options(&args[1..]).and_then(|opts| {
+        sigil_obs::log::set_level(opts.log_level);
+        if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+            sigil_obs::set_enabled(true);
+        }
+        match command.as_str() {
+            "profile" => cmd_profile(&opts),
+            "partition" => cmd_partition(&opts),
+            "reuse" => cmd_reuse(&opts),
+            "critpath" => cmd_critpath(&opts),
+            "schedule" => cmd_schedule(&opts),
+            "calltree" => cmd_calltree(&opts),
+            "dot" => cmd_dot(&opts),
+            "run" => cmd_run(&opts),
+            "trace" => cmd_trace(&opts),
+            "replay" => cmd_replay(&opts),
+            "sweep" => cmd_sweep(&opts),
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
+        }
+        .and_then(|()| write_observability(&opts))
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -463,6 +542,34 @@ mod tests {
         assert_eq!(opts.limit, Some(32));
         assert_eq!(opts.cores, 8);
         assert_eq!(opts.output.as_deref(), Some("out.sgtr"));
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let opts = parse_options(&args(&[
+            "vips",
+            "--log-level",
+            "debug",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.log_level, Level::Debug);
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("metrics.json"));
+    }
+
+    #[test]
+    fn parse_log_level_defaults_to_info_and_rejects_junk() {
+        let opts = parse_options(&args(&["vips"])).expect("parses");
+        assert_eq!(opts.log_level, Level::Info);
+        let off = parse_options(&args(&["vips", "--log-level", "off"])).expect("parses");
+        assert_eq!(off.log_level, Level::Off);
+        assert!(parse_options(&args(&["vips", "--log-level", "loud"])).is_err());
+        assert!(parse_options(&args(&["vips", "--log-level"])).is_err());
+        assert!(parse_options(&args(&["vips", "--trace-out"])).is_err());
     }
 
     #[test]

@@ -294,8 +294,16 @@ impl SigilProfiler {
     }
 
     /// Consumes the profiler, pairing it with `symbols` into a [`Profile`].
+    ///
+    /// When observability is enabled this records two phase spans —
+    /// `shadow` (final shadow-memory walk: footprint snapshot, reuse
+    /// flush, line report) and `postprocess` (aggregate assembly) — as
+    /// children of whatever span the caller has open, and publishes the
+    /// shadow-table hot-path counters as `shadow.*` metrics.
     pub fn into_profile(mut self, symbols: SymbolTable) -> Profile {
+        let shadow_span = sigil_obs::span("shadow");
         let memory = self.memory_stats();
+        memory.export_metrics("shadow");
 
         // Flush outstanding reuse records (bytes still "live" at exit).
         if let Some(reuse_vec) = self.reuse.as_mut() {
@@ -319,6 +327,8 @@ impl SigilProfiler {
                 touched_lines: touched,
             }
         });
+        drop(shadow_span);
+        let _postprocess_span = sigil_obs::span("postprocess");
 
         let mut contexts: Vec<ContextComm> = self
             .comm

@@ -98,6 +98,14 @@ pub fn full_report(profile: &Profile) -> String {
         );
     }
     let _ = writeln!(out, "\nshadow memory: {}", profile.memory);
+    let _ = writeln!(
+        out,
+        "shadow hot path: {} accesses ({} MRU hits, {} table probes), {} chunks evicted",
+        profile.memory.accesses,
+        profile.memory.mru_hits,
+        profile.memory.table_probes,
+        profile.memory.evicted_chunks
+    );
     out
 }
 

@@ -13,11 +13,13 @@
 //! a sweep at `jobs = N` is observably identical to the serial sweep
 //! apart from wall time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use sigil_mem::MemoryStats;
+use sigil_obs::obs_info;
 
 use crate::profile::Profile;
 
@@ -86,8 +88,57 @@ pub struct SweepEntry {
     pub size: String,
     /// Wall-clock time spent profiling this workload, in milliseconds.
     pub wall_ms: f64,
+    /// Shadow-memory footprint and hot-path counters for this workload.
+    ///
+    /// A top-level copy of `profile.memory` so sweep consumers (and the
+    /// results JSON) can read the shadow counters without digging into
+    /// the full profile.
+    pub memory: MemoryStats,
     /// The measured profile.
     pub profile: Profile,
+}
+
+/// Upper bucket bounds (milliseconds) for the `sweep.wall_ms` histogram.
+const WALL_MS_BOUNDS: &[u64] = &[1, 10, 50, 100, 500, 1000, 5000, 30_000];
+
+/// Shared progress state for a sweep, read by the monitor thread.
+struct SweepProgress {
+    total: usize,
+    done: AtomicUsize,
+    running: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// Spawns a background thread that logs a progress line (workloads done /
+/// running / elapsed) roughly every two seconds at `info` level. Returns
+/// `None` when info logging is off so quiet runs pay nothing.
+fn spawn_progress_monitor(progress: &Arc<SweepProgress>) -> Option<std::thread::JoinHandle<()>> {
+    if !sigil_obs::log::enabled(sigil_obs::log::Level::Info) {
+        return None;
+    }
+    let progress = Arc::clone(progress);
+    Some(std::thread::spawn(move || {
+        let start = Instant::now();
+        // Poll the stop flag often so sweep teardown is prompt, but only
+        // print every ~2s (20 polls) to keep the log readable.
+        let mut polls = 0u32;
+        loop {
+            std::thread::sleep(Duration::from_millis(100));
+            if progress.stop.load(Ordering::Acquire) {
+                break;
+            }
+            polls += 1;
+            if polls.is_multiple_of(20) {
+                obs_info!(
+                    "sweep progress: {}/{} done, {} running, {:.1}s elapsed",
+                    progress.done.load(Ordering::Relaxed),
+                    progress.total,
+                    progress.running.load(Ordering::Relaxed),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }))
 }
 
 /// Runs `produce` for every named workload on `jobs` threads and wraps
@@ -96,20 +147,49 @@ pub struct SweepEntry {
 /// `produce` receives the workload name and must synthesize its profile
 /// from scratch (it runs once per workload, on whichever worker thread
 /// claims it).
+///
+/// When observability is enabled each workload runs under a
+/// `workload:<name>` span, completions bump the `sweep.workloads_done`
+/// counter and feed the `sweep.wall_ms` histogram, and (at `info` log
+/// level) a background monitor prints a periodic progress line.
 pub fn sweep<F>(jobs: usize, names: &[(String, String)], produce: F) -> Vec<SweepEntry>
 where
     F: Fn(&str) -> Profile + Sync,
 {
-    run_parallel(jobs, names.to_vec(), |(name, size)| {
+    let progress = Arc::new(SweepProgress {
+        total: names.len(),
+        done: AtomicUsize::new(0),
+        running: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let monitor = spawn_progress_monitor(&progress);
+    let done_counter = sigil_obs::metrics::counter("sweep.workloads_done");
+    let wall_hist = sigil_obs::metrics::histogram("sweep.wall_ms", WALL_MS_BOUNDS);
+
+    let entries = run_parallel(jobs, names.to_vec(), |(name, size)| {
+        let _span = sigil_obs::span_with(|| format!("workload:{name}"));
+        progress.running.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let profile = produce(&name);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        progress.running.fetch_sub(1, Ordering::Relaxed);
+        progress.done.fetch_add(1, Ordering::Relaxed);
+        done_counter.inc();
+        wall_hist.observe(wall_ms.round() as u64);
         SweepEntry {
             name,
             size,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
+            memory: profile.memory,
             profile,
         }
-    })
+    });
+
+    progress.stop.store(true, Ordering::Release);
+    if let Some(handle) = monitor {
+        let _ = handle.join();
+    }
+    entries
 }
 
 #[cfg(test)]

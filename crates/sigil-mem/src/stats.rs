@@ -45,6 +45,28 @@ impl MemoryStats {
         }
     }
 
+    /// Publishes the snapshot into the global [`sigil_obs`] metrics
+    /// registry under `<prefix>.*` names (e.g. `shadow.accesses`,
+    /// `shadow.mru_hits`, `shadow.table_probes`, `shadow.evicted_chunks`).
+    ///
+    /// The hot-path counters are maintained locally by the shadow table
+    /// for speed; this is the one-shot export at end of run. A no-op
+    /// (one atomic load) while observability is disabled.
+    pub fn export_metrics(&self, prefix: &str) {
+        if !sigil_obs::is_enabled() {
+            return;
+        }
+        use sigil_obs::metrics::{set_counter, set_gauge};
+        set_counter(&format!("{prefix}.accesses"), self.accesses);
+        set_counter(&format!("{prefix}.mru_hits"), self.mru_hits);
+        set_counter(&format!("{prefix}.table_probes"), self.table_probes);
+        set_counter(&format!("{prefix}.evicted_chunks"), self.evicted_chunks);
+        set_counter(&format!("{prefix}.resident_chunks"), self.resident_chunks);
+        set_counter(&format!("{prefix}.resident_bytes"), self.resident_bytes);
+        set_gauge(&format!("{prefix}.mru_hit_rate"), self.mru_hit_rate());
+        set_gauge(&format!("{prefix}.resident_mib"), self.resident_mib());
+    }
+
     /// Component-wise sum of two snapshots (e.g. byte table + line table).
     #[must_use]
     pub fn combined(self, other: MemoryStats) -> MemoryStats {
@@ -126,6 +148,36 @@ mod tests {
             ..MemoryStats::default()
         };
         assert!((stats.mru_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_metrics_publishes_counters_when_enabled() {
+        let stats = MemoryStats {
+            resident_chunks: 1,
+            resident_slots: 4096,
+            resident_bytes: 4096,
+            evicted_chunks: 2,
+            accesses: 10,
+            mru_hits: 7,
+            table_probes: 3,
+        };
+        // Disabled: nothing registered under this prefix.
+        sigil_obs::set_enabled(false);
+        stats.export_metrics("test_shadow_off");
+        assert!(!sigil_obs::metrics::snapshot()
+            .keys()
+            .any(|k| k.starts_with("test_shadow_off")));
+        // Enabled: every counter appears with its exact value.
+        sigil_obs::set_enabled(true);
+        stats.export_metrics("test_shadow");
+        sigil_obs::set_enabled(false);
+        let snap = sigil_obs::metrics::snapshot();
+        use sigil_obs::metrics::MetricValue;
+        assert_eq!(snap["test_shadow.accesses"], MetricValue::Counter(10));
+        assert_eq!(snap["test_shadow.mru_hits"], MetricValue::Counter(7));
+        assert_eq!(snap["test_shadow.table_probes"], MetricValue::Counter(3));
+        assert_eq!(snap["test_shadow.evicted_chunks"], MetricValue::Counter(2));
+        assert_eq!(snap["test_shadow.mru_hit_rate"], MetricValue::Gauge(0.7));
     }
 
     #[test]

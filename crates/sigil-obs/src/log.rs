@@ -1,0 +1,166 @@
+//! Leveled structured logging with a global level gate.
+//!
+//! The [`obs_warn!`], [`obs_info!`], and [`obs_debug!`] macros (exported
+//! at the crate root) expand to a single inlined relaxed atomic load
+//! plus a branch; when the requested level is above the global level the
+//! `format_args!` machinery is never touched, so a disabled log line
+//! costs nanoseconds. Lines go to stderr as
+//! `[  <uptime>s LEVEL <module::path>] message`.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered: `Off < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is logged.
+    Off = 0,
+    /// Problems worth surfacing even in quiet runs.
+    Warn = 1,
+    /// Progress and phase reporting (the CLI default).
+    Info = 2,
+    /// Chatty diagnostics.
+    Debug = 3,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        })
+    }
+}
+
+/// Error for an unrecognized level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(pub String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown log level `{}` (off|warn|info|debug)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Level::Off),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(ParseLevelError(other.to_owned())),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global log level (library default: [`Level::Warn`]).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Release);
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a record at `at` would be emitted. This is the macro gate —
+/// one relaxed load and a compare.
+#[inline]
+pub fn enabled(at: Level) -> bool {
+    at != Level::Off && (at as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one log line to stderr. Called by the `obs_*!` macros after the
+/// [`enabled`] gate passed; not intended for direct use.
+pub fn emit(at: Level, target: &str, args: fmt::Arguments<'_>) {
+    let uptime = crate::span::epoch().elapsed().as_secs_f64();
+    eprintln!("[{uptime:>9.3}s {at:>5} {target}] {args}");
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("off".parse::<Level>(), Ok(Level::Off));
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(
+            Level::Off < Level::Warn && Level::Warn < Level::Info && Level::Info < Level::Debug
+        );
+    }
+
+    #[test]
+    fn gate_respects_global_level() {
+        let _lock = crate::test_lock();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Warn));
+        assert!(!enabled(Level::Off), "Off is never emitted");
+        set_level(Level::Warn);
+    }
+
+    #[test]
+    fn macros_build_no_args_when_gated_off() {
+        let _lock = crate::test_lock();
+        set_level(Level::Off);
+        let mut evaluated = false;
+        obs_warn!("{}", {
+            evaluated = true;
+            "x"
+        });
+        assert!(!evaluated, "format args must not be evaluated when off");
+        set_level(Level::Warn);
+    }
+}

@@ -1,0 +1,205 @@
+//! Span-based tracing with thread-local span stacks.
+//!
+//! A *span* covers one phase of work on one thread. Spans form a stack
+//! per thread — entering a span while another is open nests it — and
+//! every finished span is appended to a global collector that the
+//! [`crate::chrome`] exporter serializes. Timestamps are microseconds
+//! since a process-wide epoch pinned at the first instrumentation hit,
+//! so spans from different threads share one timeline.
+//!
+//! The RAII interface ([`span`] / [`span_with`]) is the normal entry
+//! point; the explicit [`enter`] / [`exit`] pair exists for callers (and
+//! property tests) that cannot scope a guard.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One finished span, as stored in the global collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (phase label).
+    pub name: String,
+    /// Dense per-process thread id (0 = first thread that traced).
+    pub tid: u64,
+    /// Nesting depth at entry: 0 for a root span, 1 for its children…
+    pub depth: usize,
+    /// Start time in microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// End time in microseconds since the trace epoch.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+}
+
+static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide trace epoch (pinned on first use).
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static TID: Cell<Option<u64>> = const { Cell::new(None) };
+    static STACK: RefCell<Vec<(String, Instant)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn tid() -> u64 {
+    TID.with(|slot| match slot.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Opens a span on this thread's span stack. Returns `true` if tracing
+/// is enabled and the span was actually pushed.
+///
+/// Prefer the RAII [`span`] / [`span_with`] guards; use this only when a
+/// guard cannot be scoped. Every `true` return must be paired with one
+/// [`exit`] on the same thread.
+pub fn enter(name: impl Into<String>) -> bool {
+    if !crate::is_enabled() {
+        return false;
+    }
+    let _ = epoch(); // pin the epoch no later than the first span start
+    STACK.with(|stack| stack.borrow_mut().push((name.into(), Instant::now())));
+    true
+}
+
+/// Closes the innermost open span on this thread and records it.
+///
+/// A stray `exit` with no open span is ignored (never panics), so
+/// interleaved instrumentation cannot poison the collector.
+pub fn exit() {
+    let Some((name, start)) = STACK.with(|stack| stack.borrow_mut().pop()) else {
+        return;
+    };
+    let depth = STACK.with(|stack| stack.borrow().len());
+    let end = Instant::now();
+    // Floor both endpoints against the shared epoch and subtract, rather
+    // than truncating the duration separately: flooring is monotonic, so
+    // nested spans stay contained in their parents even at microsecond
+    // resolution.
+    let start_us = u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
+    let end_us = u64::try_from(end.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
+    let record = SpanRecord {
+        name,
+        tid: tid(),
+        depth,
+        start_us,
+        dur_us: end_us.saturating_sub(start_us),
+    };
+    COLLECTOR.lock().expect("span collector lock").push(record);
+}
+
+/// RAII handle returned by [`span`] / [`span_with`]; closes the span on
+/// drop. Inert (and free) when tracing was disabled at creation.
+#[must_use = "a span guard closes its span when dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            exit();
+        }
+    }
+}
+
+/// Opens a named span, closed when the returned guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        active: enter(name),
+    }
+}
+
+/// Like [`span`] but the (allocating) name is only built when tracing is
+/// enabled — use for `format!`-style dynamic labels on paths where the
+/// disabled cost must stay at one atomic load.
+pub fn span_with<F: FnOnce() -> String>(name: F) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { active: false };
+    }
+    SpanGuard {
+        active: enter(name()),
+    }
+}
+
+/// Copies every finished span out of the collector (records stay).
+pub fn snapshot() -> Vec<SpanRecord> {
+    COLLECTOR.lock().expect("span collector lock").clone()
+}
+
+/// Number of finished spans currently collected.
+pub fn count() -> usize {
+    COLLECTOR.lock().expect("span collector lock").len()
+}
+
+/// Drops every collected span (open spans on thread stacks survive).
+pub fn clear() {
+    COLLECTOR.lock().expect("span collector lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        clear();
+        {
+            let _a = span("a");
+            let _b = span_with(|| unreachable!("name closure must not run when disabled"));
+        }
+        assert_eq!(count(), 0);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        crate::set_enabled(false);
+        let spans = snapshot();
+        assert_eq!(spans.len(), 2);
+        // Spans are recorded at exit, so the inner span closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[1].start_us <= spans[0].start_us);
+        assert!(spans[0].end_us() <= spans[1].end_us());
+        assert_eq!(spans[0].tid, spans[1].tid);
+        clear();
+    }
+
+    #[test]
+    fn stray_exit_is_ignored() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        exit();
+        assert_eq!(count(), 0);
+        crate::set_enabled(false);
+    }
+}
