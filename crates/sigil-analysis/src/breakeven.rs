@@ -52,8 +52,14 @@ impl Default for BusModel {
 /// cost. "Any computational speedup obtained in excess of the
 /// breakeven-speedup will result in an overall improvement."
 ///
-/// Returns `f64::INFINITY` when communication costs meet or exceed the
-/// software time (offloading can never pay off), and `NAN` never.
+/// Returns `f64::INFINITY` — the documented "can never pay off" sentinel
+/// — whenever the denominator would be zero or negative, i.e. when
+/// communication costs meet or exceed the software time, when `t_sw` is
+/// not a positive finite number, or when either communication cost is
+/// non-finite. Negative communication costs are clamped to zero (costs
+/// are magnitudes; a negative estimate is a modelling artifact, not a
+/// credit). The result is therefore always in `[1.0, INFINITY]` and
+/// `NAN` never.
 ///
 /// # Example
 ///
@@ -66,12 +72,19 @@ impl Default for BusModel {
 ///
 /// // Communication-dominated candidates can never pay off:
 /// assert_eq!(breakeven_speedup(100.0, 80.0, 30.0), f64::INFINITY);
+///
+/// // Degenerate inputs hit the sentinel instead of propagating NaN:
+/// assert_eq!(breakeven_speedup(f64::NAN, 0.0, 0.0), f64::INFINITY);
+/// assert_eq!(breakeven_speedup(f64::INFINITY, 10.0, 0.0), f64::INFINITY);
 /// ```
 pub fn breakeven_speedup(t_sw: f64, t_comm_in: f64, t_comm_out: f64) -> f64 {
-    if t_sw <= 0.0 {
+    if !t_sw.is_finite() || t_sw <= 0.0 {
         return f64::INFINITY;
     }
-    let comm = t_comm_in + t_comm_out;
+    if !t_comm_in.is_finite() || !t_comm_out.is_finite() {
+        return f64::INFINITY;
+    }
+    let comm = t_comm_in.max(0.0) + t_comm_out.max(0.0);
     if comm >= t_sw {
         f64::INFINITY
     } else {
@@ -110,6 +123,43 @@ mod tests {
         assert_eq!(breakeven_speedup(100.0, 60.0, 50.0), f64::INFINITY);
         assert_eq!(breakeven_speedup(100.0, 100.0, 0.0), f64::INFINITY);
         assert_eq!(breakeven_speedup(0.0, 0.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn boundary_both_sides() {
+        // Exactly at the boundary (comm == t_sw): denominator would be
+        // zero — sentinel, not a division by zero.
+        assert_eq!(breakeven_speedup(100.0, 50.0, 50.0), f64::INFINITY);
+        // One ULP-ish below the boundary: huge but finite, never NaN.
+        let s = breakeven_speedup(100.0, 50.0, 49.999_999);
+        assert!(s.is_finite() && s > 1.0e6, "got {s}");
+        // One step above the boundary: sentinel again.
+        assert_eq!(breakeven_speedup(100.0, 50.0, 50.000_001), f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_inputs_hit_sentinel_never_nan() {
+        for s in [
+            breakeven_speedup(f64::NAN, 10.0, 10.0),
+            breakeven_speedup(f64::INFINITY, 10.0, 10.0),
+            breakeven_speedup(-100.0, 10.0, 10.0),
+            breakeven_speedup(100.0, f64::NAN, 0.0),
+            breakeven_speedup(100.0, 0.0, f64::NAN),
+            breakeven_speedup(100.0, f64::INFINITY, 0.0),
+            breakeven_speedup(100.0, f64::NEG_INFINITY, 0.0),
+        ] {
+            assert_eq!(s, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn negative_communication_clamps_to_zero() {
+        // A negative cost estimate is treated as zero, not as a credit
+        // that could push the result below 1.0.
+        assert_eq!(breakeven_speedup(1000.0, -50.0, 0.0), 1.0);
+        let s = breakeven_speedup(1000.0, -50.0, 100.0);
+        assert!((s - 1000.0 / 900.0).abs() < 1e-12);
+        assert!(breakeven_speedup(1000.0, -1.0, 5.0) >= 1.0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! sigil trace <benchmark> -o <file.sgtr>        # record a platform-independent trace
 //! sigil replay <file.sgtr> [--reuse] [...]      # profile from a recorded trace
 //! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
+//! sigil diff [random] [--seeds N] [--seed-base N] [--limit N]
+//!                                               # differential oracle conformance on random programs
+//! sigil diff golden [--golden-dir D]            # check the golden corpus against oracle + production
+//! sigil diff bless [--golden-dir D]             # regenerate the golden corpus (also: --bless)
 //! sigil list                                    # available benchmarks
 //! ```
 //!
@@ -38,9 +42,10 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|diff|list> [target] [options]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
               --limit <chunks> --cores <n> --jobs <n> -o <file> --json\n\
+              --seeds <n> --seed-base <n> --golden-dir <dir> --bless\n\
               --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
               -h | --help    print this help\n\
               -V | --version print the version"
@@ -65,6 +70,14 @@ struct Options {
     trace_out: Option<String>,
     /// Write a metrics snapshot JSON file here.
     metrics_out: Option<String>,
+    /// Random-program seed count for `sigil diff`.
+    seeds: u64,
+    /// First seed for `sigil diff`.
+    seed_base: u64,
+    /// Golden-corpus directory for `sigil diff golden|bless`.
+    golden_dir: String,
+    /// Regenerate the golden corpus instead of checking it.
+    bless: bool,
 }
 
 impl Options {
@@ -92,6 +105,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         log_level: Level::Info,
         trace_out: None,
         metrics_out: None,
+        seeds: 500,
+        seed_base: 0,
+        golden_dir: "tests/golden".to_owned(),
+        bless: false,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -148,6 +165,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("--metrics-out needs a file name")?;
                 opts.metrics_out = Some(value.clone());
             }
+            "--seeds" => {
+                let value = it.next().ok_or("--seeds needs a value")?;
+                opts.seeds = value.parse().map_err(|_| "bad --seeds value")?;
+                if opts.seeds == 0 {
+                    return Err("--seeds must be at least 1".to_owned());
+                }
+            }
+            "--seed-base" => {
+                let value = it.next().ok_or("--seed-base needs a value")?;
+                opts.seed_base = value.parse().map_err(|_| "bad --seed-base value")?;
+            }
+            "--golden-dir" => {
+                let value = it.next().ok_or("--golden-dir needs a directory")?;
+                opts.golden_dir = value.clone();
+            }
+            "--bless" => opts.bless = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -436,8 +469,143 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_diff(opts: &Options) -> Result<(), String> {
+    if opts.bless || opts.target == "bless" {
+        return cmd_diff_bless(opts);
+    }
+    match opts.target.as_str() {
+        "random" => cmd_diff_random(opts),
+        "golden" => cmd_diff_golden(opts),
+        other => Err(format!(
+            "unknown diff target `{other}` (expected random, golden, or bless)"
+        )),
+    }
+}
+
+/// Replays seeded random programs through the production profiler and the
+/// oracle under the full config matrix; any divergence is shrunk to a
+/// minimized repro and reported as an error.
+fn cmd_diff_random(opts: &Options) -> Result<(), String> {
+    use sigil_oracle::harness;
+    let limit = opts.limit;
+    let end = opts.seed_base + opts.seeds;
+    let mut configs_checked = 0usize;
+    for seed in opts.seed_base..end {
+        let failures = harness::diff_seed(seed, limit);
+        configs_checked += harness::differential_configs(seed, limit).len();
+        if let Some(failure) = failures.first() {
+            let program = sigil_vm::GenProgram::generate(seed);
+            let minimized = harness::shrink(&program, failure.config, None);
+            return Err(format!(
+                "seed {seed} diverged under config `{}` ({} field(s))\n\n{}",
+                failure.label,
+                failure.divergences.len(),
+                harness::render_repro(&minimized, failure.config, None)
+            ));
+        }
+        let done = seed - opts.seed_base + 1;
+        if done.is_multiple_of(100) {
+            println!("# {done}/{} seeds conformant", opts.seeds);
+        }
+    }
+    println!(
+        "{} seeds ({} seed/config replays): zero divergences",
+        opts.seeds, configs_checked
+    );
+    Ok(())
+}
+
+fn golden_path(dir: &str, bench: Benchmark) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{bench}.json"))
+}
+
+/// Checks every committed golden profile against a fresh oracle replay of
+/// its workload, and checks that the production profiler still conforms.
+fn cmd_diff_golden(opts: &Options) -> Result<(), String> {
+    use sigil_oracle::harness;
+    let config = harness::golden_config();
+    for bench in Benchmark::ALL {
+        let path = golden_path(&opts.golden_dir, bench);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "cannot read `{}`: {e} (run `sigil diff bless`?)",
+                path.display()
+            )
+        })?;
+        let golden: sigil_oracle::OracleReport = serde_json::from_str(&text)
+            .map_err(|e| format!("bad golden `{}`: {e}", path.display()))?;
+        let bundle = harness::record_benchmark(bench, opts.size);
+        let oracle = harness::oracle_report(&bundle, config, None);
+        let drift = sigil_oracle::diff_reports(&golden, &oracle);
+        if !drift.is_empty() {
+            let mut message = format!(
+                "golden profile for `{bench}` drifted from the oracle ({} field(s)):\n",
+                drift.len()
+            );
+            for d in drift.iter().take(16) {
+                message.push_str(&format!("  {d}\n"));
+            }
+            message.push_str("re-bless only if the change is intentional: sigil diff bless");
+            return Err(message);
+        }
+        let conformance =
+            sigil_oracle::diff_reports(&harness::production_report(&bundle, config), &oracle);
+        if !conformance.is_empty() {
+            let mut message = format!(
+                "production profiler diverged from the oracle on `{bench}` ({} field(s)):\n",
+                conformance.len()
+            );
+            for d in conformance.iter().take(16) {
+                message.push_str(&format!("  {d}\n"));
+            }
+            return Err(message);
+        }
+        println!(
+            "# {bench}: golden == oracle == production ({} events)",
+            bundle.events.len()
+        );
+    }
+    println!(
+        "golden corpus conformant ({} workloads)",
+        Benchmark::ALL.len()
+    );
+    Ok(())
+}
+
+/// Regenerates the golden corpus from the oracle.
+fn cmd_diff_bless(opts: &Options) -> Result<(), String> {
+    use sigil_oracle::harness;
+    let config = harness::golden_config();
+    std::fs::create_dir_all(&opts.golden_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", opts.golden_dir))?;
+    for bench in Benchmark::ALL {
+        let bundle = harness::record_benchmark(bench, opts.size);
+        let oracle = harness::oracle_report(&bundle, config, None);
+        let conformance =
+            sigil_oracle::diff_reports(&harness::production_report(&bundle, config), &oracle);
+        if !conformance.is_empty() {
+            return Err(format!(
+                "refusing to bless `{bench}`: production diverges from the oracle ({} field(s), first: {})",
+                conformance.len(),
+                conformance[0]
+            ));
+        }
+        let path = golden_path(&opts.golden_dir, bench);
+        let json = serde_json::to_string_pretty(&oracle).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json + "\n")
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("# blessed {}", path.display());
+    }
+    println!(
+        "blessed {} golden profiles into {}",
+        Benchmark::ALL.len(),
+        opts.golden_dir
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help")
         || args.first().map(String::as_str) == Some("help")
     {
@@ -450,7 +618,7 @@ fn main() -> ExitCode {
         println!("sigil {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
-    let Some(command) = args.first() else {
+    let Some(command) = args.first().cloned() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
@@ -459,6 +627,10 @@ fn main() -> ExitCode {
             println!("{bench}");
         }
         return ExitCode::SUCCESS;
+    }
+    // `sigil diff` and `sigil diff --seeds N ...` imply the `random` target.
+    if command == "diff" && args.get(1).is_none_or(|a| a.starts_with('-')) {
+        args.insert(1, "random".to_owned());
     }
     let result = parse_options(&args[1..]).and_then(|opts| {
         sigil_obs::log::set_level(opts.log_level);
@@ -477,6 +649,7 @@ fn main() -> ExitCode {
             "trace" => cmd_trace(&opts),
             "replay" => cmd_replay(&opts),
             "sweep" => cmd_sweep(&opts),
+            "diff" => cmd_diff(&opts),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         }
         .and_then(|()| write_observability(&opts))
@@ -579,6 +752,36 @@ mod tests {
         assert!(parse_options(&args(&["vips", "--bogus"])).is_err());
         assert!(parse_options(&args(&["vips", "--cores", "0"])).is_err());
         assert!(parse_options(&args(&["vips", "--lines"])).is_err());
+    }
+
+    #[test]
+    fn parse_diff_flags() {
+        let opts = parse_options(&args(&["random"])).expect("parses");
+        assert_eq!(opts.seeds, 500);
+        assert_eq!(opts.seed_base, 0);
+        assert_eq!(opts.golden_dir, "tests/golden");
+        assert!(!opts.bless);
+
+        let opts = parse_options(&args(&[
+            "random",
+            "--seeds",
+            "32",
+            "--seed-base",
+            "1000",
+            "--golden-dir",
+            "other/golden",
+            "--bless",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.seeds, 32);
+        assert_eq!(opts.seed_base, 1000);
+        assert_eq!(opts.golden_dir, "other/golden");
+        assert!(opts.bless);
+
+        assert!(parse_options(&args(&["random", "--seeds", "0"])).is_err());
+        assert!(parse_options(&args(&["random", "--seeds", "x"])).is_err());
+        assert!(parse_options(&args(&["random", "--seed-base"])).is_err());
+        assert!(parse_options(&args(&["random", "--golden-dir"])).is_err());
     }
 
     #[test]

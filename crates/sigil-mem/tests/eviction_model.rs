@@ -144,6 +144,55 @@ fn check_against_model(
     Ok(())
 }
 
+/// Applies one action to a table; returns what a reader would observe.
+fn apply(table: &mut ShadowTable<u32>, action: &Action) -> Option<u32> {
+    match *action {
+        Action::Write(addr, value) => {
+            *table.slot_mut(addr) = value;
+            None
+        }
+        Action::Read(addr) => table.get(addr).copied(),
+        Action::Clear => {
+            table.clear();
+            None
+        }
+    }
+}
+
+/// `clear()` documents "as if the table had just been constructed with
+/// the same limit and policy". Pin that: dirty a table (slab recycling,
+/// free list, MRU cache, eviction counters all populated), `clear()` it,
+/// and replay an arbitrary action suffix against a genuinely fresh twin.
+/// Every observable — read values, residency, eviction counters, and the
+/// MRU-hit/probe split — must stay identical step for step.
+fn check_clear_equals_fresh(
+    warmup: &[Action],
+    suffix: &[Action],
+    limit: usize,
+    policy: EvictionPolicy,
+) -> Result<(), TestCaseError> {
+    let mut cleared: ShadowTable<u32> = ShadowTable::with_chunk_limit(limit, policy);
+    for action in warmup {
+        apply(&mut cleared, action);
+    }
+    cleared.clear();
+    let mut fresh: ShadowTable<u32> = ShadowTable::with_chunk_limit(limit, policy);
+    prop_assert_eq!(cleared.stats(), fresh.stats(), "stats right after clear");
+    for (step, action) in suffix.iter().enumerate() {
+        let a = apply(&mut cleared, action);
+        let b = apply(&mut fresh, action);
+        prop_assert_eq!(a, b, "observed value at step {}", step);
+        prop_assert_eq!(
+            cleared.chunk_count(),
+            fresh.chunk_count(),
+            "residency at step {}",
+            step
+        );
+        prop_assert_eq!(cleared.stats(), fresh.stats(), "stats at step {}", step);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -161,6 +210,24 @@ proptest! {
         limit in 1usize..6,
     ) {
         check_against_model(&actions, limit, EvictionPolicy::Lru)?;
+    }
+
+    #[test]
+    fn cleared_table_is_indistinguishable_from_fresh_fifo(
+        warmup in prop::collection::vec(action_strategy(), 0..200),
+        suffix in prop::collection::vec(action_strategy(), 1..200),
+        limit in 1usize..6,
+    ) {
+        check_clear_equals_fresh(&warmup, &suffix, limit, EvictionPolicy::Fifo)?;
+    }
+
+    #[test]
+    fn cleared_table_is_indistinguishable_from_fresh_lru(
+        warmup in prop::collection::vec(action_strategy(), 0..200),
+        suffix in prop::collection::vec(action_strategy(), 1..200),
+        limit in 1usize..6,
+    ) {
+        check_clear_equals_fresh(&warmup, &suffix, limit, EvictionPolicy::Lru)?;
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The comparable per-function projection of a profile, and its diff.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sigil_core::reuse::ContextReuse;
+use sigil_core::{CommStats, LineReport, Profile};
+use sigil_trace::{FunctionId, SymbolTable};
+
+/// Display name for a function key; the synthetic root (code outside any
+/// call) is `"<root>"`.
+pub(crate) fn function_name(key: Option<FunctionId>, symbols: &SymbolTable) -> String {
+    match key {
+        Some(func) => symbols
+            .get_name(func)
+            .map_or_else(|| func.to_string(), str::to_owned),
+        None => "<root>".to_owned(),
+    }
+}
+
+/// Per-function row of an [`OracleReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionReport {
+    /// Dynamic calls of the function (0 for the root).
+    pub calls: u64,
+    /// The eight Table-I counters plus raw read/write totals.
+    pub comm: CommStats,
+}
+
+/// Communication-edge byte counts between two function names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeReport {
+    /// Unique bytes carried by the edge.
+    pub unique_bytes: u64,
+    /// Non-unique (repeat-read) bytes.
+    pub nonunique_bytes: u64,
+}
+
+/// Per-function reuse aggregates, including the lifetime histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseReport {
+    /// Records with zero reuse.
+    pub zero_reuse_bytes: u64,
+    /// Records re-used 1–9 times.
+    pub low_reuse_bytes: u64,
+    /// Records re-used more than 9 times.
+    pub high_reuse_bytes: u64,
+    /// Sum of reuse counts.
+    pub total_reuse_count: u64,
+    /// Sum of lifetimes over reused records.
+    pub reused_lifetime_sum: u64,
+    /// Number of reused records.
+    pub reused_bytes: u64,
+    /// Sparse lifetime histogram: `(bin start, count)` ascending, paper
+    /// bin width (1000 retired ops).
+    pub histogram: Vec<(u64, u64)>,
+}
+
+impl ReuseReport {
+    /// Projects a production [`ContextReuse`] row (or an oracle
+    /// accumulator built on the same type).
+    pub fn from_context(row: &ContextReuse) -> Self {
+        ReuseReport {
+            zero_reuse_bytes: row.zero_reuse_bytes,
+            low_reuse_bytes: row.low_reuse_bytes,
+            high_reuse_bytes: row.high_reuse_bytes,
+            total_reuse_count: row.total_reuse_count,
+            reused_lifetime_sum: row.reused_lifetime_sum,
+            reused_bytes: row.reused_bytes,
+            histogram: row.histogram.iter().collect(),
+        }
+    }
+}
+
+/// Everything the differential harness compares, keyed by function name
+/// (and `"producer -> consumer"` for edges). `BTreeMap`s keep the JSON
+/// serialization deterministic, which the golden corpus relies on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// Per-function calls + Table-I counters. Always contains `"<root>"`.
+    pub functions: BTreeMap<String, FunctionReport>,
+    /// Communication edges, keyed `"producer -> consumer"`.
+    pub edges: BTreeMap<String, EdgeReport>,
+    /// Reuse aggregates (reuse mode only).
+    pub reuse: Option<BTreeMap<String, ReuseReport>>,
+    /// Line-granularity report (line mode only).
+    pub lines: Option<LineReport>,
+}
+
+/// Projects a production [`Profile`] down to the oracle's
+/// function-name-level [`OracleReport`], merging all contexts of a
+/// function exactly the way `Profile::function_rows` does.
+pub fn project_profile(profile: &Profile) -> OracleReport {
+    let symbols = profile.symbols();
+    let tree = &profile.callgrind.tree;
+
+    let mut functions: BTreeMap<String, FunctionReport> = BTreeMap::new();
+    for (ctx, node) in tree.iter() {
+        let row = functions
+            .entry(function_name(node.func, symbols))
+            .or_default();
+        row.calls += node.calls;
+        row.comm.merge(&profile.context_comm(ctx));
+    }
+
+    let mut edges: BTreeMap<String, EdgeReport> = BTreeMap::new();
+    for edge in &profile.edges {
+        let producer = function_name(tree.node(edge.producer).func, symbols);
+        let consumer = function_name(tree.node(edge.consumer).func, symbols);
+        let row = edges
+            .entry(format!("{producer} -> {consumer}"))
+            .or_default();
+        row.unique_bytes += edge.unique_bytes;
+        row.nonunique_bytes += edge.nonunique_bytes;
+    }
+
+    let reuse = profile.reuse.as_ref().map(|rows| {
+        let mut merged: BTreeMap<String, ContextReuse> = BTreeMap::new();
+        for row in rows {
+            // The production vector is padded with all-zero rows for
+            // contexts that never flushed a record; skip them — the
+            // oracle only creates rows on flush.
+            if row.total_bytes() == 0 && row.total_reuse_count == 0 {
+                continue;
+            }
+            let name = function_name(tree.node(row.ctx).func, symbols);
+            let acc = merged
+                .entry(name)
+                .or_insert_with(|| ContextReuse::new(sigil_callgrind::ContextId::ROOT));
+            acc.zero_reuse_bytes += row.zero_reuse_bytes;
+            acc.low_reuse_bytes += row.low_reuse_bytes;
+            acc.high_reuse_bytes += row.high_reuse_bytes;
+            acc.total_reuse_count += row.total_reuse_count;
+            acc.reused_lifetime_sum += row.reused_lifetime_sum;
+            acc.reused_bytes += row.reused_bytes;
+            for (lifetime, count) in row.histogram.iter() {
+                acc.histogram.record(lifetime, count);
+            }
+        }
+        merged
+            .iter()
+            .map(|(name, acc)| (name.clone(), ReuseReport::from_context(acc)))
+            .collect()
+    });
+
+    OracleReport {
+        functions,
+        edges,
+        reuse,
+        lines: profile.lines.clone(),
+    }
+}
+
+/// One field-level disagreement between two reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Slash-separated path of the diverging field, e.g.
+    /// `functions/f1/comm.input_unique_bytes`.
+    pub location: String,
+    /// The production profiler's value.
+    pub production: String,
+    /// The oracle's value.
+    pub oracle: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: production={} oracle={}",
+            self.location, self.production, self.oracle
+        )
+    }
+}
+
+fn field(
+    out: &mut Vec<Divergence>,
+    location: String,
+    production: &impl std::fmt::Debug,
+    oracle: &impl std::fmt::Debug,
+) {
+    out.push(Divergence {
+        location,
+        production: format!("{production:?}"),
+        oracle: format!("{oracle:?}"),
+    });
+}
+
+fn comm_fields(stats: &CommStats) -> [(&'static str, u64); 8] {
+    [
+        ("input_unique_bytes", stats.input_unique_bytes),
+        ("input_nonunique_bytes", stats.input_nonunique_bytes),
+        ("local_unique_bytes", stats.local_unique_bytes),
+        ("local_nonunique_bytes", stats.local_nonunique_bytes),
+        ("output_unique_bytes", stats.output_unique_bytes),
+        ("output_nonunique_bytes", stats.output_nonunique_bytes),
+        ("bytes_read", stats.bytes_read),
+        ("bytes_written", stats.bytes_written),
+    ]
+}
+
+fn diff_maps<V: PartialEq>(
+    out: &mut Vec<Divergence>,
+    section: &str,
+    production: &BTreeMap<String, V>,
+    oracle: &BTreeMap<String, V>,
+    mut diff_value: impl FnMut(&mut Vec<Divergence>, String, &V, &V),
+) {
+    for (key, p) in production {
+        match oracle.get(key) {
+            None => field(out, format!("{section}/{key}"), &"present", &"absent"),
+            Some(o) if p != o => diff_value(out, format!("{section}/{key}"), p, o),
+            Some(_) => {}
+        }
+    }
+    for key in oracle.keys() {
+        if !production.contains_key(key) {
+            field(out, format!("{section}/{key}"), &"absent", &"present");
+        }
+    }
+}
+
+/// Compares two reports field by field, returning every disagreement
+/// (empty = conformant). `production` and `oracle` name the two sides in
+/// the output.
+pub fn diff_reports(production: &OracleReport, oracle: &OracleReport) -> Vec<Divergence> {
+    let mut out = Vec::new();
+
+    diff_maps(
+        &mut out,
+        "functions",
+        &production.functions,
+        &oracle.functions,
+        |out, loc, p, o| {
+            if p.calls != o.calls {
+                field(out, format!("{loc}/calls"), &p.calls, &o.calls);
+            }
+            for ((name, pv), (_, ov)) in comm_fields(&p.comm).iter().zip(comm_fields(&o.comm)) {
+                if *pv != ov {
+                    field(out, format!("{loc}/comm.{name}"), pv, &ov);
+                }
+            }
+        },
+    );
+
+    diff_maps(
+        &mut out,
+        "edges",
+        &production.edges,
+        &oracle.edges,
+        |out, loc, p, o| {
+            if p.unique_bytes != o.unique_bytes {
+                field(
+                    out,
+                    format!("{loc}/unique_bytes"),
+                    &p.unique_bytes,
+                    &o.unique_bytes,
+                );
+            }
+            if p.nonunique_bytes != o.nonunique_bytes {
+                field(
+                    out,
+                    format!("{loc}/nonunique_bytes"),
+                    &p.nonunique_bytes,
+                    &o.nonunique_bytes,
+                );
+            }
+        },
+    );
+
+    match (&production.reuse, &oracle.reuse) {
+        (None, None) => {}
+        (Some(p), Some(o)) => diff_maps(&mut out, "reuse", p, o, |out, loc, p, o| {
+            let fields = |r: &ReuseReport| {
+                [
+                    ("zero_reuse_bytes", r.zero_reuse_bytes),
+                    ("low_reuse_bytes", r.low_reuse_bytes),
+                    ("high_reuse_bytes", r.high_reuse_bytes),
+                    ("total_reuse_count", r.total_reuse_count),
+                    ("reused_lifetime_sum", r.reused_lifetime_sum),
+                    ("reused_bytes", r.reused_bytes),
+                ]
+            };
+            for ((name, pv), (_, ov)) in fields(p).iter().zip(fields(o)) {
+                if *pv != ov {
+                    field(out, format!("{loc}/{name}"), pv, &ov);
+                }
+            }
+            if p.histogram != o.histogram {
+                field(out, format!("{loc}/histogram"), &p.histogram, &o.histogram);
+            }
+        }),
+        (p, o) => field(
+            &mut out,
+            "reuse".to_owned(),
+            &p.as_ref().map(|_| "present"),
+            &o.as_ref().map(|_| "present"),
+        ),
+    }
+
+    match (&production.lines, &oracle.lines) {
+        (None, None) => {}
+        (Some(p), Some(o)) if p == o => {}
+        (p, o) => field(&mut out, "lines".to_owned(), p, o),
+    }
+
+    out
+}

@@ -1,0 +1,76 @@
+//! The oracle crate's own conformance smoke tests: quick versions of the
+//! properties the root `tests/differential.rs` suite sweeps at scale, so
+//! `cargo test -p sigil-oracle` alone already proves the harness works.
+
+use sigil_core::SigilConfig;
+use sigil_oracle::harness::{
+    compare, diff_seed, diverges, first_divergent_access, golden_config, record_benchmark,
+    record_program, shrink,
+};
+use sigil_oracle::InjectedBug;
+use sigil_vm::GenProgram;
+use sigil_workloads::{Benchmark, InputSize};
+
+/// The first 20 seeds conform under the whole config matrix (unbounded
+/// and seed-constrained shadow memory).
+#[test]
+fn seeds_0_to_20_conform() {
+    for seed in 0..20 {
+        let failures = diff_seed(seed, None);
+        assert!(
+            failures.is_empty(),
+            "seed {seed}: {:?}",
+            failures
+                .iter()
+                .map(|f| (&f.label, &f.divergences[..f.divergences.len().min(3)]))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Every built-in workload conforms with reuse and line mode enabled —
+/// the same configuration the golden corpus is recorded under.
+#[test]
+fn all_benchmarks_conform() {
+    for bench in Benchmark::ALL {
+        let bundle = record_benchmark(bench, InputSize::SimSmall);
+        let divergences = compare(&bundle, golden_config(), None);
+        assert!(
+            divergences.is_empty(),
+            "{bench} ({} events): {:?}",
+            bundle.events.len(),
+            &divergences[..divergences.len().min(5)]
+        );
+    }
+}
+
+/// Both injected classification mutants manifest within a few seeds,
+/// shrink to a small program, and yield a locatable first divergent
+/// access — the harness has teeth.
+#[test]
+fn injected_bug_caught_and_shrinks() {
+    let config = SigilConfig::default().with_reuse_mode();
+    for bug in [
+        InjectedBug::RepeatIgnoresCall,
+        InjectedBug::WriteKeepsReader,
+    ] {
+        let (seed, program) = (0..50)
+            .map(|seed| (seed, GenProgram::generate(seed)))
+            .find(|(_, p)| diverges(p, config, Some(bug)))
+            .unwrap_or_else(|| panic!("{bug:?} never manifested in 50 seeds"));
+        let minimized = shrink(&program, config, Some(bug));
+        eprintln!(
+            "{bug:?}: seed {seed}, {} -> {} instructions",
+            program.inst_count(),
+            minimized.inst_count()
+        );
+        assert!(diverges(&minimized, config, Some(bug)));
+        assert!(
+            minimized.inst_count() <= 20,
+            "{bug:?} repro too big: {} instructions",
+            minimized.inst_count()
+        );
+        let bundle = record_program(&minimized);
+        assert!(first_divergent_access(&bundle, config, Some(bug)).is_some());
+    }
+}

@@ -1,0 +1,522 @@
+//! Seeded random guest-program generation for differential testing.
+//!
+//! [`GenProgram`] is a tiny intermediate representation on top of the
+//! [`ProgramBuilder`](crate::ProgramBuilder): a list of functions whose
+//! bodies are flat vectors of [`GenInst`]s. The representation is chosen
+//! so that **dropping any subset of instructions keeps the program
+//! verifier-valid** — registers default to zero, calls pass the same
+//! fixed argument layout everywhere, and recursion guards are emitted as
+//! part of the [`GenInst::SelfCall`] lowering — which is exactly what a
+//! delta-debugging shrinker needs.
+//!
+//! Generated programs exercise the behaviours the differential oracle
+//! cares about: call trees (calls form a DAG over the function list),
+//! bounded self-recursion driven by a depth argument, aliasing loads and
+//! stores into a handful of shared buffers (every function receives every
+//! buffer base as an argument), hot-offset reuse patterns, and a buffer
+//! large enough to span several shadow-table chunks so constrained-memory
+//! replays actually evict.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::program::{FuncId, Program};
+
+/// Access sizes the generator draws from.
+const SIZES: [u8; 4] = [1, 2, 4, 8];
+
+/// Largest buffer: 4 shadow-table chunks (chunk = 4 KiB of address
+/// space), so chunk-limited replays exercise eviction.
+const BIG_BUFFER: u64 = 16 * 1024;
+
+/// One instruction of a generated function body.
+///
+/// Register operands index a small *general* register file (`g0..g5`);
+/// the lowering maps them above the fixed argument registers. Every
+/// variant lowers to a self-contained instruction sequence, so any
+/// subset of a body remains verifier-valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenInst {
+    /// `g[dst] = value`
+    Imm {
+        /// Destination general register.
+        dst: u8,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `g[dst] = g[src]`
+    Mov {
+        /// Destination general register.
+        dst: u8,
+        /// Source general register.
+        src: u8,
+    },
+    /// Integer ALU op (never `Div`/`Rem`, which can trap).
+    Alu {
+        /// Index into the generator's ALU op table.
+        op: u8,
+        /// Destination general register.
+        dst: u8,
+        /// First operand.
+        a: u8,
+        /// Second operand.
+        b: u8,
+    },
+    /// Floating-point ALU op.
+    Falu {
+        /// Index into the generator's FALU op table.
+        op: u8,
+        /// Destination general register.
+        dst: u8,
+        /// First operand.
+        a: u8,
+        /// Second operand.
+        b: u8,
+    },
+    /// `g[dst] = mem[buf + offset]`
+    Load {
+        /// Destination general register.
+        dst: u8,
+        /// Buffer index.
+        buf: u8,
+        /// Byte offset into the buffer.
+        offset: u32,
+        /// Access size in bytes (1/2/4/8).
+        size: u8,
+    },
+    /// `mem[buf + offset] = g[src]`
+    Store {
+        /// Source general register.
+        src: u8,
+        /// Buffer index.
+        buf: u8,
+        /// Byte offset into the buffer.
+        offset: u32,
+        /// Access size in bytes (1/2/4/8).
+        size: u8,
+    },
+    /// Call a strictly higher-indexed function, forwarding the shared
+    /// buffer bases and the current depth budget.
+    Call {
+        /// Index into [`GenProgram::funcs`]; always greater than the
+        /// calling function's own index.
+        callee: u8,
+    },
+    /// Guarded self-recursion: `if depth > 0 { depth -= 1; self(...) }`.
+    SelfCall,
+}
+
+/// A generated function: a name and a flat body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenFunc {
+    /// Function name (unique within the program).
+    pub name: String,
+    /// Straight-line body; control flow exists only inside the
+    /// [`GenInst::SelfCall`] lowering.
+    pub body: Vec<GenInst>,
+}
+
+/// A randomly generated guest program in shrinkable IR form.
+///
+/// `funcs[0]` is the entry point; it allocates the shared buffers and
+/// seeds the depth budget before running its own body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenProgram {
+    /// Byte sizes of the shared buffers (allocated by the entry).
+    pub buffers: Vec<u64>,
+    /// Initial self-recursion depth budget passed down every call.
+    pub depth: u64,
+    /// The functions; `funcs[0]` is the entry.
+    pub funcs: Vec<GenFunc>,
+}
+
+impl GenProgram {
+    /// Generates a program from `seed`. The same seed always yields the
+    /// same program.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_bufs = rng.gen_range(2..5usize);
+        let mut buffers = vec![BIG_BUFFER];
+        for _ in 1..n_bufs {
+            buffers.push(u64::from(rng.gen_range(64..2048u32)));
+        }
+        let n_funcs = rng.gen_range(2..6usize);
+        let depth = rng.gen_range(0..4u64);
+
+        // Per-buffer hot offsets: a small set the whole program keeps
+        // coming back to, so repeat reads and cross-function reuse occur
+        // often instead of almost never.
+        let hot: Vec<Vec<u32>> = buffers
+            .iter()
+            .map(|&size| {
+                let span = u32::try_from(size).expect("buffer fits u32") - 8;
+                (0..4).map(|_| rng.gen_range(0..span + 1)).collect()
+            })
+            .collect();
+
+        let mut funcs = Vec::with_capacity(n_funcs);
+        for idx in 0..n_funcs {
+            let name = if idx == 0 {
+                "main".to_owned()
+            } else {
+                format!("f{idx}")
+            };
+            let recursive = idx > 0 && rng.gen_bool(0.4);
+            let body_len = rng.gen_range(4..24usize);
+            let mut body = Vec::with_capacity(body_len);
+            let mut calls = 0;
+            let mut selfcalls = 0;
+            for _ in 0..body_len {
+                body.push(Self::random_inst(
+                    &mut rng,
+                    idx,
+                    n_funcs,
+                    &buffers,
+                    &hot,
+                    recursive,
+                    &mut calls,
+                    &mut selfcalls,
+                ));
+            }
+            funcs.push(GenFunc { name, body });
+        }
+        GenProgram {
+            buffers,
+            depth,
+            funcs,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn random_inst(
+        rng: &mut SmallRng,
+        func_idx: usize,
+        n_funcs: usize,
+        buffers: &[u64],
+        hot: &[Vec<u32>],
+        recursive: bool,
+        calls: &mut u32,
+        selfcalls: &mut u32,
+    ) -> GenInst {
+        let reg = |rng: &mut SmallRng| rng.gen_range(0..GENERAL_REGS);
+        loop {
+            match rng.gen_range(0..10u32) {
+                0 => {
+                    return GenInst::Imm {
+                        dst: reg(rng),
+                        value: rng.gen_range(0..1024u64),
+                    }
+                }
+                1 => {
+                    return GenInst::Mov {
+                        dst: reg(rng),
+                        src: reg(rng),
+                    }
+                }
+                2 => {
+                    return GenInst::Alu {
+                        op: rng.gen_range(0..ALU_OPS_N),
+                        dst: reg(rng),
+                        a: reg(rng),
+                        b: reg(rng),
+                    }
+                }
+                3 => {
+                    return GenInst::Falu {
+                        op: rng.gen_range(0..FALU_OPS_N),
+                        dst: reg(rng),
+                        a: reg(rng),
+                        b: reg(rng),
+                    }
+                }
+                4 | 5 => {
+                    let (buf, offset, size) = Self::random_access(rng, buffers, hot);
+                    return GenInst::Load {
+                        dst: reg(rng),
+                        buf,
+                        offset,
+                        size,
+                    };
+                }
+                6 | 7 => {
+                    let (buf, offset, size) = Self::random_access(rng, buffers, hot);
+                    return GenInst::Store {
+                        src: reg(rng),
+                        buf,
+                        offset,
+                        size,
+                    };
+                }
+                8 => {
+                    // Calls form a DAG: only strictly higher-indexed
+                    // callees, at most two per body.
+                    if func_idx + 1 < n_funcs && *calls < 2 {
+                        *calls += 1;
+                        let callee = rng.gen_range(func_idx + 1..n_funcs);
+                        return GenInst::Call {
+                            callee: u8::try_from(callee).expect("few functions"),
+                        };
+                    }
+                }
+                _ => {
+                    if recursive && *selfcalls < 1 {
+                        *selfcalls += 1;
+                        return GenInst::SelfCall;
+                    }
+                }
+            }
+        }
+    }
+
+    fn random_access(rng: &mut SmallRng, buffers: &[u64], hot: &[Vec<u32>]) -> (u8, u32, u8) {
+        let buf = rng.gen_range(0..buffers.len());
+        let size = SIZES[rng.gen_range(0..SIZES.len())];
+        let offset = if rng.gen_bool(0.6) {
+            hot[buf][rng.gen_range(0..hot[buf].len())]
+        } else {
+            let span = u32::try_from(buffers[buf]).expect("buffer fits u32") - 8;
+            rng.gen_range(0..span + 1)
+        };
+        (u8::try_from(buf).expect("few buffers"), offset, size)
+    }
+
+    /// Total instruction count across all bodies (the shrinker's index
+    /// space).
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.body.len()).sum()
+    }
+
+    /// Returns a copy with `count` instructions removed starting at flat
+    /// index `start` (indices run through `funcs[0].body`, then
+    /// `funcs[1].body`, …). Out-of-range portions are ignored.
+    pub fn drop_range(&self, start: usize, count: usize) -> GenProgram {
+        let mut out = self.clone();
+        let mut flat = 0usize;
+        let end = start.saturating_add(count);
+        for func in &mut out.funcs {
+            let len = func.body.len();
+            let lo = start.saturating_sub(flat).min(len);
+            let hi = end.saturating_sub(flat).min(len);
+            if lo < hi {
+                func.body.drain(lo..hi);
+            }
+            flat += len;
+        }
+        out
+    }
+
+    /// Lowers the IR to a verified [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lowering produces an invalid program — that would be
+    /// a bug in the generator, never in a caller.
+    pub fn build(&self) -> Program {
+        let n_bufs = u16::try_from(self.buffers.len()).expect("few buffers");
+        let layout = RegLayout { n_bufs };
+        let mut pb = ProgramBuilder::new();
+        let ids: Vec<FuncId> = self.funcs.iter().map(|f| pb.declare(&f.name)).collect();
+        for (idx, func) in self.funcs.iter().enumerate() {
+            let mut fb = pb.define(ids[idx], layout.n_regs());
+            if idx == 0 {
+                for (b, &size) in self.buffers.iter().enumerate() {
+                    let reg = layout.buf(u8::try_from(b).expect("few buffers"));
+                    // alloc_imm clobbers the register with the size first,
+                    // which is fine: buffer bases are only read afterwards.
+                    fb.alloc_imm(reg, size);
+                }
+                fb.imm(layout.depth(), self.depth);
+            }
+            for inst in &func.body {
+                lower_inst(&mut fb, &layout, inst, &ids, idx);
+            }
+            fb.ret();
+            fb.finish();
+        }
+        pb.set_entry(ids[0]);
+        pb.build().expect("generated programs verify")
+    }
+}
+
+/// How many general registers the bodies address.
+const GENERAL_REGS: u8 = 6;
+
+/// ALU ops the generator draws from — excludes `Div`/`Rem`, which trap
+/// on zero divisors.
+const ALU_OPS_N: u8 = 10;
+const ALU_OPS: [crate::AluOp; ALU_OPS_N as usize] = [
+    crate::AluOp::Add,
+    crate::AluOp::Sub,
+    crate::AluOp::Mul,
+    crate::AluOp::And,
+    crate::AluOp::Or,
+    crate::AluOp::Xor,
+    crate::AluOp::Shl,
+    crate::AluOp::Shr,
+    crate::AluOp::CmpLt,
+    crate::AluOp::CmpEq,
+];
+
+const FALU_OPS_N: u8 = 3;
+const FALU_OPS: [crate::FaluOp; FALU_OPS_N as usize] = [
+    crate::FaluOp::FAdd,
+    crate::FaluOp::FSub,
+    crate::FaluOp::FMul,
+];
+
+/// Fixed register layout shared by every generated function.
+///
+/// `r0..rB-1` hold the buffer bases, `rB` the depth budget (both passed
+/// as call arguments in this order), then six general registers and two
+/// scratch registers for the `SelfCall` guard.
+struct RegLayout {
+    n_bufs: u16,
+}
+
+impl RegLayout {
+    fn buf(&self, b: u8) -> u16 {
+        u16::from(b)
+    }
+    fn depth(&self) -> u16 {
+        self.n_bufs
+    }
+    fn general(&self, g: u8) -> u16 {
+        self.n_bufs + 1 + u16::from(g)
+    }
+    fn scratch(&self, s: u8) -> u16 {
+        self.n_bufs + 1 + u16::from(GENERAL_REGS) + u16::from(s)
+    }
+    fn n_regs(&self) -> u16 {
+        self.n_bufs + 1 + u16::from(GENERAL_REGS) + 2
+    }
+    /// The argument list every call forwards: all buffers, then depth.
+    fn args(&self) -> Vec<u16> {
+        (0..self.n_bufs).chain([self.depth()]).collect()
+    }
+}
+
+fn lower_inst(
+    fb: &mut FunctionBuilder<'_>,
+    layout: &RegLayout,
+    inst: &GenInst,
+    ids: &[FuncId],
+    self_idx: usize,
+) {
+    match *inst {
+        GenInst::Imm { dst, value } => fb.imm(layout.general(dst), value),
+        GenInst::Mov { dst, src } => fb.mov(layout.general(dst), layout.general(src)),
+        GenInst::Alu { op, dst, a, b } => fb.alu(
+            ALU_OPS[usize::from(op)],
+            layout.general(dst),
+            layout.general(a),
+            layout.general(b),
+        ),
+        GenInst::Falu { op, dst, a, b } => fb.falu(
+            FALU_OPS[usize::from(op)],
+            layout.general(dst),
+            layout.general(a),
+            layout.general(b),
+        ),
+        GenInst::Load {
+            dst,
+            buf,
+            offset,
+            size,
+        } => fb.load(
+            layout.general(dst),
+            layout.buf(buf),
+            i64::from(offset),
+            size,
+        ),
+        GenInst::Store {
+            src,
+            buf,
+            offset,
+            size,
+        } => fb.store(
+            layout.general(src),
+            layout.buf(buf),
+            i64::from(offset),
+            size,
+        ),
+        GenInst::Call { callee } => {
+            fb.call(ids[usize::from(callee)], &layout.args(), None);
+        }
+        GenInst::SelfCall => {
+            // if 0 < depth { depth -= 1; self(bufs..., depth) }
+            let s1 = layout.scratch(0);
+            let s2 = layout.scratch(1);
+            fb.imm(s1, 0);
+            fb.cmplt(s1, s1, layout.depth());
+            let rec = fb.block();
+            let cont = fb.block();
+            fb.br(s1, rec, cont);
+            fb.switch_to(rec);
+            fb.imm(s2, 1);
+            fb.sub(layout.depth(), layout.depth(), s2);
+            fb.call(ids[self_idx], &layout.args(), None);
+            fb.jmp(cont);
+            fb.switch_to(cont);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+    use sigil_trace::Engine;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(GenProgram::generate(42), GenProgram::generate(42));
+        assert_ne!(GenProgram::generate(1), GenProgram::generate(2));
+    }
+
+    #[test]
+    fn generated_programs_build_and_run() {
+        for seed in 0..50 {
+            let gen = GenProgram::generate(seed);
+            let program = gen.build();
+            let mut engine = Engine::new(CountingObserver::new());
+            let result = crate::Interpreter::new(&program)
+                .with_fuel(2_000_000)
+                .run(&mut engine);
+            assert!(result.is_ok(), "seed {seed} trapped: {result:?}");
+            let counts = engine.finish().into_counts();
+            assert_eq!(counts.calls, counts.returns, "seed {seed} unbalanced");
+        }
+    }
+
+    #[test]
+    fn drop_range_shrinks_and_still_builds() {
+        let gen = GenProgram::generate(7);
+        let n = gen.inst_count();
+        assert!(n > 0);
+        for start in 0..n {
+            let smaller = gen.drop_range(start, 3);
+            assert!(smaller.inst_count() < n);
+            let program = smaller.build();
+            let mut engine = Engine::new(CountingObserver::new());
+            crate::Interpreter::new(&program)
+                .with_fuel(2_000_000)
+                .run(&mut engine)
+                .expect("shrunk program runs");
+            engine.finish();
+        }
+    }
+
+    #[test]
+    fn drop_everything_leaves_empty_main() {
+        let gen = GenProgram::generate(3);
+        let empty = gen.drop_range(0, gen.inst_count());
+        assert_eq!(empty.inst_count(), 0);
+        let program = empty.build();
+        let mut engine = Engine::new(CountingObserver::new());
+        crate::Interpreter::new(&program)
+            .run(&mut engine)
+            .expect("empty program runs");
+        engine.finish();
+    }
+}

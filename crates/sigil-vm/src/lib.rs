@@ -61,6 +61,7 @@
 pub mod asm;
 pub mod builder;
 pub mod disasm;
+pub mod gen;
 pub mod interp;
 pub mod isa;
 pub mod memory;
@@ -69,6 +70,7 @@ pub mod verifier;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use gen::{GenFunc, GenInst, GenProgram};
 pub use interp::{Interpreter, Trap};
 pub use isa::{AluOp, FaluOp, Inst, Reg, Terminator};
 pub use memory::GuestMemory;

@@ -1,0 +1,124 @@
+//! Differential conformance: the production `SigilProfiler` against the
+//! deliberately naive `sigil-oracle` reference, on seeded random programs
+//! and on the committed golden corpus.
+//!
+//! The seed sweep is env-tunable so CI can shard it into a seed × limit
+//! matrix without recompiling:
+//!
+//! - `SIGIL_DIFF_SEEDS`     — number of seeds (default 40 debug / 200 release)
+//! - `SIGIL_DIFF_SEED_BASE` — first seed (default 0)
+//! - `SIGIL_DIFF_LIMIT`     — pin the constrained shadow-chunk limit
+//!
+//! On any divergence the failing program is delta-debugged down to a
+//! minimal repro before the assert fires, so the panic message alone is
+//! enough to reproduce and debug the mismatch by hand.
+
+use sigil_oracle::harness::{self, diff_seed, golden_config, record_benchmark, shrink};
+use sigil_oracle::{diff_reports, InjectedBug, OracleReport};
+use sigil_vm::GenProgram;
+use sigil_workloads::{Benchmark, InputSize};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v:?}")))
+        .unwrap_or(default)
+}
+
+fn env_limit() -> Option<usize> {
+    std::env::var("SIGIL_DIFF_LIMIT").ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad SIGIL_DIFF_LIMIT: {v:?}"))
+    })
+}
+
+/// Seeded random programs produce identical reports from the production
+/// profiler and the oracle, under both the unbounded and the
+/// seed-constrained shadow-table configurations.
+#[test]
+fn random_programs_conform() {
+    let default_seeds = if cfg!(debug_assertions) { 40 } else { 200 };
+    let seeds = env_u64("SIGIL_DIFF_SEEDS", default_seeds);
+    let base = env_u64("SIGIL_DIFF_SEED_BASE", 0);
+    let limit = env_limit();
+    for seed in base..base + seeds {
+        let failures = diff_seed(seed, limit);
+        if let Some(failure) = failures.first() {
+            let minimized = shrink(&GenProgram::generate(seed), failure.config, None);
+            panic!(
+                "seed {seed} diverged under `{}`:\n{}",
+                failure.label,
+                harness::render_repro(&minimized, failure.config, None)
+            );
+        }
+    }
+}
+
+/// An intentionally injected classification bug is caught by the harness
+/// and shrinks to a small repro — validates that the differential setup
+/// actually has teeth, not just that both sides agree.
+#[test]
+fn injected_bugs_are_caught_and_shrink() {
+    let config = golden_config();
+    for bug in [
+        InjectedBug::RepeatIgnoresCall,
+        InjectedBug::WriteKeepsReader,
+    ] {
+        let seed = (0..50)
+            .find(|&s| harness::diverges(&GenProgram::generate(s), config, Some(bug)))
+            .unwrap_or_else(|| panic!("{bug:?} never manifested in 50 seeds"));
+        let minimized = shrink(&GenProgram::generate(seed), config, Some(bug));
+        assert!(
+            harness::diverges(&minimized, config, Some(bug)),
+            "{bug:?}: shrink lost the divergence"
+        );
+        assert!(
+            minimized.inst_count() <= 20,
+            "{bug:?}: minimized repro has {} instructions (> 20)",
+            minimized.inst_count()
+        );
+        let bundle = harness::record_program(&minimized);
+        assert!(
+            harness::first_divergent_access(&bundle, config, Some(bug)).is_some(),
+            "{bug:?}: no first divergent access located"
+        );
+    }
+}
+
+/// Every committed golden profile matches a fresh oracle replay of its
+/// workload, and the production profiler matches the oracle on the same
+/// trace. Regenerate intentionally changed profiles with
+/// `sigil diff bless`.
+#[test]
+fn golden_corpus_conforms() {
+    let config = golden_config();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for bench in Benchmark::ALL {
+        let path = dir.join(format!("{bench}.json"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {}: {e} (run `sigil diff bless`)",
+                path.display()
+            )
+        });
+        let golden: OracleReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("bad golden {}: {e}", path.display()));
+        let bundle = record_benchmark(bench, InputSize::SimSmall);
+        let oracle = harness::oracle_report(&bundle, config, None);
+        let drift = diff_reports(&golden, &oracle);
+        assert!(
+            drift.is_empty(),
+            "golden profile for `{bench}` drifted from the oracle ({} field(s)), first: {}\n\
+             re-bless only if intentional: sigil diff bless",
+            drift.len(),
+            drift[0]
+        );
+        let conformance = diff_reports(&harness::production_report(&bundle, config), &oracle);
+        assert!(
+            conformance.is_empty(),
+            "production diverged from oracle on `{bench}` ({} field(s)), first: {}",
+            conformance.len(),
+            conformance[0]
+        );
+    }
+}
