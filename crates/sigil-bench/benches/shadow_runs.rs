@@ -1,0 +1,97 @@
+//! Per-byte vs. ranged shadow-table access.
+//!
+//! `SigilProfiler` used to call `ShadowTable::slot_mut` once per byte of
+//! every access, paying a chunk split, MRU check, and counter bump per
+//! byte; it now walks `ShadowTable::runs_mut`, which resolves the chunk
+//! once per maximal in-chunk run. This group prices both paths on the
+//! access shapes that matter: dense sequential accesses (the common
+//! case — the run covers the whole access), strided small accesses
+//! (short runs, the range API's worst case), and accesses that straddle
+//! the 4 KiB chunk split (two runs per access).
+//!
+//! The acceptance bar from the optimization PR: `ranged/dense` at least
+//! 2x faster than `per_byte/dense`. Results land in
+//! `BENCH_shadow_runs.json` alongside `sigil sweep` wall times.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_mem::{ShadowTable, CHUNK_SLOTS};
+
+/// One synthetic access: `len` consecutive shadow slots from `addr`.
+type Access = (u64, usize);
+
+/// Dense: back-to-back 64-byte accesses sweeping a 16-chunk working set.
+fn dense_pattern() -> Vec<Access> {
+    (0..1024).map(|i| (i * 64, 64)).collect()
+}
+
+/// Strided: 8-byte accesses every 64 bytes over the same working set.
+fn strided_pattern() -> Vec<Access> {
+    (0..1024).map(|i| (i * 64, 8)).collect()
+}
+
+/// Chunk-crossing: 64-byte accesses centered on every 4 KiB split of a
+/// 256-chunk span, so each access resolves two chunks.
+fn crossing_pattern() -> Vec<Access> {
+    let chunk = CHUNK_SLOTS as u64;
+    (1..=256).map(|i| (i * chunk - 32, 64)).collect()
+}
+
+/// The old hot path: one full table lookup per byte.
+fn per_byte(table: &mut ShadowTable<u64>, accesses: &[Access]) -> u64 {
+    let mut acc = 0u64;
+    for &(addr, len) in accesses {
+        for i in 0..len as u64 {
+            let slot = table.slot_mut(addr + i);
+            *slot = slot.wrapping_add(1);
+            acc = acc.wrapping_add(*slot);
+        }
+    }
+    acc
+}
+
+/// The new hot path: one lookup per maximal in-chunk run.
+fn ranged(table: &mut ShadowTable<u64>, accesses: &[Access]) -> u64 {
+    let mut acc = 0u64;
+    for &(addr, len) in accesses {
+        let mut runs = table.runs_mut(addr, len);
+        while let Some((_, slots)) = runs.next_run() {
+            for slot in slots {
+                *slot = slot.wrapping_add(1);
+                acc = acc.wrapping_add(*slot);
+            }
+        }
+    }
+    acc
+}
+
+fn shadow_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_runs");
+    group.sample_size(30);
+    let patterns: [(&str, Vec<Access>); 3] = [
+        ("dense", dense_pattern()),
+        ("strided", strided_pattern()),
+        ("chunk_crossing", crossing_pattern()),
+    ];
+    for (name, accesses) in &patterns {
+        // One warm table per arm: chunks stay resident, so the numbers
+        // isolate lookup cost rather than first-touch allocation.
+        let mut table: ShadowTable<u64> = ShadowTable::new();
+        per_byte(&mut table, accesses);
+        group.bench_with_input(
+            BenchmarkId::new("per_byte", name),
+            accesses,
+            |b, accesses| {
+                b.iter(|| black_box(per_byte(&mut table, accesses)));
+            },
+        );
+        let mut table: ShadowTable<u64> = ShadowTable::new();
+        ranged(&mut table, accesses);
+        group.bench_with_input(BenchmarkId::new("ranged", name), accesses, |b, accesses| {
+            b.iter(|| black_box(ranged(&mut table, accesses)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shadow_runs);
+criterion_main!(benches);

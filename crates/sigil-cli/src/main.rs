@@ -421,17 +421,18 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         opts.jobs
     );
     println!(
-        "{:>14} {:>10} {:>12} {:>12} {:>9} {:>8}  workload",
-        "wall(ms)", "ops", "edges", "accesses", "mru%", "evict"
+        "{:>14} {:>10} {:>12} {:>12} {:>9} {:>7} {:>8}  workload",
+        "wall(ms)", "ops", "edges", "accesses", "mru%", "b/run", "evict"
     );
     for entry in &entries {
         println!(
-            "{:>14.2} {:>10} {:>12} {:>12} {:>8.1}% {:>8}  {}",
+            "{:>14.2} {:>10} {:>12} {:>12} {:>8.1}% {:>7.1} {:>8}  {}",
             entry.wall_ms,
             entry.profile.callgrind.total_ops,
             entry.profile.edges.len(),
             entry.memory.accesses,
             entry.memory.mru_hit_rate() * 100.0,
+            entry.memory.bytes_per_run(),
             entry.memory.evicted_chunks,
             entry.name
         );

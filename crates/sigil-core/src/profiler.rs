@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 use sigil_callgrind::{CallgrindProfiler, ContextId};
 use sigil_mem::{LineShadow, MemoryStats, Owner, ShadowObject, ShadowTable};
 use sigil_trace::{
-    CallNumber, ExecutionObserver, MemAccess, OpClock, RuntimeEvent, SymbolTable, Timestamp,
+    CallNumber, ExecutionObserver, FunctionId, MemAccess, OpClock, RuntimeEvent, SymbolTable,
+    Timestamp,
 };
 
 use crate::config::SigilConfig;
@@ -136,11 +137,35 @@ impl SigilProfiler {
     }
 
     fn comm_mut(&mut self, ctx: ContextId) -> &mut CommStats {
+        Self::comm_entry(&mut self.comm, ctx)
+    }
+
+    /// Field-level variant of [`comm_mut`](Self::comm_mut) usable while
+    /// `self.shadow` is mutably borrowed by a run iterator.
+    fn comm_entry(comm: &mut Vec<CommStats>, ctx: ContextId) -> &mut CommStats {
         let idx = ctx.index();
-        if idx >= self.comm.len() {
-            self.comm.resize(idx + 1, CommStats::default());
+        if idx >= comm.len() {
+            comm.resize(idx + 1, CommStats::default());
         }
-        &mut self.comm[idx]
+        &mut comm[idx]
+    }
+
+    /// Flushes one producer segment — a maximal stretch of consecutive
+    /// bytes sharing a last-writer context — into the producer's output
+    /// tallies and the producer→consumer edge map.
+    fn flush_producer(
+        comm: &mut Vec<CommStats>,
+        edges: &mut HashMap<(ContextId, ContextId), EdgeAccum>,
+        producer_ctx: ContextId,
+        consumer_ctx: ContextId,
+        seg: EdgeAccum,
+    ) {
+        let producer_stats = Self::comm_entry(comm, producer_ctx);
+        producer_stats.output_unique_bytes += seg.unique;
+        producer_stats.output_nonunique_bytes += seg.nonunique;
+        let edge = edges.entry((producer_ctx, consumer_ctx)).or_default();
+        edge.unique += seg.unique;
+        edge.nonunique += seg.nonunique;
     }
 
     fn reuse_flush(reuse_vec: &mut Vec<ContextReuse>, reader: Owner, info: sigil_mem::ReuseInfo) {
@@ -189,6 +214,12 @@ impl SigilProfiler {
     }
 
     fn handle_read(&mut self, access: MemAccess, at: Timestamp) {
+        if access.is_empty() {
+            return;
+        }
+        // Loop invariants, hoisted: the consuming frame, its shadow owner
+        // tag, and the reader's function identity are fixed for the whole
+        // access.
         let frame = self.current_frame();
         let owner = Owner::new(frame.ctx.0, frame.call);
         let reader_fn = self.cg.tree().node(frame.ctx).func;
@@ -198,80 +229,149 @@ impl SigilProfiler {
         if let Some(f) = self.frames_mut().last_mut() {
             f.pending_ops += 1;
         }
-        for addr in access.bytes() {
-            let obj = self.shadow.slot_mut(addr);
-            let repeat = obj.is_repeat_read(owner);
-            let producer = obj.last_writer;
 
-            // Reuse accounting: a change of reader flushes the previous
-            // reader's record (lifetimes are per function call).
-            if let Some(reuse_vec) = self.reuse.as_mut() {
-                if !repeat {
-                    if let Some(prev_reader) = obj.last_reader {
-                        let info = obj.reuse;
-                        Self::reuse_flush(reuse_vec, prev_reader, info);
-                        obj.reuse.reset();
+        // Consumer tallies accumulate locally and flush once per access;
+        // producer tallies flush once per segment of consecutive bytes
+        // sharing a last-writer context (overwhelmingly the whole access).
+        let mut local_unique = 0u64;
+        let mut local_nonunique = 0u64;
+        let mut input_unique = 0u64;
+        let mut input_nonunique = 0u64;
+        let mut producer_seg: Option<(ContextId, EdgeAccum)> = None;
+        // Producer-function resolution memoized on the producer context:
+        // consecutive bytes overwhelmingly share one last writer.
+        let mut producer_fn_memo: Option<(ContextId, Option<FunctionId>)> = None;
+        // Transfer segments (producer call, bytes), contiguous in byte
+        // order so `push_transfer` coalescing reproduces the per-byte
+        // event stream exactly.
+        let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
+        let events_on = self.events.is_some();
+
+        // `runs` holds a mutable borrow of `self.shadow`; the loop body
+        // may only touch the disjoint fields `self.cg` / `self.reuse` /
+        // `self.comm` / `self.edges` — anything needing `&mut self`
+        // (event emission, pending-op flush) is deferred past the loop.
+        let tree = self.cg.tree();
+        let mut runs = self.shadow.runs_mut(access.addr, access.len());
+        while let Some((_, slots)) = runs.next_run() {
+            for obj in slots {
+                let repeat = obj.is_repeat_read(owner);
+                let producer = obj.last_writer;
+
+                // Reuse accounting: a change of reader flushes the previous
+                // reader's record (lifetimes are per function call).
+                if let Some(reuse_vec) = self.reuse.as_mut() {
+                    if !repeat {
+                        if let Some(prev_reader) = obj.last_reader {
+                            let info = obj.reuse;
+                            Self::reuse_flush(reuse_vec, prev_reader, info);
+                            obj.reuse.reset();
+                        }
                     }
+                    obj.reuse.record_read(at, !repeat);
                 }
-                obj.reuse.record_read(at, !repeat);
-            }
-            obj.record_read(owner);
+                obj.record_read(owner);
 
-            // Classification.
-            let (producer_ctx, producer_call) = match producer {
-                Some(p) => (ContextId(p.ctx), p.call),
-                // Never-written bytes are program input, attributed to the
-                // synthetic root producer.
-                None => (ContextId::ROOT, CallNumber::ROOT),
-            };
-            let producer_fn = self.cg.tree().node(producer_ctx).func;
-            let is_local = producer.is_some() && producer_fn == reader_fn;
+                // Classification.
+                let (producer_ctx, producer_call) = match producer {
+                    Some(p) => (ContextId(p.ctx), p.call),
+                    // Never-written bytes are program input, attributed to
+                    // the synthetic root producer.
+                    None => (ContextId::ROOT, CallNumber::ROOT),
+                };
+                let producer_fn = match producer_fn_memo {
+                    Some((memo_ctx, func)) if memo_ctx == producer_ctx => func,
+                    _ => {
+                        let func = tree.node(producer_ctx).func;
+                        producer_fn_memo = Some((producer_ctx, func));
+                        func
+                    }
+                };
+                let is_local = producer.is_some() && producer_fn == reader_fn;
 
-            {
-                let consumer_stats = self.comm_mut(frame.ctx);
-                consumer_stats.bytes_read += 1;
                 match (is_local, repeat) {
-                    (true, false) => consumer_stats.local_unique_bytes += 1,
-                    (true, true) => consumer_stats.local_nonunique_bytes += 1,
-                    (false, false) => consumer_stats.input_unique_bytes += 1,
-                    (false, true) => consumer_stats.input_nonunique_bytes += 1,
+                    (true, false) => local_unique += 1,
+                    (true, true) => local_nonunique += 1,
+                    (false, false) => input_unique += 1,
+                    (false, true) => input_nonunique += 1,
                 }
-            }
-            if !is_local {
-                {
-                    let producer_stats = self.comm_mut(producer_ctx);
-                    if repeat {
-                        producer_stats.output_nonunique_bytes += 1;
-                    } else {
-                        producer_stats.output_unique_bytes += 1;
+                if !is_local {
+                    match &mut producer_seg {
+                        Some((seg_ctx, seg)) if *seg_ctx == producer_ctx => {
+                            if repeat {
+                                seg.nonunique += 1;
+                            } else {
+                                seg.unique += 1;
+                            }
+                        }
+                        seg_slot => {
+                            if let Some((prev_ctx, prev_seg)) = seg_slot.take() {
+                                Self::flush_producer(
+                                    &mut self.comm,
+                                    &mut self.edges,
+                                    prev_ctx,
+                                    frame.ctx,
+                                    prev_seg,
+                                );
+                            }
+                            let mut seg = EdgeAccum::default();
+                            if repeat {
+                                seg.nonunique += 1;
+                            } else {
+                                seg.unique += 1;
+                            }
+                            *seg_slot = Some((producer_ctx, seg));
+                        }
                     }
                 }
-                let edge = self.edges.entry((producer_ctx, frame.ctx)).or_default();
-                if repeat {
-                    edge.nonunique += 1;
-                } else {
-                    edge.unique += 1;
+                // Event-file dependencies: any unique read of data produced
+                // by a *different dynamic call* orders the consumer after
+                // the producer — including a later call of the same
+                // function (classified *local* for the byte accounting
+                // above, but still a real dependency between the two call
+                // nodes of the Figure 3 construction).
+                if !repeat && producer.is_some() && producer_call != frame.call && events_on {
+                    match transfers.last_mut() {
+                        Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
+                        _ => transfers.push((producer_call, 1)),
+                    }
                 }
             }
-            // Event-file dependencies: any unique read of data produced
-            // by a *different dynamic call* orders the consumer after the
-            // producer — including a later call of the same function
-            // (classified *local* for the byte accounting above, but
-            // still a real dependency between the two call nodes of the
-            // Figure 3 construction).
-            if !repeat && producer.is_some() && producer_call != frame.call && self.events.is_some()
-            {
-                // Flush the consumer's pending ops first so they precede
-                // the transfer.
-                self.flush_pending();
-                if let Some(events) = self.events.as_mut() {
-                    events.push_transfer(producer_call, frame.call, 1);
+        }
+
+        if let Some((prev_ctx, prev_seg)) = producer_seg {
+            Self::flush_producer(
+                &mut self.comm,
+                &mut self.edges,
+                prev_ctx,
+                frame.ctx,
+                prev_seg,
+            );
+        }
+        let consumer_stats = Self::comm_entry(&mut self.comm, frame.ctx);
+        consumer_stats.bytes_read += u64::from(access.size);
+        consumer_stats.local_unique_bytes += local_unique;
+        consumer_stats.local_nonunique_bytes += local_nonunique;
+        consumer_stats.input_unique_bytes += input_unique;
+        consumer_stats.input_nonunique_bytes += input_nonunique;
+        if !transfers.is_empty() {
+            // Flush the consumer's pending ops first so they precede the
+            // transfers; subsequent per-byte flushes would push zero-op
+            // fragments, which `push_compute` drops, so one flush here is
+            // byte-identical to the old per-byte emission.
+            self.flush_pending();
+            if let Some(events) = self.events.as_mut() {
+                for (producer_call, bytes) in transfers {
+                    events.push_transfer(producer_call, frame.call, bytes);
                 }
             }
         }
     }
 
     fn handle_write(&mut self, access: MemAccess, at: Timestamp) {
+        if access.is_empty() {
+            return;
+        }
         let frame = self.current_frame();
         let owner = Owner::new(frame.ctx.0, frame.call);
         if let Some(lines) = self.lines.as_mut() {
@@ -281,15 +381,17 @@ impl SigilProfiler {
             f.pending_ops += 1;
         }
         self.comm_mut(frame.ctx).bytes_written += u64::from(access.size);
-        for addr in access.bytes() {
-            let obj = self.shadow.slot_mut(addr);
-            if let Some(reuse_vec) = self.reuse.as_mut() {
-                if let Some(prev_reader) = obj.last_reader {
-                    let info = obj.reuse;
-                    Self::reuse_flush(reuse_vec, prev_reader, info);
+        let mut runs = self.shadow.runs_mut(access.addr, access.len());
+        while let Some((_, slots)) = runs.next_run() {
+            for obj in slots {
+                if let Some(reuse_vec) = self.reuse.as_mut() {
+                    if let Some(prev_reader) = obj.last_reader {
+                        let info = obj.reuse;
+                        Self::reuse_flush(reuse_vec, prev_reader, info);
+                    }
                 }
+                obj.record_write(owner);
             }
-            obj.record_write(owner);
         }
     }
 
@@ -629,6 +731,52 @@ mod tests {
         let f = profile.function_by_name("f").expect("f");
         assert_eq!(f.comm.bytes_read, 4);
         assert_eq!(f.comm.input_unique_bytes, 4, "evicted → counted as input");
+    }
+
+    #[test]
+    fn zero_length_accesses_are_no_ops() {
+        // Hand-built event streams can carry size-0 accesses (the engine
+        // never emits them); both handlers must return before touching
+        // pending ops, line shadow, comm tallies, or the shadow table.
+        let config = SigilConfig::default().with_reuse_mode().with_events();
+        let empty = MemAccess::new(0x1000, 0);
+        let mut symbols = SymbolTable::new();
+        let f = symbols.intern("f");
+        let mut profiler = SigilProfiler::new(config);
+        profiler.on_event(RuntimeEvent::Call { callee: f });
+        profiler.on_event(RuntimeEvent::Write { access: empty });
+        profiler.on_event(RuntimeEvent::Read { access: empty });
+        profiler.on_event(RuntimeEvent::Write {
+            access: MemAccess::new(0x2000, 4),
+        });
+        profiler.on_event(RuntimeEvent::Return);
+        profiler.on_finish();
+        let profile = profiler.into_profile(symbols);
+        let f = profile.function_by_name("f").expect("f");
+        assert_eq!(f.comm.bytes_read, 0);
+        assert_eq!(f.comm.bytes_written, 4);
+        assert_eq!(profile.memory.accesses, 4, "only the real write shadows");
+        assert_eq!(profile.memory.runs, 1);
+        assert!(profile.edges.is_empty());
+    }
+
+    #[test]
+    fn chunk_straddling_access_classifies_every_byte() {
+        // One access spanning the 4 KiB shadow-chunk split must classify
+        // byte-for-byte like two chunk-local accesses would.
+        let profile = run(SigilConfig::default(), |e| {
+            e.scoped_named("main", |e| {
+                e.scoped_named("produce", |e| e.write(4096 - 8, 16));
+                e.scoped_named("consume", |e| e.read(4096 - 8, 16));
+            });
+        });
+        let consume = profile.function_by_name("consume").expect("consume");
+        assert_eq!(consume.comm.input_unique_bytes, 16);
+        let produce = profile.function_by_name("produce").expect("produce");
+        assert_eq!(produce.comm.output_unique_bytes, 16);
+        // Each access resolved its chunk twice (once per side of the split).
+        assert_eq!(profile.memory.runs, 4);
+        assert_eq!(profile.memory.run_bytes, 32);
     }
 
     #[test]

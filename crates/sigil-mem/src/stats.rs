@@ -27,6 +27,12 @@ pub struct MemoryStats {
     pub mru_hits: u64,
     /// Accesses that fell through to the first-level hash probe.
     pub table_probes: u64,
+    /// Ranged accesses (`run_mut` calls): each resolves its chunk once
+    /// for a whole run of slots.
+    pub runs: u64,
+    /// Slots covered by ranged accesses; `run_bytes / runs` is the
+    /// observed batching factor of the range API.
+    pub run_bytes: u64,
 }
 
 impl MemoryStats {
@@ -42,6 +48,16 @@ impl MemoryStats {
             0.0
         } else {
             self.mru_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average slots per ranged access — how much per-slot bookkeeping
+    /// the range API amortized. Zero when no runs were recorded.
+    pub fn bytes_per_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.run_bytes as f64 / self.runs as f64
         }
     }
 
@@ -63,7 +79,10 @@ impl MemoryStats {
         set_counter(&format!("{prefix}.evicted_chunks"), self.evicted_chunks);
         set_counter(&format!("{prefix}.resident_chunks"), self.resident_chunks);
         set_counter(&format!("{prefix}.resident_bytes"), self.resident_bytes);
+        set_counter(&format!("{prefix}.runs"), self.runs);
+        set_counter(&format!("{prefix}.run_bytes"), self.run_bytes);
         set_gauge(&format!("{prefix}.mru_hit_rate"), self.mru_hit_rate());
+        set_gauge(&format!("{prefix}.bytes_per_run"), self.bytes_per_run());
         set_gauge(&format!("{prefix}.resident_mib"), self.resident_mib());
     }
 
@@ -78,6 +97,8 @@ impl MemoryStats {
             accesses: self.accesses + other.accesses,
             mru_hits: self.mru_hits + other.mru_hits,
             table_probes: self.table_probes + other.table_probes,
+            runs: self.runs + other.runs,
+            run_bytes: self.run_bytes + other.run_bytes,
         }
     }
 }
@@ -118,6 +139,8 @@ mod tests {
             accesses: 50,
             mru_hits: 40,
             table_probes: 10,
+            runs: 5,
+            run_bytes: 50,
         };
         let b = MemoryStats {
             resident_chunks: 3,
@@ -127,6 +150,8 @@ mod tests {
             accesses: 8,
             mru_hits: 2,
             table_probes: 6,
+            runs: 1,
+            run_bytes: 8,
         };
         let c = a.combined(b);
         assert_eq!(c.resident_chunks, 4);
@@ -136,6 +161,8 @@ mod tests {
         assert_eq!(c.accesses, 58);
         assert_eq!(c.mru_hits, 42);
         assert_eq!(c.table_probes, 16);
+        assert_eq!(c.runs, 6);
+        assert_eq!(c.run_bytes, 58);
     }
 
     #[test]
@@ -160,6 +187,8 @@ mod tests {
             accesses: 10,
             mru_hits: 7,
             table_probes: 3,
+            runs: 4,
+            run_bytes: 10,
         };
         // Disabled: nothing registered under this prefix.
         sigil_obs::set_enabled(false);
@@ -177,7 +206,10 @@ mod tests {
         assert_eq!(snap["test_shadow.mru_hits"], MetricValue::Counter(7));
         assert_eq!(snap["test_shadow.table_probes"], MetricValue::Counter(3));
         assert_eq!(snap["test_shadow.evicted_chunks"], MetricValue::Counter(2));
+        assert_eq!(snap["test_shadow.runs"], MetricValue::Counter(4));
+        assert_eq!(snap["test_shadow.run_bytes"], MetricValue::Counter(10));
         assert_eq!(snap["test_shadow.mru_hit_rate"], MetricValue::Gauge(0.7));
+        assert_eq!(snap["test_shadow.bytes_per_run"], MetricValue::Gauge(2.5));
     }
 
     #[test]

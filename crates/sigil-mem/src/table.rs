@@ -89,6 +89,8 @@ pub struct ShadowTable<T> {
     accesses: u64,
     mru_hits: u64,
     evicted_chunks: u64,
+    runs: u64,
+    run_bytes: u64,
 }
 
 impl<T: Default + Clone> ShadowTable<T> {
@@ -108,6 +110,8 @@ impl<T: Default + Clone> ShadowTable<T> {
             accesses: 0,
             mru_hits: 0,
             evicted_chunks: 0,
+            runs: 0,
+            run_bytes: 0,
         }
     }
 
@@ -163,6 +167,70 @@ impl<T: Default + Clone> ShadowTable<T> {
         self.mru_key = key;
         self.mru_slot = idx;
         &mut self.slab[idx].slots[off]
+    }
+
+    /// Returns the maximal run of consecutive shadow slots starting at
+    /// `addr` within one chunk, capped at `len` slots, resolving the
+    /// chunk **once**: one address split, one MRU-cache check or hash
+    /// probe, one recency `touch`, and one counter bump for the whole
+    /// run instead of one per slot.
+    ///
+    /// `consumed` (also the slice length) is `min(len, slots left in the
+    /// chunk)`; a caller covering a multi-chunk range advances `addr` by
+    /// `consumed` and calls again — or uses [`ShadowTable::runs_mut`],
+    /// which does exactly that. Allocation and eviction behave as in
+    /// [`ShadowTable::slot_mut`], and the access counters are updated so
+    /// that a run of `n` slots is indistinguishable from `n` `slot_mut`
+    /// calls (the first slot pays the probe on an MRU miss, the rest
+    /// count as MRU hits). The run itself is additionally recorded in
+    /// the `runs`/`run_bytes` batching counters.
+    ///
+    /// A `len` of zero returns an empty slice without touching the table.
+    pub fn run_mut(&mut self, addr: Addr, len: usize) -> (&mut [T], usize) {
+        if len == 0 {
+            return (&mut [], 0);
+        }
+        let (key, off) = Self::split(addr);
+        let n = len.min(CHUNK_SLOTS - off);
+        self.accesses += n as u64;
+        self.runs += 1;
+        self.run_bytes += n as u64;
+        let idx = if self.mru_slot != NIL && self.mru_key == key {
+            self.mru_hits += n as u64;
+            self.mru_slot
+        } else {
+            // The first slot pays the table probe; the remaining n-1
+            // would have hit the MRU cache in a per-slot loop.
+            self.mru_hits += n as u64 - 1;
+            let idx = match self.index.get(&key) {
+                Some(&idx) => {
+                    self.touch(idx);
+                    idx
+                }
+                None => self.insert_chunk(key),
+            };
+            self.mru_key = key;
+            self.mru_slot = idx;
+            idx
+        };
+        (&mut self.slab[idx].slots[off..off + n], n)
+    }
+
+    /// Iterates over the maximal per-chunk runs covering `len` slots
+    /// starting at `addr` (a lending iterator: drive it with
+    /// `while let Some((run_addr, slots)) = runs.next_run()`).
+    ///
+    /// Each yielded slice is obtained through [`ShadowTable::run_mut`],
+    /// so chunk resolution, recency, and eviction happen once per run;
+    /// an access that straddles a chunk boundary yields one run per
+    /// chunk, and eviction triggered by a later run can reclaim the
+    /// chunk of an earlier one, exactly as in a per-slot loop.
+    pub fn runs_mut(&mut self, addr: Addr, len: usize) -> RunsMut<'_, T> {
+        RunsMut {
+            table: self,
+            addr,
+            remaining: len,
+        }
     }
 
     /// Moves a resident chunk to the most-recently-touched end.
@@ -286,9 +354,31 @@ impl<T: Default + Clone> ShadowTable<T> {
         self.mru_hits
     }
 
+    /// Ranged accesses served so far (`run_mut` calls with `len > 0`).
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total slots covered by ranged accesses. `run_bytes / runs` is the
+    /// observed batching factor of the range API.
+    pub fn run_bytes(&self) -> u64 {
+        self.run_bytes
+    }
+
     /// Approximate resident shadow-memory footprint, eviction counters,
-    /// and hot-path hit/probe counters.
+    /// and hot-path hit/probe/run counters.
+    ///
+    /// `resident_*` count **live** chunks only: entries reachable through
+    /// the first-level index. Slab entries parked on the free list after
+    /// an eviction hold allocated-but-dead memory and are deliberately
+    /// excluded, so residency drops when the limiter evicts and goes to
+    /// zero after [`ShadowTable::clear`].
     pub fn stats(&self) -> MemoryStats {
+        debug_assert_eq!(
+            self.index.len(),
+            self.slab.len() - self.free.len(),
+            "every slab entry is either indexed (live) or free-listed"
+        );
         MemoryStats {
             resident_chunks: self.index.len() as u64,
             resident_slots: (self.index.len() * CHUNK_SLOTS) as u64,
@@ -297,6 +387,8 @@ impl<T: Default + Clone> ShadowTable<T> {
             accesses: self.accesses,
             mru_hits: self.mru_hits,
             table_probes: self.accesses - self.mru_hits,
+            runs: self.runs,
+            run_bytes: self.run_bytes,
         }
     }
 
@@ -326,6 +418,48 @@ impl<T: Default + Clone> ShadowTable<T> {
         self.accesses = 0;
         self.mru_hits = 0;
         self.evicted_chunks = 0;
+        self.runs = 0;
+        self.run_bytes = 0;
+    }
+}
+
+/// Lending iterator over the maximal per-chunk runs of a slot range; see
+/// [`ShadowTable::runs_mut`].
+///
+/// Not a `std::iter::Iterator` — each yielded slice borrows the table, so
+/// it must be dropped before the next call:
+///
+/// ```
+/// use sigil_mem::ShadowTable;
+///
+/// let mut table: ShadowTable<u8> = ShadowTable::new();
+/// let mut runs = table.runs_mut(4090, 12); // straddles the 4096 split
+/// let mut seen = Vec::new();
+/// while let Some((addr, slots)) = runs.next_run() {
+///     seen.push((addr, slots.len()));
+///     slots.fill(7);
+/// }
+/// assert_eq!(seen, vec![(4090, 6), (4096, 6)]);
+/// assert_eq!(table.get(4095), Some(&7));
+/// ```
+pub struct RunsMut<'a, T> {
+    table: &'a mut ShadowTable<T>,
+    addr: Addr,
+    remaining: usize,
+}
+
+impl<T: Default + Clone> RunsMut<'_, T> {
+    /// Yields the next `(start_address, slots)` run, or `None` when the
+    /// range is exhausted.
+    pub fn next_run(&mut self) -> Option<(Addr, &mut [T])> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let start = self.addr;
+        let (slots, consumed) = self.table.run_mut(start, self.remaining);
+        self.addr = start.wrapping_add(consumed as u64);
+        self.remaining -= consumed;
+        Some((start, slots))
     }
 }
 
@@ -539,5 +673,100 @@ mod tests {
     #[should_panic(expected = "chunk limit must be at least 1")]
     fn zero_limit_is_rejected() {
         let _: ShadowTable<u8> = ShadowTable::with_chunk_limit(0, EvictionPolicy::Fifo);
+    }
+
+    #[test]
+    fn run_mut_stops_at_the_chunk_boundary() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        let start = CHUNK_SLOTS as u64 - 3;
+        let (slots, consumed) = table.run_mut(start, 8);
+        assert_eq!(consumed, 3, "run is capped at the chunk end");
+        slots.fill(1);
+        let (slots, consumed) = table.run_mut(start + 3, 5);
+        assert_eq!(consumed, 5, "remainder fits the next chunk");
+        slots.fill(2);
+        assert_eq!(table.get(start), Some(&1));
+        assert_eq!(table.get(CHUNK_SLOTS as u64), Some(&2));
+        assert_eq!(table.chunk_count(), 2);
+    }
+
+    #[test]
+    fn run_mut_counters_match_a_slot_mut_loop() {
+        // The same access pattern through both APIs must report identical
+        // accesses/mru_hits/table_probes; only runs/run_bytes differ.
+        let pattern: &[(u64, usize)] = &[(0, 8), (8, 8), (4090, 12), (1 << 20, 4), (4, 8)];
+        let mut by_slot: ShadowTable<u8> = ShadowTable::new();
+        let mut by_run: ShadowTable<u8> = ShadowTable::new();
+        for &(addr, len) in pattern {
+            for a in addr..addr + len as u64 {
+                *by_slot.slot_mut(a) = 1;
+            }
+            let mut runs = by_run.runs_mut(addr, len);
+            while let Some((_, slots)) = runs.next_run() {
+                slots.fill(1);
+            }
+        }
+        let (a, b) = (by_slot.stats(), by_run.stats());
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.mru_hits, b.mru_hits);
+        assert_eq!(a.table_probes, b.table_probes);
+        assert_eq!(a.resident_chunks, b.resident_chunks);
+        assert_eq!(a.runs, 0, "slot_mut records no runs");
+        assert_eq!(b.runs, 6, "one run per chunk touched per access");
+        assert_eq!(b.run_bytes, b.accesses);
+    }
+
+    #[test]
+    fn zero_length_run_is_inert() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        let (slots, consumed) = table.run_mut(123, 0);
+        assert!(slots.is_empty());
+        assert_eq!(consumed, 0);
+        assert_eq!(table.chunk_count(), 0, "no chunk allocated");
+        assert_eq!(table.stats(), MemoryStats::default());
+        assert!(table.runs_mut(123, 0).next_run().is_none());
+    }
+
+    #[test]
+    fn run_eviction_can_reclaim_an_earlier_run_of_the_same_access() {
+        // limit 1 and a chunk-straddling range: the second run's insert
+        // evicts the first run's chunk, exactly like a per-slot loop.
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(1, EvictionPolicy::Lru);
+        let start = CHUNK_SLOTS as u64 - 2;
+        let mut runs = table.runs_mut(start, 4);
+        while let Some((_, slots)) = runs.next_run() {
+            slots.fill(9);
+        }
+        assert_eq!(table.evicted_chunks(), 1);
+        assert_eq!(table.get(start), None, "first chunk was the victim");
+        assert_eq!(table.get(CHUNK_SLOTS as u64), Some(&9));
+    }
+
+    #[test]
+    fn resident_stats_track_live_chunks_through_eviction_and_clear() {
+        // Pins the residency accounting: `resident_*` must follow the
+        // index (live chunks), not the slab, which retains free-listed
+        // capacity after evictions; the slab/free/index audit in stats()
+        // must hold at every step.
+        let slot = std::mem::size_of::<u32>();
+        let mut table: ShadowTable<u32> = ShadowTable::with_chunk_limit(2, EvictionPolicy::Fifo);
+        for i in 0..5u64 {
+            *table.slot_mut(i * CHUNK_SLOTS as u64) = 1;
+            let stats = table.stats();
+            let live = table.chunk_count() as u64;
+            assert_eq!(stats.resident_chunks, live);
+            assert_eq!(stats.resident_slots, live * CHUNK_SLOTS as u64);
+            assert_eq!(stats.resident_bytes, live * (CHUNK_SLOTS * slot) as u64);
+        }
+        let stats = table.stats();
+        assert_eq!(stats.resident_chunks, 2, "limit bounds live chunks");
+        assert_eq!(stats.evicted_chunks, 3);
+        assert_eq!(stats.resident_slots, 2 * CHUNK_SLOTS as u64);
+        assert_eq!(stats.resident_bytes, (2 * CHUNK_SLOTS * slot) as u64);
+        table.clear();
+        let stats = table.stats();
+        assert_eq!(stats.resident_chunks, 0);
+        assert_eq!(stats.resident_slots, 0);
+        assert_eq!(stats.resident_bytes, 0);
     }
 }

@@ -79,6 +79,15 @@ enum Action {
     Clear,
 }
 
+/// Ranged-access action vocabulary for the run-vs-slot twin test.
+#[derive(Debug, Clone)]
+enum RangedAction {
+    /// Write `len` slots starting at `addr`; slot `i` gets `value + i`.
+    Write(u64, usize, u32),
+    Read(u64),
+    Clear,
+}
+
 fn addr_strategy() -> impl Strategy<Value = u64> + Clone {
     // A handful of chunks so evictions and revisits are frequent.
     (0u64..12, 0u64..CHUNK_SLOTS as u64).prop_map(|(chunk, off)| chunk * CHUNK_SLOTS as u64 + off)
@@ -140,6 +149,115 @@ fn check_against_model(
             "chunk {} residency",
             key
         );
+    }
+    Ok(())
+}
+
+/// Start addresses biased toward the 4 KiB chunk split so ranged writes
+/// routinely straddle a boundary (and, under a tight limit, evict their
+/// own first chunk mid-access).
+fn ranged_addr_strategy() -> impl Strategy<Value = u64> + Clone {
+    let chunk = CHUNK_SLOTS as u64;
+    (
+        0u64..6,
+        prop_oneof![0u64..24, (CHUNK_SLOTS as u64 - 24)..CHUNK_SLOTS as u64],
+    )
+        .prop_map(move |(c, off)| c * chunk + off)
+}
+
+fn ranged_action_strategy() -> impl Strategy<Value = RangedAction> {
+    // The vendored proptest's `prop_oneof!` has no weight syntax; bias
+    // toward short writes by folding the rare variants into one roll.
+    prop_oneof![
+        // Short runs: the common case, often crossing one boundary.
+        (ranged_addr_strategy(), 1usize..48, any::<u32>())
+            .prop_map(|(a, n, v)| RangedAction::Write(a, n, v)),
+        ranged_addr_strategy().prop_map(RangedAction::Read),
+        (
+            ranged_addr_strategy(),
+            0usize..CHUNK_SLOTS + 64,
+            any::<u32>(),
+            0u8..8
+        )
+            .prop_map(|(a, n, v, roll)| match roll {
+                // Clears are rare so eviction histories grow long.
+                0 => RangedAction::Clear,
+                // Long runs spanning a whole chunk plus change: two
+                // boundary crossings in one access.
+                1 => RangedAction::Write(a, CHUNK_SLOTS + n % 64, v),
+                _ => RangedAction::Write(a, 1 + n % 48, v),
+            }),
+    ]
+}
+
+/// `run_mut`-based writes must be observably identical to `slot_mut`
+/// loops: same visible values, same residency, same victims, and the
+/// same access/MRU/probe counters (the run API's own `runs`/`run_bytes`
+/// counters are the one intentional difference, normalized out here).
+fn check_runs_match_slot_loops(
+    actions: &[RangedAction],
+    limit: usize,
+    policy: EvictionPolicy,
+) -> Result<(), TestCaseError> {
+    let mut by_run: ShadowTable<u32> = ShadowTable::with_chunk_limit(limit, policy);
+    let mut by_slot: ShadowTable<u32> = ShadowTable::with_chunk_limit(limit, policy);
+    for (step, action) in actions.iter().enumerate() {
+        match *action {
+            RangedAction::Write(addr, len, value) => {
+                let mut runs = by_run.runs_mut(addr, len);
+                let mut i = 0u32;
+                while let Some((_, slots)) = runs.next_run() {
+                    for slot in slots {
+                        *slot = value.wrapping_add(i);
+                        i += 1;
+                    }
+                }
+                for j in 0..len {
+                    *by_slot.slot_mut(addr + j as u64) = value.wrapping_add(j as u32);
+                }
+            }
+            RangedAction::Read(addr) => {
+                prop_assert_eq!(
+                    by_run.get(addr).copied(),
+                    by_slot.get(addr).copied(),
+                    "read {} at step {}",
+                    addr,
+                    step
+                );
+            }
+            RangedAction::Clear => {
+                by_run.clear();
+                by_slot.clear();
+            }
+        }
+        prop_assert_eq!(
+            by_run.chunk_count(),
+            by_slot.chunk_count(),
+            "residency at step {}",
+            step
+        );
+        let mut a = by_run.stats();
+        let mut b = by_slot.stats();
+        prop_assert_eq!(a.run_bytes, a.accesses, "runs cover every access");
+        a.runs = 0;
+        a.run_bytes = 0;
+        b.runs = 0;
+        b.run_bytes = 0;
+        prop_assert_eq!(a, b, "stats at step {}", step);
+    }
+    // Final sweep across every chunk the strategy can touch, plus both
+    // sides of each split: identical visibility means identical victim
+    // selection on every eviction along the way.
+    let chunk = CHUNK_SLOTS as u64;
+    for c in 0u64..8 {
+        for probe in [c * chunk, c * chunk + 1, (c + 1) * chunk - 1] {
+            prop_assert_eq!(
+                by_run.get(probe).copied(),
+                by_slot.get(probe).copied(),
+                "final probe {}",
+                probe
+            );
+        }
     }
     Ok(())
 }
@@ -228,6 +346,22 @@ proptest! {
         limit in 1usize..6,
     ) {
         check_clear_equals_fresh(&warmup, &suffix, limit, EvictionPolicy::Lru)?;
+    }
+
+    #[test]
+    fn ranged_writes_match_slot_loops_fifo(
+        actions in prop::collection::vec(ranged_action_strategy(), 1..120),
+        limit in 1usize..5,
+    ) {
+        check_runs_match_slot_loops(&actions, limit, EvictionPolicy::Fifo)?;
+    }
+
+    #[test]
+    fn ranged_writes_match_slot_loops_lru(
+        actions in prop::collection::vec(ranged_action_strategy(), 1..120),
+        limit in 1usize..5,
+    ) {
+        check_runs_match_slot_loops(&actions, limit, EvictionPolicy::Lru)?;
     }
 
     #[test]

@@ -77,16 +77,37 @@ pub struct MemAccess {
 
 impl MemAccess {
     /// Creates a new access descriptor.
+    #[inline]
     pub const fn new(addr: Addr, size: u32) -> Self {
         MemAccess { addr, size }
     }
 
+    /// Number of bytes covered, as a slice-friendly `usize`.
+    ///
+    /// Hot-path fast path: profilers size shadow runs from this without
+    /// materializing the [`bytes`](Self::bytes) iterator.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.size as usize
+    }
+
+    /// Whether the access covers zero bytes.
+    ///
+    /// [`crate::Engine`] never emits empty accesses, but hand-built event
+    /// streams can; profilers treat them as no-ops.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.size == 0
+    }
+
     /// Iterates over every byte address covered by this access.
+    #[inline]
     pub fn bytes(self) -> impl Iterator<Item = Addr> {
         self.addr..self.addr + u64::from(self.size)
     }
 
     /// The exclusive end address of the access.
+    #[inline]
     pub const fn end(self) -> Addr {
         self.addr + self.size as u64
     }
@@ -212,6 +233,19 @@ mod tests {
         let bytes: Vec<Addr> = a.bytes().collect();
         assert_eq!(bytes, vec![0x100, 0x101, 0x102, 0x103]);
         assert_eq!(a.end(), 0x104);
+    }
+
+    #[test]
+    fn mem_access_len_matches_byte_iterator() {
+        let a = MemAccess::new(0x100, 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.len(), a.bytes().count());
+        assert!(!a.is_empty());
+        let empty = MemAccess::new(0x100, 0);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.bytes().count(), 0);
+        assert_eq!(empty.end(), empty.addr);
     }
 
     #[test]

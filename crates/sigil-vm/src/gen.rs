@@ -270,6 +270,17 @@ impl GenProgram {
     }
 
     fn random_access(rng: &mut SmallRng, buffers: &[u64], hot: &[Vec<u32>]) -> (u8, u32, u8) {
+        // Some accesses deliberately straddle a 4 KiB shadow-chunk split:
+        // buffer 0 is the first heap allocation, so `HEAP_BASE` alignment
+        // makes its offsets 4096/8192/12288 exact chunk boundaries. These
+        // multi-chunk accesses pit the ranged shadow hot path against the
+        // per-byte oracle in `sigil diff` / `tests/differential.rs`.
+        if rng.gen_bool(0.125) {
+            let boundary = 4096 * rng.gen_range(1..4u32);
+            let size = SIZES[rng.gen_range(1..SIZES.len())]; // >= 2 bytes
+            let back = rng.gen_range(1..u32::from(size));
+            return (0, boundary - back, size);
+        }
         let buf = rng.gen_range(0..buffers.len());
         let size = SIZES[rng.gen_range(0..SIZES.len())];
         let offset = if rng.gen_bool(0.6) {
@@ -487,6 +498,37 @@ mod tests {
             let counts = engine.finish().into_counts();
             assert_eq!(counts.calls, counts.returns, "seed {seed} unbalanced");
         }
+    }
+
+    #[test]
+    fn generator_emits_chunk_straddling_accesses() {
+        // The differential harness leans on these to pit the ranged
+        // shadow hot path against the per-byte oracle: accesses into
+        // buffer 0 whose byte range crosses a 4 KiB chunk boundary.
+        let mut straddling = 0usize;
+        for seed in 0..20 {
+            for func in &GenProgram::generate(seed).funcs {
+                for inst in &func.body {
+                    let (buf, offset, size) = match *inst {
+                        GenInst::Load {
+                            buf, offset, size, ..
+                        }
+                        | GenInst::Store {
+                            buf, offset, size, ..
+                        } => (buf, offset, size),
+                        _ => continue,
+                    };
+                    let (start, end) = (u64::from(offset), u64::from(offset) + u64::from(size));
+                    if buf == 0 && start / 4096 != (end - 1) / 4096 {
+                        straddling += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            straddling >= 10,
+            "only {straddling} straddling accesses across 20 seeds"
+        );
     }
 
     #[test]

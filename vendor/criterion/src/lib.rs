@@ -8,6 +8,10 @@
 //! Instead of upstream's statistical analysis it runs a short warmup,
 //! times `sample_size` batches, and prints the per-iteration mean and
 //! min to stdout — enough to compare configurations side by side.
+//!
+//! Like upstream, `--test` (as in `cargo bench -- --test`) switches to
+//! smoke mode: every routine runs exactly one untimed iteration, so CI
+//! can assert benches compile and execute without paying for sampling.
 
 use std::fmt::Display;
 use std::time::Instant;
@@ -15,8 +19,18 @@ use std::time::Instant;
 pub use std::hint::black_box;
 
 /// Top-level handle passed to each bench target function.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
@@ -25,6 +39,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: 50,
+            test_mode: self.test_mode,
         }
     }
 }
@@ -51,6 +66,7 @@ impl BenchmarkId {
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -73,14 +89,27 @@ impl BenchmarkGroup {
     {
         let mut bencher = Bencher {
             samples: self.sample_size,
+            test_mode: self.test_mode,
             mean_ns: 0.0,
             min_ns: 0.0,
         };
         routine(&mut bencher, input);
-        println!(
-            "{}/{}/{}: mean {:.1} ns/iter, min {:.1} ns/iter ({} samples)",
-            self.name, id.function, id.parameter, bencher.mean_ns, bencher.min_ns, bencher.samples
-        );
+        if self.test_mode {
+            println!(
+                "Testing {}/{}/{}: Success",
+                self.name, id.function, id.parameter
+            );
+        } else {
+            println!(
+                "{}/{}/{}: mean {:.1} ns/iter, min {:.1} ns/iter ({} samples)",
+                self.name,
+                id.function,
+                id.parameter,
+                bencher.mean_ns,
+                bencher.min_ns,
+                bencher.samples
+            );
+        }
         self
     }
 
@@ -102,6 +131,7 @@ impl BenchmarkGroup {
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
+    test_mode: bool,
     mean_ns: f64,
     min_ns: f64,
 }
@@ -109,6 +139,11 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, storing mean/min per-iteration cost.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Smoke mode: prove the routine runs, skip the sampling loop.
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warmup, and calibrate how many iterations fill ~2ms so that
         // fast routines are not dominated by timer resolution.
         let warmup_start = Instant::now();
@@ -156,6 +191,19 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn test_mode_runs_exactly_one_iteration() {
+        let mut group = BenchmarkGroup {
+            name: "smoke".to_string(),
+            sample_size: 5,
+            test_mode: true,
+        };
+        let mut runs = 0u32;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1, "--test mode must run the routine exactly once");
+    }
 
     #[test]
     fn bench_group_runs_routine() {
