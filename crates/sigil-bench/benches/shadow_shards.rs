@@ -1,0 +1,76 @@
+//! Serial vs. sharded profiler replay.
+//!
+//! `SigilConfig::with_shards(n)` fans shadow-memory replay out to `n`
+//! worker threads, with the dispatch thread running a zero-sized
+//! residency oracle plus the line table and per-access tallies (see
+//! `sigil_core::shard`). This group prices that split end-to-end: one
+//! dense producer→consumer trace is recorded once, then replayed through
+//! `SigilProfiler` at shard counts 1 (the serial path), 2, and 4. Each
+//! iteration includes `into_profile`, which joins the workers and merges
+//! their fragments — the full cost a `sigil profile --shards N` run
+//! pays.
+//!
+//! Interpretation note: sharding trades dispatch/channel overhead for
+//! parallel shadow lookups, so the speedup is bounded by the physical
+//! core count. On a single-core container the sharded arms price pure
+//! overhead (they cannot be faster than serial there); see
+//! `BENCH_shadow_shards.json` for the measured numbers and the core
+//! count they were taken on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_trace::observer::RecordingObserver;
+use sigil_trace::{io::replay, Engine, OpClass, RuntimeEvent, SymbolTable};
+
+/// Records a dense trace: eight producer→consumer rounds sweeping
+/// 64-byte runs across a 64-chunk working set (~33k accesses), the
+/// access shape where shadow lookups dominate profiling cost.
+fn record_dense() -> (SymbolTable, Vec<RuntimeEvent>) {
+    const SPAN: u64 = 64 * 4096;
+    let mut engine = Engine::new(RecordingObserver::new());
+    engine.scoped_named("main", |e| {
+        for _ in 0..8 {
+            e.scoped_named("producer", |e| {
+                e.op(OpClass::IntArith, 16);
+                for i in 0..2048u64 {
+                    e.write((i * 64) % SPAN, 64);
+                }
+            });
+            e.scoped_named("consumer", |e| {
+                for i in 0..2048u64 {
+                    e.read((i * 64) % SPAN, 64);
+                }
+                e.op(OpClass::FloatArith, 16);
+            });
+        }
+    });
+    let (observer, symbols) = engine.finish_with_symbols();
+    (symbols, observer.into_events())
+}
+
+fn shadow_shards(c: &mut Criterion) {
+    let (symbols, events) = record_dense();
+    let mut group = c.benchmark_group("shadow_shards");
+    group.sample_size(30);
+    for shards in [1usize, 2, 4] {
+        let config = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_shards(shards);
+        group.bench_with_input(
+            BenchmarkId::new("replay_dense", shards),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut profiler = SigilProfiler::new(config);
+                    replay(events, &mut profiler);
+                    black_box(profiler.into_profile(symbols.clone()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shadow_shards);
+criterion_main!(benches);

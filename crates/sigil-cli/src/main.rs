@@ -12,9 +12,9 @@
 //! sigil trace <benchmark> -o <file.sgtr>        # record a platform-independent trace
 //! sigil replay <file.sgtr> [--reuse] [...]      # profile from a recorded trace
 //! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
-//! sigil diff [random] [--seeds N] [--seed-base N] [--limit N]
+//! sigil diff [random] [--seeds N] [--seed-base N] [--limit N] [--shards N]
 //!                                               # differential oracle conformance on random programs
-//! sigil diff golden [--golden-dir D]            # check the golden corpus against oracle + production
+//! sigil diff golden [--golden-dir D] [--shards N] # check the golden corpus against oracle + production
 //! sigil diff bless [--golden-dir D]             # regenerate the golden corpus (also: --bless)
 //! sigil list                                    # available benchmarks
 //! ```
@@ -44,7 +44,7 @@ use sigil_workloads::{Benchmark, InputSize};
 fn usage() -> &'static str {
     "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|diff|list> [target] [options]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
-              --limit <chunks> --cores <n> --jobs <n> -o <file> --json\n\
+              --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json\n\
               --seeds <n> --seed-base <n> --golden-dir <dir> --bless\n\
               --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
               -h | --help    print this help\n\
@@ -62,6 +62,10 @@ struct Options {
     limit: Option<usize>,
     cores: usize,
     jobs: usize,
+    /// Shadow-memory shard count (parallel intra-workload replay).
+    /// `None` keeps the serial profiler; `sigil diff` reads `None` as
+    /// "sweep the full shard axis".
+    shards: Option<usize>,
     output: Option<String>,
     json: bool,
     /// Log verbosity for the `obs_*` macros (stderr).
@@ -100,6 +104,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         limit: None,
         cores: 4,
         jobs: 1,
+        shards: None,
         output: None,
         json: false,
         log_level: Level::Info,
@@ -146,6 +151,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".to_owned());
                 }
+            }
+            "--shards" => {
+                let value = it.next().ok_or("--shards needs a value")?;
+                let shards: usize = value.parse().map_err(|_| "bad --shards value")?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                opts.shards = Some(shards);
             }
             "-o" | "--output" => {
                 let value = it.next().ok_or("-o needs a file name")?;
@@ -200,6 +213,9 @@ fn sigil_config(opts: &Options) -> SigilConfig {
     }
     if let Some(limit) = opts.limit {
         config = config.with_shadow_limit(limit);
+    }
+    if let Some(shards) = opts.shards {
+        config = config.with_shards(shards);
     }
     config
 }
@@ -402,7 +418,10 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         .map(|b| (b.name().to_string(), opts.size.to_string()))
         .collect();
     let config = sigil_config(opts);
-    let entries = sigil_core::sweep::sweep(opts.jobs, &names, |name| {
+    // Each sharded profiler spins up `shards` worker threads of its own,
+    // so cap the job count to keep jobs × shards within the machine.
+    let jobs = sigil_core::clamp_jobs(opts.jobs, config.shards);
+    let entries = sigil_core::sweep::sweep(jobs, &names, |name| {
         let bench: Benchmark = name.parse().expect("sweep names come from parse_selection");
         let mut engine = Engine::new(SigilProfiler::new(config));
         bench.run(opts.size, &mut engine);
@@ -415,10 +434,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "# sweep of {} workload(s) at {} with --jobs {}",
+        "# sweep of {} workload(s) at {} with --jobs {jobs}",
         entries.len(),
         opts.size,
-        opts.jobs
     );
     println!(
         "{:>14} {:>10} {:>12} {:>12} {:>9} {:>7} {:>8}  workload",
@@ -484,16 +502,17 @@ fn cmd_diff(opts: &Options) -> Result<(), String> {
 }
 
 /// Replays seeded random programs through the production profiler and the
-/// oracle under the full config matrix; any divergence is shrunk to a
-/// minimized repro and reported as an error.
+/// oracle under the full config matrix (crossed with the shard axis, or
+/// with `--shards N` pinned); any divergence is shrunk to a minimized
+/// repro and reported as an error.
 fn cmd_diff_random(opts: &Options) -> Result<(), String> {
     use sigil_oracle::harness;
     let limit = opts.limit;
     let end = opts.seed_base + opts.seeds;
     let mut configs_checked = 0usize;
     for seed in opts.seed_base..end {
-        let failures = harness::diff_seed(seed, limit);
-        configs_checked += harness::differential_configs(seed, limit).len();
+        let failures = harness::diff_seed(seed, limit, opts.shards);
+        configs_checked += harness::differential_configs(seed, limit, opts.shards).len();
         if let Some(failure) = failures.first() {
             let program = sigil_vm::GenProgram::generate(seed);
             let minimized = harness::shrink(&program, failure.config, None);
@@ -522,9 +541,12 @@ fn golden_path(dir: &str, bench: Benchmark) -> std::path::PathBuf {
 
 /// Checks every committed golden profile against a fresh oracle replay of
 /// its workload, and checks that the production profiler still conforms.
+/// With `--shards N` the production side replays through the sharded
+/// profiler, pinning the fan-out/merge path to the same golden corpus.
 fn cmd_diff_golden(opts: &Options) -> Result<(), String> {
     use sigil_oracle::harness;
     let config = harness::golden_config();
+    let production_config = config.with_shards(opts.shards.unwrap_or(1));
     for bench in Benchmark::ALL {
         let path = golden_path(&opts.golden_dir, bench);
         let text = std::fs::read_to_string(&path).map_err(|e| {
@@ -549,11 +571,12 @@ fn cmd_diff_golden(opts: &Options) -> Result<(), String> {
             message.push_str("re-bless only if the change is intentional: sigil diff bless");
             return Err(message);
         }
-        let conformance =
-            sigil_oracle::diff_reports(&harness::production_report(&bundle, config), &oracle);
+        let production = harness::production_report(&bundle, production_config);
+        let conformance = sigil_oracle::diff_reports(&production, &oracle);
         if !conformance.is_empty() {
             let mut message = format!(
-                "production profiler diverged from the oracle on `{bench}` ({} field(s)):\n",
+                "production profiler (shards={}) diverged from the oracle on `{bench}` ({} field(s)):\n",
+                production_config.shards,
                 conformance.len()
             );
             for d in conformance.iter().take(16) {
@@ -562,13 +585,15 @@ fn cmd_diff_golden(opts: &Options) -> Result<(), String> {
             return Err(message);
         }
         println!(
-            "# {bench}: golden == oracle == production ({} events)",
-            bundle.events.len()
+            "# {bench}: golden == oracle == production ({} events, shards={})",
+            bundle.events.len(),
+            production_config.shards
         );
     }
     println!(
-        "golden corpus conformant ({} workloads)",
-        Benchmark::ALL.len()
+        "golden corpus conformant ({} workloads, shards={})",
+        Benchmark::ALL.len(),
+        production_config.shards
     );
     Ok(())
 }
@@ -689,6 +714,21 @@ mod tests {
         assert_eq!(opts.jobs, 6);
         assert!(parse_options(&args(&["all", "--jobs", "0"])).is_err());
         assert!(parse_options(&args(&["all", "--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_shards_flag() {
+        let opts = parse_options(&args(&["vips"])).expect("parses");
+        assert_eq!(opts.shards, None);
+        assert_eq!(sigil_config(&opts).shards, 1);
+
+        let opts = parse_options(&args(&["vips", "--shards", "4"])).expect("parses");
+        assert_eq!(opts.shards, Some(4));
+        assert_eq!(sigil_config(&opts).shards, 4);
+
+        assert!(parse_options(&args(&["vips", "--shards", "0"])).is_err());
+        assert!(parse_options(&args(&["vips", "--shards", "x"])).is_err());
+        assert!(parse_options(&args(&["vips", "--shards"])).is_err());
     }
 
     #[test]

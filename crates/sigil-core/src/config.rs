@@ -36,6 +36,13 @@ pub struct SigilConfig {
     /// Record the event-file representation (sequence of dependent
     /// events) in addition to aggregates.
     pub record_events: bool,
+    /// Number of shadow-memory shards replayed by parallel workers.
+    /// `1` (the default) profiles serially on the dispatching thread;
+    /// `N > 1` partitions the address space by chunk (`chunk_key % N`)
+    /// and fans per-chunk runs out to `N` worker threads. The resulting
+    /// profile is byte-identical to serial replay (see
+    /// [`crate::shard`]).
+    pub shards: usize,
     /// Configuration of the embedded Callgrind-like profiler.
     pub callgrind: CallgrindConfig,
 }
@@ -48,6 +55,7 @@ impl Default for SigilConfig {
             shadow_chunk_limit: None,
             eviction: EvictionPolicy::Fifo,
             record_events: false,
+            shards: 1,
             callgrind: CallgrindConfig::default(),
         }
     }
@@ -89,6 +97,13 @@ impl SigilConfig {
         self
     }
 
+    /// Sets the number of shadow-memory shards (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Overrides the embedded Callgrind configuration.
     #[must_use]
     pub fn with_callgrind(mut self, callgrind: CallgrindConfig) -> Self {
@@ -108,6 +123,13 @@ mod tests {
         assert!(c.line_size.is_none());
         assert!(c.shadow_chunk_limit.is_none());
         assert!(!c.record_events);
+        assert_eq!(c.shards, 1, "serial by default");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_serial() {
+        assert_eq!(SigilConfig::default().with_shards(0).shards, 1);
+        assert_eq!(SigilConfig::default().with_shards(4).shards, 4);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod profile;
 pub mod profiler;
 pub mod report;
 pub mod reuse;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 
@@ -69,5 +70,6 @@ pub use events_out::{EventFile, EventRecord};
 pub use profile::{ContextComm, FunctionComm, Profile};
 pub use profiler::{LineReport, SigilProfiler};
 pub use reuse::{ContextReuse, LifetimeHistogram, ReuseBucket};
+pub use shard::{merge_fragments, ShardFragment};
 pub use stats::{CommEdge, CommStats};
-pub use sweep::SweepEntry;
+pub use sweep::{clamp_jobs, clamp_jobs_to, SweepEntry};

@@ -129,15 +129,13 @@ impl Profile {
                     merged = Some(row.clone());
                 }
                 Some(m) => {
-                    m.zero_reuse_bytes += row.zero_reuse_bytes;
-                    m.low_reuse_bytes += row.low_reuse_bytes;
-                    m.high_reuse_bytes += row.high_reuse_bytes;
-                    m.total_reuse_count += row.total_reuse_count;
-                    m.reused_lifetime_sum += row.reused_lifetime_sum;
-                    m.reused_bytes += row.reused_bytes;
-                    for (lifetime, count) in row.histogram.iter() {
-                        m.histogram.record(lifetime, count);
-                    }
+                    // Rows of different contexts: keep the first row's
+                    // label, fold the counters via the shard-merge
+                    // algebra (ContextReuse::merge asserts matching ctx
+                    // in debug builds, so realign first).
+                    let mut row = row.clone();
+                    row.ctx = m.ctx;
+                    m.merge(&row);
                 }
             }
         }

@@ -14,6 +14,7 @@ use crate::config::SigilConfig;
 use crate::events_out::EventFile;
 use crate::profile::{ContextComm, Profile};
 use crate::reuse::ContextReuse;
+use crate::shard::{sequence_events, ShardEngine, ShardFragment};
 use crate::stats::{CommEdge, CommStats};
 
 #[derive(Debug, Clone, Copy)]
@@ -25,9 +26,9 @@ struct Frame {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct EdgeAccum {
-    unique: u64,
-    nonunique: u64,
+pub(crate) struct EdgeAccum {
+    pub(crate) unique: u64,
+    pub(crate) nonunique: u64,
 }
 
 /// Aggregated line-granularity reuse report (drives Figure 12).
@@ -58,6 +59,15 @@ impl LineReport {
     }
 }
 
+/// The pieces `into_profile` assembles, from either finish path.
+type ProfileParts = (
+    MemoryStats,
+    Vec<CommStats>,
+    Vec<CommEdge>,
+    Option<Vec<ContextReuse>>,
+    Option<EventFile>,
+);
+
 /// The Sigil profiler: an [`ExecutionObserver`] that shadows every data
 /// byte to classify communication (see the crate docs for the
 /// methodology).
@@ -80,17 +90,24 @@ pub struct SigilProfiler {
     edges: HashMap<(ContextId, ContextId), EdgeAccum>,
     reuse: Option<Vec<ContextReuse>>,
     events: Option<EventFile>,
+    /// Present when `config.shards > 1`: per-byte classification runs on
+    /// worker threads and `shadow` stays empty (see [`crate::shard`]).
+    engine: Option<ShardEngine>,
 }
 
 impl SigilProfiler {
     /// Creates a profiler with the given configuration.
     pub fn new(config: SigilConfig) -> Self {
+        let sharded = config.shards > 1;
         SigilProfiler {
             config,
             cg: CallgrindProfiler::new(config.callgrind),
+            // In sharded mode the per-byte state lives in the worker
+            // tables and the dispatch-side residency oracle; this table
+            // stays empty.
             shadow: match config.shadow_chunk_limit {
-                Some(limit) => ShadowTable::with_chunk_limit(limit, config.eviction),
-                None => ShadowTable::new(),
+                Some(limit) if !sharded => ShadowTable::with_chunk_limit(limit, config.eviction),
+                _ => ShadowTable::new(),
             },
             lines: config.line_size.map(LineShadow::new),
             clock: OpClock::new(),
@@ -100,7 +117,10 @@ impl SigilProfiler {
             comm: Vec::new(),
             edges: HashMap::new(),
             reuse: config.reuse_mode.then(Vec::new),
-            events: config.record_events.then(EventFile::new),
+            // Sharded event files are sequenced from the dispatch log at
+            // the end of the run instead of being built incrementally.
+            events: (config.record_events && !sharded).then(EventFile::new),
+            engine: sharded.then(|| ShardEngine::new(&config)),
         }
     }
 
@@ -110,8 +130,15 @@ impl SigilProfiler {
     }
 
     /// Current shadow-memory footprint.
+    ///
+    /// In sharded mode this reports the dispatch-side residency oracle,
+    /// which replays the exact serial run sequence — so the counters
+    /// equal serial replay's regardless of worker scheduling.
     pub fn memory_stats(&self) -> MemoryStats {
-        let byte_stats = self.shadow.stats();
+        let byte_stats = match &self.engine {
+            Some(engine) => engine.memory_stats(),
+            None => self.shadow.stats(),
+        };
         match &self.lines {
             Some(lines) => byte_stats.combined(lines.memory_stats()),
             None => byte_stats,
@@ -142,7 +169,7 @@ impl SigilProfiler {
 
     /// Field-level variant of [`comm_mut`](Self::comm_mut) usable while
     /// `self.shadow` is mutably borrowed by a run iterator.
-    fn comm_entry(comm: &mut Vec<CommStats>, ctx: ContextId) -> &mut CommStats {
+    pub(crate) fn comm_entry(comm: &mut Vec<CommStats>, ctx: ContextId) -> &mut CommStats {
         let idx = ctx.index();
         if idx >= comm.len() {
             comm.resize(idx + 1, CommStats::default());
@@ -153,7 +180,7 @@ impl SigilProfiler {
     /// Flushes one producer segment — a maximal stretch of consecutive
     /// bytes sharing a last-writer context — into the producer's output
     /// tallies and the producer→consumer edge map.
-    fn flush_producer(
+    pub(crate) fn flush_producer(
         comm: &mut Vec<CommStats>,
         edges: &mut HashMap<(ContextId, ContextId), EdgeAccum>,
         producer_ctx: ContextId,
@@ -168,7 +195,11 @@ impl SigilProfiler {
         edge.nonunique += seg.nonunique;
     }
 
-    fn reuse_flush(reuse_vec: &mut Vec<ContextReuse>, reader: Owner, info: sigil_mem::ReuseInfo) {
+    pub(crate) fn reuse_flush(
+        reuse_vec: &mut Vec<ContextReuse>,
+        reader: Owner,
+        info: sigil_mem::ReuseInfo,
+    ) {
         let idx = reader.ctx as usize;
         while reuse_vec.len() <= idx {
             let next = ContextId(u32::try_from(reuse_vec.len()).expect("context count fits u32"));
@@ -395,6 +426,138 @@ impl SigilProfiler {
         }
     }
 
+    /// Sharded-mode event handling: globally-ordered state (contexts,
+    /// call numbers, the sequencing log) advances here on the dispatch
+    /// thread; per-byte work is routed to the shard workers.
+    fn on_event_sharded(&mut self, event: RuntimeEvent, at: Timestamp) {
+        match event {
+            RuntimeEvent::Call { .. } | RuntimeEvent::SyscallEnter { .. } => {
+                let ctx = self.cg.current_context();
+                self.call_counter = self.call_counter.next();
+                let call = self.call_counter;
+                let engine = self.engine.as_mut().expect("sharded mode");
+                engine.sync_ctxs(self.cg.tree());
+                engine.log_call(call, ctx);
+                self.frames_mut().push(Frame {
+                    ctx,
+                    call,
+                    pending_ops: 0,
+                });
+            }
+            RuntimeEvent::Return | RuntimeEvent::SyscallExit => {
+                self.engine.as_mut().expect("sharded mode").log_return();
+                self.frames_mut().pop();
+            }
+            RuntimeEvent::Op { count, .. } => {
+                let engine = self.engine.as_mut().expect("sharded mode");
+                engine.log_ops(u64::from(count));
+            }
+            RuntimeEvent::Branch { .. } => {
+                self.engine.as_mut().expect("sharded mode").log_ops(1);
+            }
+            RuntimeEvent::Read { access } => self.dispatch_sharded(false, access, at),
+            RuntimeEvent::Write { access } => self.dispatch_sharded(true, access, at),
+            RuntimeEvent::ThreadSwitch { thread } => {
+                let engine = self.engine.as_mut().expect("sharded mode");
+                engine.log_switch(thread.as_raw());
+                self.current_thread = thread.as_raw();
+            }
+        }
+    }
+
+    /// Sharded-mode shadow access: whole-access tallies (`bytes_read` /
+    /// `bytes_written`, line shadowing) happen once here; the per-byte
+    /// classification is fanned out per chunk run.
+    fn dispatch_sharded(&mut self, write: bool, access: MemAccess, at: Timestamp) {
+        if access.is_empty() {
+            return;
+        }
+        let frame = self.current_frame();
+        if let Some(lines) = self.lines.as_mut() {
+            lines.record_access(access, at);
+        }
+        let reader_fn = if write {
+            None
+        } else {
+            self.cg.tree().node(frame.ctx).func
+        };
+        if write {
+            self.comm_mut(frame.ctx).bytes_written += u64::from(access.size);
+        } else {
+            self.comm_mut(frame.ctx).bytes_read += u64::from(access.size);
+        }
+        let engine = self.engine.as_mut().expect("sharded mode");
+        engine.sync_ctxs(self.cg.tree());
+        if write {
+            // The write itself retires one op (the read's op is logged by
+            // the sequencer's `Read` entry).
+            engine.log_ops(1);
+        }
+        engine.dispatch_access(
+            write,
+            access.addr,
+            access.len(),
+            frame.ctx,
+            frame.call,
+            reader_fn,
+            at,
+        );
+    }
+
+    /// Sharded-mode end of run: join the workers, fold their fragments
+    /// through the commutative merge layer, and sequence the event file
+    /// back into access order.
+    fn finish_sharded(&mut self, engine: ShardEngine) -> ProfileParts {
+        let mut memory = engine.memory_stats();
+        if let Some(lines) = &self.lines {
+            memory = memory.combined(lines.memory_stats());
+        }
+        memory.export_metrics("shadow");
+        let shards = engine.shard_count();
+        let (results, seq) = engine.finish();
+
+        // The dispatch thread's fragment: whole-access byte counts plus
+        // the serial-equivalent footprint; classification comes from the
+        // workers.
+        let mut merged = ShardFragment {
+            comm: std::mem::take(&mut self.comm),
+            edges: Vec::new(),
+            reuse: self.reuse.take(),
+            memory: MemoryStats::default(),
+        };
+        let mut transfers = crate::shard::TransferMap::new();
+        let obs = sigil_obs::is_enabled();
+        if obs {
+            sigil_obs::metrics::set_counter("shadow.shards", shards as u64);
+        }
+        for (i, result) in results.into_iter().enumerate() {
+            if obs {
+                sigil_obs::metrics::set_counter(
+                    &format!("shadow.shard.{i}.accesses"),
+                    result.stats.accesses,
+                );
+                sigil_obs::metrics::set_counter(
+                    &format!("shadow.shard.{i}.runs"),
+                    result.stats.runs,
+                );
+                sigil_obs::metrics::set_counter(
+                    &format!("shadow.shard.{i}.evictions"),
+                    result.evictions_applied,
+                );
+            }
+            let (fragment, shard_transfers) = result.into_fragment();
+            merged.merge(&fragment);
+            for (idx, parts) in shard_transfers {
+                transfers.entry(idx).or_default().extend(parts);
+            }
+        }
+        let events = self
+            .config
+            .record_events
+            .then(|| sequence_events(seq, &mut transfers));
+        (memory, merged.comm, merged.edges, merged.reuse, events)
+    }
+
     /// Consumes the profiler, pairing it with `symbols` into a [`Profile`].
     ///
     /// When observability is enabled this records two phase spans —
@@ -404,17 +567,40 @@ impl SigilProfiler {
     /// shadow-table hot-path counters as `shadow.*` metrics.
     pub fn into_profile(mut self, symbols: SymbolTable) -> Profile {
         let shadow_span = sigil_obs::span("shadow");
-        let memory = self.memory_stats();
-        memory.export_metrics("shadow");
-
-        // Flush outstanding reuse records (bytes still "live" at exit).
-        if let Some(reuse_vec) = self.reuse.as_mut() {
-            for (_, obj) in self.shadow.iter() {
-                if let Some(reader) = obj.last_reader {
-                    Self::reuse_flush(reuse_vec, reader, obj.reuse);
+        let (memory, comm, edge_rows, reuse, events) = match self.engine.take() {
+            Some(engine) => self.finish_sharded(engine),
+            None => {
+                let memory = self.memory_stats();
+                memory.export_metrics("shadow");
+                // Flush outstanding reuse records (bytes still "live" at
+                // exit).
+                if let Some(reuse_vec) = self.reuse.as_mut() {
+                    for (_, obj) in self.shadow.iter() {
+                        if let Some(reader) = obj.last_reader {
+                            Self::reuse_flush(reuse_vec, reader, obj.reuse);
+                        }
+                    }
                 }
+                let mut edges: Vec<CommEdge> = self
+                    .edges
+                    .iter()
+                    .map(|(&(producer, consumer), accum)| CommEdge {
+                        producer,
+                        consumer,
+                        unique_bytes: accum.unique,
+                        nonunique_bytes: accum.nonunique,
+                    })
+                    .collect();
+                edges.sort_by_key(|e| (e.producer, e.consumer));
+                (
+                    memory,
+                    std::mem::take(&mut self.comm),
+                    edges,
+                    self.reuse.take(),
+                    self.events.take(),
+                )
             }
-        }
+        };
 
         let line_report = self.lines.as_ref().map(|lines| {
             let mut buckets = [0u64; 5];
@@ -432,8 +618,7 @@ impl SigilProfiler {
         drop(shadow_span);
         let _postprocess_span = sigil_obs::span("postprocess");
 
-        let mut contexts: Vec<ContextComm> = self
-            .comm
+        let mut contexts: Vec<ContextComm> = comm
             .iter()
             .enumerate()
             .map(|(i, comm)| ContextComm {
@@ -451,25 +636,13 @@ impl SigilProfiler {
             });
         }
 
-        let mut edges: Vec<CommEdge> = self
-            .edges
-            .iter()
-            .map(|(&(producer, consumer), accum)| CommEdge {
-                producer,
-                consumer,
-                unique_bytes: accum.unique,
-                nonunique_bytes: accum.nonunique,
-            })
-            .collect();
-        edges.sort_by_key(|e| (e.producer, e.consumer));
-
         Profile {
             callgrind: self.cg.into_profile(symbols),
             contexts,
-            edges,
-            reuse: self.reuse,
+            edges: edge_rows,
+            reuse,
             lines: line_report,
-            events: self.events,
+            events,
             memory,
         }
     }
@@ -479,6 +652,10 @@ impl ExecutionObserver for SigilProfiler {
     fn on_event(&mut self, event: RuntimeEvent) {
         let at = self.clock.tick(event);
         self.cg.on_event(event);
+        if self.engine.is_some() {
+            self.on_event_sharded(event, at);
+            return;
+        }
         match event {
             RuntimeEvent::Call { .. } | RuntimeEvent::SyscallEnter { .. } => self.handle_enter(),
             RuntimeEvent::Return | RuntimeEvent::SyscallExit => self.handle_leave(),
@@ -504,11 +681,23 @@ impl ExecutionObserver for SigilProfiler {
     }
 
     fn on_finish(&mut self) {
-        let threads: Vec<u32> = self.thread_frames.keys().copied().collect();
+        // Sorted so the drain order (and therefore the event file) is
+        // deterministic regardless of HashMap iteration order.
+        let mut threads: Vec<u32> = self.thread_frames.keys().copied().collect();
+        threads.sort_unstable();
         for thread in threads {
             self.current_thread = thread;
-            while !self.frames_mut().is_empty() {
-                self.handle_leave();
+            if self.engine.is_some() {
+                let engine = self.engine.as_mut().expect("sharded mode");
+                engine.log_resume(thread);
+                while !self.frames_mut().is_empty() {
+                    self.engine.as_mut().expect("sharded mode").log_return();
+                    self.frames_mut().pop();
+                }
+            } else {
+                while !self.frames_mut().is_empty() {
+                    self.handle_leave();
+                }
             }
         }
         self.current_thread = 0;
@@ -777,6 +966,99 @@ mod tests {
         // Each access resolved its chunk twice (once per side of the split).
         assert_eq!(profile.memory.runs, 4);
         assert_eq!(profile.memory.run_bytes, 32);
+    }
+
+    /// A composite scenario exercising every subsystem the sharded path
+    /// must reproduce: chunk-straddling accesses, repeat reads, cross-
+    /// function transfers, syscalls, multiple threads, ops, and branches.
+    fn composite_scenario(e: &mut Engine<SigilProfiler>) {
+        e.scoped_named("main", |e| {
+            e.scoped_named("produce", |e| {
+                e.op(OpClass::IntArith, 10);
+                e.write(4096 - 8, 16); // straddles chunks 0|1
+                e.write(3 * 4096 - 4, 8); // straddles chunks 2|3
+            });
+            e.scoped_named("consume", |e| {
+                e.read(4096 - 8, 16);
+                e.read(4096 - 8, 16); // non-unique re-read
+                e.op(OpClass::FloatArith, 5);
+                e.read(3 * 4096 - 4, 8);
+            });
+            e.syscall("sys_read", |e| e.write(0x9000, 64));
+            e.read(0x9000, 64);
+            e.scoped_named("produce", |e| e.write(4096 - 8, 16)); // overwrite
+            e.scoped_named("consume", |e| e.read(4096 - 8, 16));
+            e.read(0x20_0000, 12); // never-written root input
+        });
+    }
+
+    #[test]
+    fn sharded_profile_matches_serial_byte_for_byte() {
+        // The tentpole invariant: with every feature enabled, sharded
+        // replay serializes to the identical profile.
+        for shards in [2, 3, 4, 8] {
+            let base = SigilConfig::default()
+                .with_reuse_mode()
+                .with_line_mode(64)
+                .with_events();
+            let serial = run(base, composite_scenario);
+            let sharded = run(base.with_shards(shards), composite_scenario);
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&sharded).unwrap(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_profile_matches_serial_under_eviction() {
+        use sigil_mem::EvictionPolicy;
+        // Tiny limits force constant eviction; the residency oracle must
+        // mirror every victim so per-byte state stays serial-identical.
+        for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+            for limit in [1, 2, 3] {
+                let base = SigilConfig::default()
+                    .with_reuse_mode()
+                    .with_events()
+                    .with_shadow_limit(limit)
+                    .with_eviction(policy);
+                let serial = run(base, composite_scenario);
+                let sharded = run(base.with_shards(4), composite_scenario);
+                assert_eq!(
+                    serde_json::to_string(&serial).unwrap(),
+                    serde_json::to_string(&sharded).unwrap(),
+                    "policy={policy:?} limit={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_multithread_event_order_is_serial() {
+        // Thread switches and end-of-run frame draining must sequence
+        // identically (on_finish drains in sorted thread order).
+        let scenario = |e: &mut Engine<SigilProfiler>| {
+            e.scoped_named("main", |e| {
+                e.write(0x100, 8);
+                e.switch_thread(sigil_trace::ThreadId::from_raw(2));
+                e.scoped_named("t2", |e| {
+                    e.op(OpClass::IntArith, 3);
+                    e.read(0x100, 8);
+                });
+                e.switch_thread(sigil_trace::ThreadId::from_raw(1));
+                e.scoped_named("t1", |e| e.read(0x100, 8));
+                e.switch_thread(sigil_trace::ThreadId::MAIN);
+            });
+        };
+        let base = SigilConfig::default().with_events();
+        let serial = run(base, scenario);
+        let sharded = run(base.with_shards(4), scenario);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sharded).unwrap()
+        );
+        assert!(serial.events.as_ref().is_some_and(|ev| !ev.is_empty()));
     }
 
     #[test]

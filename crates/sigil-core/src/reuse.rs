@@ -101,7 +101,7 @@ impl LifetimeHistogram {
 /// of the run — implementing the paper's definition: "re-use lifetime
 /// \[is\] the time between the first and last read of a single data byte
 /// within a function call".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContextReuse {
     /// The context these aggregates belong to.
     pub ctx: ContextId,
@@ -148,6 +148,25 @@ impl ContextReuse {
             self.reused_bytes += 1;
             self.reused_lifetime_sum += lifetime;
             self.histogram.record(lifetime, 1);
+        }
+    }
+
+    /// Folds `other`'s aggregates into `self`, component-wise.
+    ///
+    /// Merging is commutative and associative (sums plus a sparse
+    /// histogram whose bins accumulate independently), so per-shard
+    /// fragments can be folded in any order with an identical result —
+    /// the property the shard-merge proptests pin.
+    pub fn merge(&mut self, other: &ContextReuse) {
+        debug_assert_eq!(self.ctx, other.ctx, "merging rows of different contexts");
+        self.zero_reuse_bytes += other.zero_reuse_bytes;
+        self.low_reuse_bytes += other.low_reuse_bytes;
+        self.high_reuse_bytes += other.high_reuse_bytes;
+        self.total_reuse_count += other.total_reuse_count;
+        self.reused_lifetime_sum += other.reused_lifetime_sum;
+        self.reused_bytes += other.reused_bytes;
+        for (lifetime, count) in other.histogram.iter() {
+            self.histogram.record(lifetime, count);
         }
     }
 
@@ -206,6 +225,23 @@ mod tests {
         assert_eq!(r.reused_bytes, 2);
         assert!((r.avg_reused_lifetime() - 6250.0).abs() < 1e-9);
         assert_eq!(r.histogram.total(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = ContextReuse::new(ContextId(2));
+        a.record(0, 0);
+        a.record(5, 1500);
+        let mut b = ContextReuse::new(ContextId(2));
+        b.record(12, 700);
+        b.record(1, 1600);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_bytes(), 4);
+        assert_eq!(ab.histogram.total(), 3);
     }
 
     #[test]

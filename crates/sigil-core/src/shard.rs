@@ -1,0 +1,832 @@
+//! Sharded shadow-memory replay: parallel per-byte classification with
+//! serial semantics.
+//!
+//! The paper's Table-I classification is **per-byte state**: every shadow
+//! object evolves only through the ordered sequence of accesses touching
+//! *its own address*. Partitioning the address space by 4 KiB chunk
+//! (`sigil_mem::chunk_key(addr) % shards`) therefore splits the access
+//! stream into `N` independent sub-streams whose per-byte state machines
+//! never interact — the replay is order-independent *across* shards as
+//! long as each shard sees *its* accesses in program order.
+//!
+//! Three pieces of state are **not** per-byte and stay on the dispatch
+//! thread:
+//!
+//! * **Global order** — call numbers, timestamps, and the calltree cursor
+//!   advance once per event; the dispatcher resolves them and carries the
+//!   results (`ctx`, `call`, `reader_fn`, `at`) inside each
+//!   [`AccessRecord`], so workers never consult shared state.
+//! * **Residency** — chunk eviction is a *global* decision (the limit
+//!   spans the whole table, FIFO/LRU order interleaves all chunks). The
+//!   dispatcher runs a zero-sized residency oracle (`ShadowTable<()>`)
+//!   through the identical run sequence; its logged victims are mirrored
+//!   to the owning shard (`ShadowTable::evict_key`) *between* the same
+//!   runs as in serial replay, so per-shard tables reproduce the serial
+//!   residency — and the oracle's counters reproduce the serial
+//!   [`MemoryStats`] exactly.
+//! * **Event order** — the event file is globally ordered. The dispatcher
+//!   keeps a compact [`SeqOp`] log; workers return per-access transfer
+//!   segments; [`sequence_events`] replays the log with simulated frame
+//!   stacks, splicing the segments back in access order with the same
+//!   `push_compute`/`push_transfer` coalescing as the serial emitter, so
+//!   the reconstructed file is byte-identical.
+//!
+//! Everything a worker *does* produce (communication tallies, edges,
+//! reuse aggregates) is a sum over disjoint byte sets, so per-shard
+//! fragments merge through the commutative [`ShardFragment::merge`]
+//! layer in any order with an identical result — a property pinned by
+//! the `shard_merge` proptests.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use sigil_callgrind::{CallTree, ContextId};
+use sigil_mem::{chunk_key, MemoryStats, Owner, ShadowObject, ShadowTable};
+use sigil_trace::{Addr, CallNumber, FunctionId, Timestamp};
+
+use crate::config::SigilConfig;
+use crate::events_out::EventFile;
+use crate::profiler::{EdgeAccum, SigilProfiler};
+use crate::reuse::ContextReuse;
+use crate::stats::{CommEdge, CommStats};
+
+/// Messages per batch before a channel send.
+const BATCH: usize = 256;
+/// Batches in flight per worker before the dispatcher blocks
+/// (backpressure when workers outnumber cores).
+const CHANNEL_DEPTH: usize = 8;
+
+/// Transfer segments produced by one access, keyed by global access
+/// index: `(part, [(producer_call, bytes)])` per chunk run that found
+/// cross-call dependencies.
+pub(crate) type TransferMap = HashMap<u64, Vec<(u32, Vec<(CallNumber, u64)>)>>;
+
+/// One shadow access run, pre-resolved on the dispatch thread.
+///
+/// `addr..addr+len` never crosses a chunk boundary (the dispatcher
+/// splits at the residency oracle's runs), so a worker applies it with a
+/// single `run_mut`.
+#[derive(Debug, Clone, Copy)]
+struct AccessRecord {
+    /// Global access index (one per `Read`/`Write` event, shared by all
+    /// parts of a straddling access) — sequences transfers back into
+    /// program order.
+    idx: u64,
+    /// Run index within the access, in byte order.
+    part: u32,
+    write: bool,
+    addr: Addr,
+    len: u32,
+    /// The consuming/producing frame's context.
+    ctx: ContextId,
+    /// Its dynamic call number.
+    call: CallNumber,
+    /// The reader's function identity (reads only).
+    reader_fn: Option<FunctionId>,
+    /// Op-clock timestamp of the access.
+    at: Timestamp,
+}
+
+enum ShardMsg {
+    /// Defines the next context id's function (contexts broadcast in id
+    /// order, so the id is implicit).
+    CtxDef {
+        func: Option<FunctionId>,
+    },
+    Access(AccessRecord),
+    /// Mirror of a residency-oracle eviction owned by this shard.
+    Evict {
+        key: u64,
+    },
+}
+
+/// Globally-ordered event-file operations logged by the dispatcher
+/// (events mode only) and replayed by [`sequence_events`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SeqOp {
+    /// A dynamic call was entered (parent comes from the simulated
+    /// stack).
+    Call { call: CallNumber, ctx: ContextId },
+    /// The current frame returned.
+    Return,
+    /// Flush the current frame's pending ops (thread switch boundary).
+    Flush,
+    /// Make `thread` current (no flush — `on_finish` drains residual
+    /// frames without one, exactly like the serial path).
+    Switch { thread: u32 },
+    /// `count` retired ops charged to the current frame.
+    Ops { count: u64 },
+    /// A read access; its transfer segments (if any) are looked up by
+    /// index.
+    Read { idx: u64 },
+}
+
+/// What one worker hands back at join time.
+pub(crate) struct ShardResult {
+    pub(crate) comm: Vec<CommStats>,
+    pub(crate) edges: HashMap<(ContextId, ContextId), EdgeAccum>,
+    pub(crate) reuse: Option<Vec<ContextReuse>>,
+    pub(crate) transfers: TransferMap,
+    /// The worker table's own counters — observability only; the
+    /// authoritative [`MemoryStats`] comes from the dispatch oracle.
+    pub(crate) stats: MemoryStats,
+    pub(crate) evictions_applied: u64,
+}
+
+/// One shard's (or the dispatch thread's) contribution to a profile:
+/// the commutative merge layer.
+///
+/// `comm` and `reuse` are indexed by raw context id; `edges` is sorted
+/// by `(producer, consumer)`; `memory` sums component-wise. All four
+/// merges are commutative and associative, so fragments fold in any
+/// permutation to an identical result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardFragment {
+    /// Per-context communication tallies (index = raw context id).
+    pub comm: Vec<CommStats>,
+    /// Producer→consumer edges, sorted by `(producer, consumer)`.
+    pub edges: Vec<CommEdge>,
+    /// Per-context reuse aggregates (reuse mode only).
+    pub reuse: Option<Vec<ContextReuse>>,
+    /// Shadow-footprint counters.
+    pub memory: MemoryStats,
+}
+
+impl ShardFragment {
+    /// Folds `other` into `self` component-wise; see the type docs for
+    /// the algebra.
+    pub fn merge(&mut self, other: &ShardFragment) {
+        if other.comm.len() > self.comm.len() {
+            self.comm.resize(other.comm.len(), CommStats::default());
+        }
+        for (into, from) in self.comm.iter_mut().zip(&other.comm) {
+            into.merge(from);
+        }
+
+        if !other.edges.is_empty() {
+            let mut map: std::collections::BTreeMap<(ContextId, ContextId), (u64, u64)> =
+                std::collections::BTreeMap::new();
+            for edge in self.edges.iter().chain(&other.edges) {
+                let entry = map.entry((edge.producer, edge.consumer)).or_default();
+                entry.0 += edge.unique_bytes;
+                entry.1 += edge.nonunique_bytes;
+            }
+            self.edges = map
+                .into_iter()
+                .map(|((producer, consumer), (unique, nonunique))| CommEdge {
+                    producer,
+                    consumer,
+                    unique_bytes: unique,
+                    nonunique_bytes: nonunique,
+                })
+                .collect();
+        }
+
+        if let Some(from) = &other.reuse {
+            let into = self.reuse.get_or_insert_with(Vec::new);
+            while into.len() < from.len() {
+                let next = ContextId(u32::try_from(into.len()).expect("context count fits u32"));
+                into.push(ContextReuse::new(next));
+            }
+            for (row, other_row) in into.iter_mut().zip(from) {
+                row.merge(other_row);
+            }
+        }
+
+        self.memory = self.memory.combined(other.memory);
+    }
+}
+
+/// Folds an iterator of fragments into one (order-insensitive).
+pub fn merge_fragments(frags: impl IntoIterator<Item = ShardFragment>) -> ShardFragment {
+    let mut merged = ShardFragment::default();
+    for frag in frags {
+        merged.merge(&frag);
+    }
+    merged
+}
+
+impl ShardResult {
+    pub(crate) fn into_fragment(self) -> (ShardFragment, TransferMap) {
+        let mut edges: Vec<CommEdge> = self
+            .edges
+            .into_iter()
+            .map(|((producer, consumer), accum)| CommEdge {
+                producer,
+                consumer,
+                unique_bytes: accum.unique,
+                nonunique_bytes: accum.nonunique,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.producer, e.consumer));
+        (
+            ShardFragment {
+                comm: self.comm,
+                edges,
+                reuse: self.reuse,
+                memory: MemoryStats::default(),
+            },
+            self.transfers,
+        )
+    }
+}
+
+/// The dispatch-side engine owned by a sharded [`SigilProfiler`].
+pub(crate) struct ShardEngine {
+    shards: usize,
+    /// Zero-sized residency oracle: replays the exact serial run
+    /// sequence, so its counters and its eviction log *are* the serial
+    /// table's.
+    oracle: ShadowTable<()>,
+    senders: Vec<SyncSender<Vec<ShardMsg>>>,
+    batches: Vec<Vec<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardResult>>,
+    /// Contexts broadcast so far (defs are sent in id order).
+    synced_ctxs: usize,
+    next_idx: u64,
+    events_on: bool,
+    seq: Vec<SeqOp>,
+    scratch_evictions: Vec<u64>,
+}
+
+impl std::fmt::Debug for ShardEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardEngine")
+            .field("shards", &self.shards)
+            .field("synced_ctxs", &self.synced_ctxs)
+            .field("dispatched_accesses", &self.next_idx)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardEngine {
+    pub(crate) fn new(config: &SigilConfig) -> Self {
+        let shards = config.shards.max(2);
+        let mut oracle = match config.shadow_chunk_limit {
+            Some(limit) => ShadowTable::with_chunk_limit(limit, config.eviction),
+            None => ShadowTable::new(),
+        };
+        oracle.enable_eviction_log();
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let (reuse_mode, events_on) = (config.reuse_mode, config.record_events);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Vec<ShardMsg>>(CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sigil-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, rx, reuse_mode, events_on))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardEngine {
+            shards,
+            oracle,
+            senders,
+            batches: (0..shards).map(|_| Vec::with_capacity(BATCH)).collect(),
+            handles,
+            synced_ctxs: 0,
+            next_idx: 0,
+            events_on,
+            seq: Vec::new(),
+            scratch_evictions: Vec::new(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        (key % self.shards as u64) as usize
+    }
+
+    fn push_msg(&mut self, shard: usize, msg: ShardMsg) {
+        let batch = &mut self.batches[shard];
+        batch.push(msg);
+        if batch.len() >= BATCH {
+            self.flush_batch(shard);
+        }
+    }
+
+    fn flush_batch(&mut self, shard: usize) {
+        if self.batches[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batches[shard], Vec::with_capacity(BATCH));
+        // A send error means the worker died; its join below will
+        // surface the panic, so don't double-panic here.
+        let _ = self.senders[shard].send(batch);
+    }
+
+    /// Broadcasts any calltree contexts created since the last sync, so
+    /// workers can resolve producer functions from local state.
+    pub(crate) fn sync_ctxs(&mut self, tree: &CallTree) {
+        while self.synced_ctxs < tree.len() {
+            let ctx = ContextId(u32::try_from(self.synced_ctxs).expect("context count fits u32"));
+            let func = tree.node(ctx).func;
+            for shard in 0..self.shards {
+                self.push_msg(shard, ShardMsg::CtxDef { func });
+            }
+            self.synced_ctxs += 1;
+        }
+    }
+
+    pub(crate) fn log_call(&mut self, call: CallNumber, ctx: ContextId) {
+        if self.events_on {
+            self.seq.push(SeqOp::Call { call, ctx });
+        }
+    }
+
+    pub(crate) fn log_return(&mut self) {
+        if self.events_on {
+            self.seq.push(SeqOp::Return);
+        }
+    }
+
+    /// A thread switch during the run: flush, then switch (serial
+    /// `ThreadSwitch` semantics).
+    pub(crate) fn log_switch(&mut self, thread: u32) {
+        if self.events_on {
+            self.seq.push(SeqOp::Flush);
+            self.seq.push(SeqOp::Switch { thread });
+        }
+    }
+
+    /// A thread resumed by `on_finish` frame draining: switch without a
+    /// flush (the serial path sets `current_thread` directly).
+    pub(crate) fn log_resume(&mut self, thread: u32) {
+        if self.events_on {
+            self.seq.push(SeqOp::Switch { thread });
+        }
+    }
+
+    pub(crate) fn log_ops(&mut self, count: u64) {
+        if !self.events_on || count == 0 {
+            return;
+        }
+        // Runs of compute coalesce; reads/calls/switches break the run.
+        if let Some(SeqOp::Ops { count: last }) = self.seq.last_mut() {
+            *last += count;
+        } else {
+            self.seq.push(SeqOp::Ops { count });
+        }
+    }
+
+    /// Routes one shadow access: the oracle splits it into chunk runs
+    /// and decides evictions; each run (preceded by any evictions it
+    /// triggered) goes to the owning shard.
+    #[allow(clippy::too_many_arguments)] // the flattened AccessRecord fields
+    pub(crate) fn dispatch_access(
+        &mut self,
+        write: bool,
+        addr: Addr,
+        len: usize,
+        ctx: ContextId,
+        call: CallNumber,
+        reader_fn: Option<FunctionId>,
+        at: Timestamp,
+    ) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        if !write && self.events_on {
+            self.seq.push(SeqOp::Read { idx });
+        }
+        let mut part = 0u32;
+        let mut addr = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let (_, consumed) = self.oracle.run_mut(addr, remaining);
+            // Mirror this run's evictions *before* the run itself: per
+            // victim chunk the eviction follows all its prior accesses
+            // (dispatch order) and precedes any re-creation.
+            if !self.oracle.evictions().is_empty() {
+                self.scratch_evictions.clear();
+                self.scratch_evictions
+                    .extend_from_slice(self.oracle.evictions());
+                self.oracle.clear_evictions();
+                for i in 0..self.scratch_evictions.len() {
+                    let key = self.scratch_evictions[i];
+                    self.push_msg(self.shard_of(key), ShardMsg::Evict { key });
+                }
+            }
+            let key = chunk_key(addr);
+            self.push_msg(
+                self.shard_of(key),
+                ShardMsg::Access(AccessRecord {
+                    idx,
+                    part,
+                    write,
+                    addr,
+                    len: u32::try_from(consumed).expect("run fits a chunk"),
+                    ctx,
+                    call,
+                    reader_fn,
+                    at,
+                }),
+            );
+            part += 1;
+            addr = addr.wrapping_add(consumed as u64);
+            remaining -= consumed;
+        }
+    }
+
+    /// The serial-equivalent shadow counters, from the residency oracle
+    /// (whose `T = ()` stores no bytes — residency is re-priced at the
+    /// serial table's slot size).
+    pub(crate) fn memory_stats(&self) -> MemoryStats {
+        let mut stats = self.oracle.stats();
+        stats.resident_bytes = stats.resident_slots * std::mem::size_of::<ShadowObject>() as u64;
+        stats
+    }
+
+    /// Flushes outstanding batches, closes the channels, and joins the
+    /// workers.
+    pub(crate) fn finish(mut self) -> (Vec<ShardResult>, Vec<SeqOp>) {
+        for shard in 0..self.shards {
+            self.flush_batch(shard);
+        }
+        self.senders.clear();
+        let results = self
+            .handles
+            .drain(..)
+            .map(|handle| handle.join().expect("shard worker panicked"))
+            .collect();
+        (results, std::mem::take(&mut self.seq))
+    }
+}
+
+/// Per-worker replay state.
+struct WorkerState {
+    table: ShadowTable<ShadowObject>,
+    comm: Vec<CommStats>,
+    edges: HashMap<(ContextId, ContextId), EdgeAccum>,
+    reuse: Option<Vec<ContextReuse>>,
+    /// Context → function map, filled by `CtxDef` broadcasts.
+    ctx_funcs: Vec<Option<FunctionId>>,
+    transfers: TransferMap,
+    events_on: bool,
+    evictions_applied: u64,
+}
+
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<Vec<ShardMsg>>,
+    reuse_mode: bool,
+    events_on: bool,
+) -> ShardResult {
+    let _span = sigil_obs::span_with(|| format!("shard-worker-{shard}"));
+    let mut state = WorkerState {
+        table: ShadowTable::new(),
+        comm: Vec::new(),
+        edges: HashMap::new(),
+        reuse: reuse_mode.then(Vec::new),
+        ctx_funcs: Vec::new(),
+        transfers: TransferMap::new(),
+        events_on,
+        evictions_applied: 0,
+    };
+    while let Ok(batch) = rx.recv() {
+        for msg in batch {
+            match msg {
+                ShardMsg::CtxDef { func } => state.ctx_funcs.push(func),
+                ShardMsg::Evict { key } => {
+                    let evicted = state.table.evict_key(key);
+                    debug_assert!(evicted, "mirrored victim must be resident");
+                    state.evictions_applied += u64::from(evicted);
+                }
+                ShardMsg::Access(rec) if rec.write => apply_write(&mut state, rec),
+                ShardMsg::Access(rec) => apply_read(&mut state, rec),
+            }
+        }
+    }
+    // Flush outstanding reuse records (bytes still "live" at exit) —
+    // the shard owns exactly its bytes, so the union over shards equals
+    // the serial table walk.
+    if let Some(reuse_vec) = state.reuse.as_mut() {
+        for (_, obj) in state.table.iter() {
+            if let Some(reader) = obj.last_reader {
+                SigilProfiler::reuse_flush(reuse_vec, reader, obj.reuse);
+            }
+        }
+    }
+    ShardResult {
+        stats: state.table.stats(),
+        comm: state.comm,
+        edges: state.edges,
+        reuse: state.reuse,
+        transfers: state.transfers,
+        evictions_applied: state.evictions_applied,
+    }
+}
+
+/// One read run: the serial `handle_read` per-byte loop, with producer
+/// functions resolved from the broadcast context map.
+fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
+    let owner = Owner::new(rec.ctx.0, rec.call);
+    let mut local_unique = 0u64;
+    let mut local_nonunique = 0u64;
+    let mut input_unique = 0u64;
+    let mut input_nonunique = 0u64;
+    let mut producer_seg: Option<(ContextId, EdgeAccum)> = None;
+    let mut producer_fn_memo: Option<(ContextId, Option<FunctionId>)> = None;
+    let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
+    let events_on = state.events_on;
+
+    let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
+    debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
+    for obj in slots {
+        let repeat = obj.is_repeat_read(owner);
+        let producer = obj.last_writer;
+
+        if let Some(reuse_vec) = state.reuse.as_mut() {
+            if !repeat {
+                if let Some(prev_reader) = obj.last_reader {
+                    let info = obj.reuse;
+                    SigilProfiler::reuse_flush(reuse_vec, prev_reader, info);
+                    obj.reuse.reset();
+                }
+            }
+            obj.reuse.record_read(rec.at, !repeat);
+        }
+        obj.record_read(owner);
+
+        let (producer_ctx, producer_call) = match producer {
+            Some(p) => (ContextId(p.ctx), p.call),
+            None => (ContextId::ROOT, CallNumber::ROOT),
+        };
+        let producer_fn = match producer_fn_memo {
+            Some((memo_ctx, func)) if memo_ctx == producer_ctx => func,
+            _ => {
+                let func = state.ctx_funcs[producer_ctx.index()];
+                producer_fn_memo = Some((producer_ctx, func));
+                func
+            }
+        };
+        let is_local = producer.is_some() && producer_fn == rec.reader_fn;
+
+        match (is_local, repeat) {
+            (true, false) => local_unique += 1,
+            (true, true) => local_nonunique += 1,
+            (false, false) => input_unique += 1,
+            (false, true) => input_nonunique += 1,
+        }
+        if !is_local {
+            match &mut producer_seg {
+                Some((seg_ctx, seg)) if *seg_ctx == producer_ctx => {
+                    if repeat {
+                        seg.nonunique += 1;
+                    } else {
+                        seg.unique += 1;
+                    }
+                }
+                seg_slot => {
+                    if let Some((prev_ctx, prev_seg)) = seg_slot.take() {
+                        SigilProfiler::flush_producer(
+                            &mut state.comm,
+                            &mut state.edges,
+                            prev_ctx,
+                            rec.ctx,
+                            prev_seg,
+                        );
+                    }
+                    let mut seg = EdgeAccum::default();
+                    if repeat {
+                        seg.nonunique += 1;
+                    } else {
+                        seg.unique += 1;
+                    }
+                    *seg_slot = Some((producer_ctx, seg));
+                }
+            }
+        }
+        if !repeat && producer.is_some() && producer_call != rec.call && events_on {
+            match transfers.last_mut() {
+                Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
+                _ => transfers.push((producer_call, 1)),
+            }
+        }
+    }
+
+    if let Some((prev_ctx, prev_seg)) = producer_seg {
+        SigilProfiler::flush_producer(
+            &mut state.comm,
+            &mut state.edges,
+            prev_ctx,
+            rec.ctx,
+            prev_seg,
+        );
+    }
+    // `bytes_read` is tallied once per access on the dispatch thread;
+    // the worker only contributes the per-byte classification.
+    let consumer_stats = SigilProfiler::comm_entry(&mut state.comm, rec.ctx);
+    consumer_stats.local_unique_bytes += local_unique;
+    consumer_stats.local_nonunique_bytes += local_nonunique;
+    consumer_stats.input_unique_bytes += input_unique;
+    consumer_stats.input_nonunique_bytes += input_nonunique;
+    if !transfers.is_empty() {
+        state
+            .transfers
+            .entry(rec.idx)
+            .or_default()
+            .push((rec.part, transfers));
+    }
+}
+
+/// One write run: the serial `handle_write` per-byte loop
+/// (`bytes_written` is tallied on the dispatch thread).
+fn apply_write(state: &mut WorkerState, rec: AccessRecord) {
+    let owner = Owner::new(rec.ctx.0, rec.call);
+    let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
+    debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
+    for obj in slots {
+        if let Some(reuse_vec) = state.reuse.as_mut() {
+            if let Some(prev_reader) = obj.last_reader {
+                let info = obj.reuse;
+                SigilProfiler::reuse_flush(reuse_vec, prev_reader, info);
+            }
+        }
+        obj.record_write(owner);
+    }
+}
+
+/// Replays the dispatcher's [`SeqOp`] log against simulated per-thread
+/// frame stacks, splicing worker transfer segments back in access
+/// order. Mirrors the serial emitter exactly: `push_compute` drops
+/// zero-op fragments, `push_transfer` coalesces adjacent same-pair
+/// records, a read's pending op is flushed before its transfers.
+pub(crate) fn sequence_events(seq: Vec<SeqOp>, transfers: &mut TransferMap) -> EventFile {
+    struct SimFrame {
+        ctx: ContextId,
+        call: CallNumber,
+        pending: u64,
+    }
+    fn flush(events: &mut EventFile, stack: &mut [SimFrame]) {
+        if let Some(frame) = stack.last_mut() {
+            let ops = frame.pending;
+            frame.pending = 0;
+            events.push_compute(frame.call, frame.ctx, ops);
+        }
+    }
+
+    let mut events = EventFile::new();
+    let mut stacks: HashMap<u32, Vec<SimFrame>> = HashMap::new();
+    let mut current: u32 = 0;
+    for op in seq {
+        let stack = stacks.entry(current).or_default();
+        match op {
+            SeqOp::Call { call, ctx } => {
+                let parent_call = stack.last().map_or(CallNumber::ROOT, |f| f.call);
+                flush(&mut events, stack);
+                events.push_call(parent_call, call, ctx);
+                stack.push(SimFrame {
+                    ctx,
+                    call,
+                    pending: 0,
+                });
+            }
+            SeqOp::Return => {
+                flush(&mut events, stack);
+                stack.pop();
+            }
+            SeqOp::Flush => flush(&mut events, stack),
+            SeqOp::Switch { thread } => current = thread,
+            SeqOp::Ops { count } => {
+                if let Some(frame) = stack.last_mut() {
+                    frame.pending += count;
+                }
+            }
+            SeqOp::Read { idx } => {
+                if let Some(frame) = stack.last_mut() {
+                    frame.pending += 1;
+                }
+                if let Some(mut parts) = transfers.remove(&idx) {
+                    let to_call = stack.last().map_or(CallNumber::ROOT, |f| f.call);
+                    parts.sort_by_key(|&(part, _)| part);
+                    flush(&mut events, stack);
+                    for (_, segs) in parts {
+                        for (from_call, bytes) in segs {
+                            events.push_transfer(from_call, to_call, bytes);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(ctx_reads: &[(usize, u64)], edges: &[(u32, u32, u64)]) -> ShardFragment {
+        let mut comm = Vec::new();
+        for &(idx, bytes) in ctx_reads {
+            let stats = SigilProfiler::comm_entry(&mut comm, ContextId(idx as u32));
+            stats.input_unique_bytes += bytes;
+        }
+        let mut edge_rows: Vec<CommEdge> = edges
+            .iter()
+            .map(|&(p, c, u)| CommEdge {
+                producer: ContextId(p),
+                consumer: ContextId(c),
+                unique_bytes: u,
+                nonunique_bytes: 0,
+            })
+            .collect();
+        edge_rows.sort_by_key(|e| (e.producer, e.consumer));
+        ShardFragment {
+            comm,
+            edges: edge_rows,
+            reuse: None,
+            memory: MemoryStats::default(),
+        }
+    }
+
+    #[test]
+    fn fragment_merge_is_commutative() {
+        let a = frag(&[(0, 4), (2, 8)], &[(0, 2, 8), (1, 2, 1)]);
+        let b = frag(&[(1, 3)], &[(0, 2, 2)]);
+        let c = frag(&[(2, 5)], &[(3, 1, 9)]);
+        let abc = merge_fragments([a.clone(), b.clone(), c.clone()]);
+        let cba = merge_fragments([c, b, a]);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.comm[2].input_unique_bytes, 13);
+        assert_eq!(abc.edges.len(), 3, "same-pair edges coalesce");
+        assert!(abc
+            .edges
+            .windows(2)
+            .all(|w| (w[0].producer, w[0].consumer) <= (w[1].producer, w[1].consumer)));
+    }
+
+    #[test]
+    fn empty_fragment_is_identity() {
+        let a = frag(&[(0, 4)], &[(0, 1, 4)]);
+        let merged = merge_fragments([ShardFragment::default(), a.clone()]);
+        assert_eq!(merged, merge_fragments([a]));
+    }
+
+    #[test]
+    fn sequencer_reproduces_serial_emission_order() {
+        // call main(1) → 3 ops → read with an 8-byte transfer from root
+        // → 2 ops → return: the flush before the Transfer counts the 3
+        // ops plus the read's own op; the trailing Compute counts the 2
+        // ops after.
+        let seq = vec![
+            SeqOp::Call {
+                call: CallNumber::from_raw(1),
+                ctx: ContextId(1),
+            },
+            SeqOp::Ops { count: 3 },
+            SeqOp::Read { idx: 0 },
+            SeqOp::Ops { count: 2 },
+            SeqOp::Return,
+        ];
+        let mut transfers = TransferMap::new();
+        transfers.insert(0, vec![(0, vec![(CallNumber::ROOT, 8)])]);
+        let events = sequence_events(seq, &mut transfers);
+        use crate::events_out::EventRecord;
+        let records = events.records();
+        assert_eq!(records.len(), 4);
+        assert!(matches!(records[0], EventRecord::Call { .. }));
+        assert!(matches!(records[1], EventRecord::Compute { ops: 4, .. }));
+        assert!(
+            matches!(records[2], EventRecord::Transfer { bytes: 8, to_call, .. }
+                if to_call == CallNumber::from_raw(1))
+        );
+        assert!(matches!(records[3], EventRecord::Compute { ops: 2, .. }));
+    }
+
+    #[test]
+    fn sequencer_orders_straddling_parts_by_byte_order() {
+        // Two parts arriving out of order must splice back in part order
+        // and coalesce into one transfer record when the producer call
+        // matches.
+        let producer = CallNumber::from_raw(7);
+        let seq = vec![
+            SeqOp::Call {
+                call: CallNumber::from_raw(9),
+                ctx: ContextId(2),
+            },
+            SeqOp::Read { idx: 5 },
+            SeqOp::Return,
+        ];
+        let mut transfers = TransferMap::new();
+        transfers.insert(5, vec![(1, vec![(producer, 4)]), (0, vec![(producer, 12)])]);
+        let events = sequence_events(seq, &mut transfers);
+        use crate::events_out::EventRecord;
+        let transfer_bytes: Vec<u64> = events
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                EventRecord::Transfer { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(transfer_bytes, vec![16], "parts coalesce in byte order");
+    }
+}

@@ -78,6 +78,35 @@ where
         .collect()
 }
 
+/// Clamps a sweep's job count so that `jobs × shards` worker threads
+/// never oversubscribe `cores` (each sweep job running a sharded
+/// profiler spins up `shards` replay workers of its own).
+///
+/// Pure core of [`clamp_jobs`]; `jobs` and `shards` are first normalized
+/// to at least 1. The result is `max(1, cores / shards)` capped at the
+/// requested `jobs` — so a request that already fits is returned
+/// unchanged, and even `shards > cores` still gets one job.
+pub fn clamp_jobs_to(jobs: usize, shards: usize, cores: usize) -> usize {
+    let jobs = jobs.max(1);
+    let shards = shards.max(1);
+    let cores = cores.max(1);
+    jobs.min((cores / shards).max(1))
+}
+
+/// [`clamp_jobs_to`] against the machine's available parallelism, warning
+/// through `sigil-obs` when the requested job count had to shrink.
+pub fn clamp_jobs(jobs: usize, shards: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let clamped = clamp_jobs_to(jobs, shards, cores);
+    if clamped < jobs.max(1) {
+        sigil_obs::obs_warn!(
+            "sweep: clamping --jobs {jobs} to {clamped}: {shards} shard worker(s) per job \
+             on {cores} core(s)"
+        );
+    }
+    clamped
+}
+
 /// One workload's result within a sweep: the profile plus how long this
 /// workload took to profile (recorded in the results JSON).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -220,6 +249,39 @@ mod tests {
         });
         assert_eq!(outputs.len(), 37);
         assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn clamp_caps_the_thread_product() {
+        // 8 cores: 4 jobs × 2 shards fits exactly; 8 × 2 halves.
+        assert_eq!(clamp_jobs_to(4, 2, 8), 4);
+        assert_eq!(clamp_jobs_to(8, 2, 8), 4);
+        assert_eq!(clamp_jobs_to(8, 4, 8), 2);
+        // Serial profilers (shards <= 1) keep the full job count.
+        assert_eq!(clamp_jobs_to(8, 1, 8), 8);
+        assert_eq!(clamp_jobs_to(8, 0, 8), 8);
+        // More shards than cores still runs one job at a time.
+        assert_eq!(clamp_jobs_to(4, 16, 8), 1);
+        assert_eq!(clamp_jobs_to(4, 8, 1), 1);
+        // Degenerate inputs normalize instead of panicking.
+        assert_eq!(clamp_jobs_to(0, 0, 0), 1);
+        // Never raises the requested job count.
+        assert_eq!(clamp_jobs_to(2, 1, 64), 2);
+        // The clamped product never exceeds the cores (when cores >= shards).
+        for jobs in 1..=12 {
+            for shards in 1..=12 {
+                for cores in 1..=12 {
+                    let clamped = clamp_jobs_to(jobs, shards, cores);
+                    assert!(clamped >= 1 && clamped <= jobs.max(1));
+                    if shards <= cores {
+                        assert!(
+                            clamped * shards <= cores,
+                            "jobs={jobs} shards={shards} cores={cores} -> {clamped}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,18 @@ const OFFSET_MASK: u64 = (CHUNK_SLOTS as u64) - 1;
 /// Sentinel slab index meaning "no chunk".
 const NIL: usize = usize::MAX;
 
+/// The first-level key of the chunk covering `addr` — the high address
+/// bits above the [`CHUNK_SLOTS`] split.
+///
+/// Exposed so callers that partition the address space at chunk
+/// granularity (the sharded profiler routes each chunk run to
+/// `chunk_key(addr) % shards`) agree with the table's own split without
+/// duplicating the bit layout.
+#[inline]
+pub fn chunk_key(addr: Addr) -> u64 {
+    addr >> CHUNK_BITS
+}
+
 /// Which chunk to evict when the memory limit is exceeded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EvictionPolicy {
@@ -91,6 +103,10 @@ pub struct ShadowTable<T> {
     evicted_chunks: u64,
     runs: u64,
     run_bytes: u64,
+    /// When enabled, every eviction appends its chunk key here in victim
+    /// order so an external table can mirror the residency decisions.
+    log_evictions: bool,
+    eviction_log: Vec<u64>,
 }
 
 impl<T: Default + Clone> ShadowTable<T> {
@@ -112,6 +128,8 @@ impl<T: Default + Clone> ShadowTable<T> {
             evicted_chunks: 0,
             runs: 0,
             run_bytes: 0,
+            log_evictions: false,
+            eviction_log: Vec::new(),
         }
     }
 
@@ -332,6 +350,49 @@ impl<T: Default + Clone> ShadowTable<T> {
             self.mru_slot = NIL;
         }
         self.evicted_chunks += 1;
+        if self.log_evictions {
+            self.eviction_log.push(key);
+        }
+    }
+
+    /// Starts recording evicted chunk keys (in victim order) into the
+    /// eviction log, readable via [`ShadowTable::evictions`].
+    ///
+    /// The sharded profiler runs a residency oracle on its dispatch
+    /// thread and replays the logged victims into the per-shard tables
+    /// through [`ShadowTable::evict_key`], so every shard sees exactly
+    /// the serial eviction sequence for its chunks.
+    pub fn enable_eviction_log(&mut self) {
+        self.log_evictions = true;
+    }
+
+    /// The chunk keys evicted since the last [`ShadowTable::clear_evictions`],
+    /// in eviction order. Empty unless [`ShadowTable::enable_eviction_log`]
+    /// was called.
+    pub fn evictions(&self) -> &[u64] {
+        &self.eviction_log
+    }
+
+    /// Forgets the logged evictions (the log stays enabled).
+    pub fn clear_evictions(&mut self) {
+        self.eviction_log.clear();
+    }
+
+    /// Evicts the chunk with first-level key `key` (see [`chunk_key`]) if
+    /// it is resident, exactly as the limiter would: the shadow state
+    /// reverts to invalid, the slab entry is recycled, and the eviction
+    /// counter advances. Returns whether a chunk was evicted.
+    ///
+    /// This is the mirroring half of the eviction log: an unbounded
+    /// per-shard table driven only by `evict_key` reproduces the
+    /// residency (and therefore per-byte state) of a limited table.
+    pub fn evict_key(&mut self, key: u64) -> bool {
+        if self.index.contains_key(&key) {
+            self.evict(key);
+            true
+        } else {
+            false
+        }
     }
 
     /// Number of resident second-level chunks.
@@ -405,7 +466,8 @@ impl<T: Default + Clone> ShadowTable<T> {
     }
 
     /// Removes all shadow state and resets every counter and cache, as if
-    /// the table had just been constructed with the same limit and policy.
+    /// the table had just been constructed with the same limit and policy
+    /// (the eviction log is emptied but stays enabled if it was).
     pub fn clear(&mut self) {
         self.slab.clear();
         self.free.clear();
@@ -420,6 +482,7 @@ impl<T: Default + Clone> ShadowTable<T> {
         self.evicted_chunks = 0;
         self.runs = 0;
         self.run_bytes = 0;
+        self.eviction_log.clear();
     }
 }
 
@@ -740,6 +803,88 @@ mod tests {
         assert_eq!(table.evicted_chunks(), 1);
         assert_eq!(table.get(start), None, "first chunk was the victim");
         assert_eq!(table.get(CHUNK_SLOTS as u64), Some(&9));
+    }
+
+    #[test]
+    fn eviction_log_records_victims_in_order() {
+        let mut table: ShadowTable<u8> = ShadowTable::with_chunk_limit(2, EvictionPolicy::Fifo);
+        table.enable_eviction_log();
+        let addr = |i: u64| i * CHUNK_SLOTS as u64;
+        for i in 0..5u64 {
+            *table.slot_mut(addr(i)) = 1;
+        }
+        // FIFO with limit 2: inserting chunks 2, 3, 4 evicts 0, 1, 2.
+        assert_eq!(table.evictions(), &[0, 1, 2]);
+        table.clear_evictions();
+        assert!(table.evictions().is_empty());
+        *table.slot_mut(addr(9)) = 1;
+        assert_eq!(table.evictions(), &[3], "log keeps recording after drain");
+        // Without enable_eviction_log nothing is recorded.
+        let mut silent: ShadowTable<u8> = ShadowTable::with_chunk_limit(1, EvictionPolicy::Lru);
+        *silent.slot_mut(addr(0)) = 1;
+        *silent.slot_mut(addr(1)) = 1;
+        assert!(silent.evictions().is_empty());
+        assert_eq!(silent.evicted_chunks(), 1);
+    }
+
+    #[test]
+    fn evict_key_mirrors_the_limiter() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(5) = 9;
+        *table.slot_mut(CHUNK_SLOTS as u64 + 1) = 8;
+        assert!(table.evict_key(chunk_key(5)));
+        assert_eq!(table.get(5), None, "state reverts to invalid");
+        assert_eq!(table.get(CHUNK_SLOTS as u64 + 1), Some(&8));
+        assert_eq!(table.evicted_chunks(), 1);
+        assert_eq!(table.chunk_count(), 1);
+        assert!(!table.evict_key(chunk_key(5)), "already gone");
+        // The recycled slab entry re-initializes to default on re-touch.
+        assert_eq!(*table.slot_mut(5), 0);
+    }
+
+    #[test]
+    fn evict_key_invalidates_the_mru_cache() {
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        *table.slot_mut(7) = 3; // chunk 0 is now the MRU entry
+        assert!(table.evict_key(0));
+        assert_eq!(table.get(7), None, "stale MRU entry must not resurrect");
+    }
+
+    #[test]
+    fn chunk_key_matches_the_table_split() {
+        assert_eq!(chunk_key(0), 0);
+        assert_eq!(chunk_key(CHUNK_SLOTS as u64 - 1), 0);
+        assert_eq!(chunk_key(CHUNK_SLOTS as u64), 1);
+        assert_eq!(chunk_key(u64::MAX), u64::MAX >> CHUNK_BITS);
+    }
+
+    #[test]
+    fn mirrored_table_reproduces_limited_residency() {
+        // An unbounded table fed the same runs plus the logged evictions
+        // holds exactly the limited table's live chunks and values.
+        let mut limited: ShadowTable<u8> = ShadowTable::with_chunk_limit(2, EvictionPolicy::Lru);
+        limited.enable_eviction_log();
+        let mut mirror: ShadowTable<u8> = ShadowTable::new();
+        let pattern: &[(u64, usize)] = &[(0, 8), (4090, 12), (1 << 20, 4), (4, 8), (8192, 2)];
+        for &(addr, len) in pattern {
+            let mut runs = limited.runs_mut(addr, len);
+            while let Some((run_addr, slots)) = runs.next_run() {
+                slots.fill((run_addr & 0xff) as u8);
+            }
+            for i in 0..limited.evictions().len() {
+                let key = limited.evictions()[i];
+                assert!(mirror.evict_key(key), "victim resident in the mirror");
+            }
+            limited.clear_evictions();
+            let mut runs = mirror.runs_mut(addr, len);
+            while let Some((run_addr, slots)) = runs.next_run() {
+                slots.fill((run_addr & 0xff) as u8);
+            }
+        }
+        assert_eq!(limited.chunk_count(), mirror.chunk_count());
+        for (addr, slot) in limited.iter() {
+            assert_eq!(mirror.get(addr), Some(slot), "addr {addr:#x}");
+        }
     }
 
     #[test]

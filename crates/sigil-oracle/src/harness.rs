@@ -94,15 +94,24 @@ pub fn compare(
     )
 }
 
+/// Shard counts the conformance sweep crosses every base configuration
+/// with: the serial replay plus three sharded ones, so the
+/// [`sigil_core::shard`] fan-out/merge path is differentially validated
+/// against the same serial oracle (the oracle itself never shards).
+pub const SHARD_AXIS: [usize; 4] = [1, 2, 4, 8];
+
 /// The per-seed configuration matrix: the full-featured default
 /// (unbounded shadow memory, reuse + line mode on so histograms are
 /// covered) plus a seed-derived *constrained* shadow-table limit and
-/// eviction policy, so chunk-eviction paths are differentially covered.
-/// `limit_override` pins the constrained limit (used by CI's seed ×
-/// limit matrix).
+/// eviction policy, so chunk-eviction paths are differentially covered —
+/// each crossed with [`SHARD_AXIS`] so sharded replay is held to the
+/// same reports as serial. `limit_override` pins the constrained limit
+/// and `shards_override` pins the shard count (used by CI's seed ×
+/// limit × shards matrix).
 pub fn differential_configs(
     seed: u64,
     limit_override: Option<usize>,
+    shards_override: Option<usize>,
 ) -> Vec<(String, SigilConfig)> {
     let base = SigilConfig::default().with_reuse_mode().with_line_mode(64);
     let limit = limit_override.unwrap_or(1 + (seed % 3) as usize);
@@ -111,13 +120,32 @@ pub fn differential_configs(
     } else {
         EvictionPolicy::Lru
     };
-    vec![
+    let bases = [
         ("unbounded".to_owned(), base),
         (
             format!("limit={limit} policy={policy:?}"),
             base.with_shadow_limit(limit).with_eviction(policy),
         ),
-    ]
+    ];
+    let shard_axis: &[usize] = match &shards_override {
+        Some(n) => std::slice::from_ref(n),
+        None => &SHARD_AXIS,
+    };
+    shard_axis
+        .iter()
+        .flat_map(|&shards| {
+            bases.iter().map(move |(label, config)| {
+                if shards <= 1 {
+                    (label.clone(), *config)
+                } else {
+                    (
+                        format!("{label} shards={shards}"),
+                        config.with_shards(shards),
+                    )
+                }
+            })
+        })
+        .collect()
 }
 
 /// The configuration golden conformance profiles are recorded under:
@@ -140,10 +168,14 @@ pub struct ConfigFailure {
 
 /// Generates the seed's program, records it once, and replays it under
 /// the full configuration matrix. Empty result = conformant seed.
-pub fn diff_seed(seed: u64, limit_override: Option<usize>) -> Vec<ConfigFailure> {
+pub fn diff_seed(
+    seed: u64,
+    limit_override: Option<usize>,
+    shards_override: Option<usize>,
+) -> Vec<ConfigFailure> {
     let program = GenProgram::generate(seed);
     let bundle = record_program(&program);
-    differential_configs(seed, limit_override)
+    differential_configs(seed, limit_override, shards_override)
         .into_iter()
         .filter_map(|(label, config)| {
             let divergences = compare(&bundle, config, None);

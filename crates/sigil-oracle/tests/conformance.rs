@@ -12,11 +12,11 @@ use sigil_vm::GenProgram;
 use sigil_workloads::{Benchmark, InputSize};
 
 /// The first 20 seeds conform under the whole config matrix (unbounded
-/// and seed-constrained shadow memory).
+/// and seed-constrained shadow memory, serial and sharded).
 #[test]
 fn seeds_0_to_20_conform() {
     for seed in 0..20 {
-        let failures = diff_seed(seed, None);
+        let failures = diff_seed(seed, None, None);
         assert!(
             failures.is_empty(),
             "seed {seed}: {:?}",
@@ -29,18 +29,22 @@ fn seeds_0_to_20_conform() {
 }
 
 /// Every built-in workload conforms with reuse and line mode enabled —
-/// the same configuration the golden corpus is recorded under.
+/// the same configuration the golden corpus is recorded under — both
+/// serially and through the sharded replay path.
 #[test]
 fn all_benchmarks_conform() {
     for bench in Benchmark::ALL {
         let bundle = record_benchmark(bench, InputSize::SimSmall);
-        let divergences = compare(&bundle, golden_config(), None);
-        assert!(
-            divergences.is_empty(),
-            "{bench} ({} events): {:?}",
-            bundle.events.len(),
-            &divergences[..divergences.len().min(5)]
-        );
+        for shards in [1, 4] {
+            let config = golden_config().with_shards(shards);
+            let divergences = compare(&bundle, config, None);
+            assert!(
+                divergences.is_empty(),
+                "{bench} shards={shards} ({} events): {:?}",
+                bundle.events.len(),
+                &divergences[..divergences.len().min(5)]
+            );
+        }
     }
 }
 

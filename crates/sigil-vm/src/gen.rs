@@ -532,6 +532,49 @@ mod tests {
     }
 
     #[test]
+    fn chunk_straddling_accesses_also_straddle_shards() {
+        // Sharded replay routes each 4 KiB chunk to shard `key % N`, so
+        // an access spanning consecutive chunks k and k+1 always lands
+        // on two *different* shards for every shard count N >= 2 — the
+        // generator's existing chunk-straddling accesses double as
+        // shard-boundary coverage for the whole differential shard axis,
+        // with no changes to its RNG draw order (which would reshuffle
+        // every committed seed). Pin both halves of that argument.
+        let mut cross_shard = 0usize;
+        for seed in 0..20 {
+            for func in &GenProgram::generate(seed).funcs {
+                for inst in &func.body {
+                    let (buf, offset, size) = match *inst {
+                        GenInst::Load {
+                            buf, offset, size, ..
+                        }
+                        | GenInst::Store {
+                            buf, offset, size, ..
+                        } => (buf, offset, size),
+                        _ => continue,
+                    };
+                    let (start, end) = (u64::from(offset), u64::from(offset) + u64::from(size));
+                    let (first, last) = (start / 4096, (end - 1) / 4096);
+                    if buf != 0 || first == last {
+                        continue;
+                    }
+                    // Generated straddles span exactly one boundary...
+                    assert_eq!(last, first + 1, "seed {seed}: straddle wider than 2 chunks");
+                    // ...and consecutive chunk keys always shard apart.
+                    for shards in 2..=8u64 {
+                        assert_ne!(first % shards, last % shards);
+                    }
+                    cross_shard += 1;
+                }
+            }
+        }
+        assert!(
+            cross_shard >= 10,
+            "only {cross_shard} cross-shard accesses across 20 seeds"
+        );
+    }
+
+    #[test]
     fn drop_range_shrinks_and_still_builds() {
         let gen = GenProgram::generate(7);
         let n = gen.inst_count();

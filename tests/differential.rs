@@ -8,6 +8,8 @@
 //! - `SIGIL_DIFF_SEEDS`     — number of seeds (default 40 debug / 200 release)
 //! - `SIGIL_DIFF_SEED_BASE` — first seed (default 0)
 //! - `SIGIL_DIFF_LIMIT`     — pin the constrained shadow-chunk limit
+//! - `SIGIL_DIFF_SHARDS`    — pin the shard count (default: the full
+//!   `SHARD_AXIS`, i.e. serial plus 2/4/8-way sharded replay)
 //!
 //! On any divergence the failing program is delta-debugged down to a
 //! minimal repro before the assert fires, so the panic message alone is
@@ -25,24 +27,25 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn env_limit() -> Option<usize> {
-    std::env::var("SIGIL_DIFF_LIMIT").ok().map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("bad SIGIL_DIFF_LIMIT: {v:?}"))
-    })
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v:?}")))
 }
 
 /// Seeded random programs produce identical reports from the production
 /// profiler and the oracle, under both the unbounded and the
-/// seed-constrained shadow-table configurations.
+/// seed-constrained shadow-table configurations, each replayed serially
+/// and through 2/4/8-way sharding.
 #[test]
 fn random_programs_conform() {
     let default_seeds = if cfg!(debug_assertions) { 40 } else { 200 };
     let seeds = env_u64("SIGIL_DIFF_SEEDS", default_seeds);
     let base = env_u64("SIGIL_DIFF_SEED_BASE", 0);
-    let limit = env_limit();
+    let limit = env_usize("SIGIL_DIFF_LIMIT");
+    let shards = env_usize("SIGIL_DIFF_SHARDS");
     for seed in base..base + seeds {
-        let failures = diff_seed(seed, limit);
+        let failures = diff_seed(seed, limit, shards);
         if let Some(failure) = failures.first() {
             let minimized = shrink(&GenProgram::generate(seed), failure.config, None);
             panic!(
@@ -56,32 +59,39 @@ fn random_programs_conform() {
 
 /// An intentionally injected classification bug is caught by the harness
 /// and shrinks to a small repro — validates that the differential setup
-/// actually has teeth, not just that both sides agree.
+/// actually has teeth, not just that both sides agree. Runs once against
+/// the serial production profiler and once against the 4-way sharded
+/// one, so the shrinker and divergence locator are proven to work on
+/// sharded divergences too.
 #[test]
 fn injected_bugs_are_caught_and_shrink() {
-    let config = golden_config();
-    for bug in [
-        InjectedBug::RepeatIgnoresCall,
-        InjectedBug::WriteKeepsReader,
-    ] {
-        let seed = (0..50)
-            .find(|&s| harness::diverges(&GenProgram::generate(s), config, Some(bug)))
-            .unwrap_or_else(|| panic!("{bug:?} never manifested in 50 seeds"));
-        let minimized = shrink(&GenProgram::generate(seed), config, Some(bug));
-        assert!(
-            harness::diverges(&minimized, config, Some(bug)),
-            "{bug:?}: shrink lost the divergence"
-        );
-        assert!(
-            minimized.inst_count() <= 20,
-            "{bug:?}: minimized repro has {} instructions (> 20)",
-            minimized.inst_count()
-        );
-        let bundle = harness::record_program(&minimized);
-        assert!(
-            harness::first_divergent_access(&bundle, config, Some(bug)).is_some(),
-            "{bug:?}: no first divergent access located"
-        );
+    for config in [golden_config(), golden_config().with_shards(4)] {
+        for bug in [
+            InjectedBug::RepeatIgnoresCall,
+            InjectedBug::WriteKeepsReader,
+        ] {
+            let seed = (0..50)
+                .find(|&s| harness::diverges(&GenProgram::generate(s), config, Some(bug)))
+                .unwrap_or_else(|| panic!("{bug:?} never manifested in 50 seeds"));
+            let minimized = shrink(&GenProgram::generate(seed), config, Some(bug));
+            assert!(
+                harness::diverges(&minimized, config, Some(bug)),
+                "{bug:?} (shards={}): shrink lost the divergence",
+                config.shards
+            );
+            assert!(
+                minimized.inst_count() <= 20,
+                "{bug:?} (shards={}): minimized repro has {} instructions (> 20)",
+                config.shards,
+                minimized.inst_count()
+            );
+            let bundle = harness::record_program(&minimized);
+            assert!(
+                harness::first_divergent_access(&bundle, config, Some(bug)).is_some(),
+                "{bug:?} (shards={}): no first divergent access located",
+                config.shards
+            );
+        }
     }
 }
 
@@ -113,12 +123,16 @@ fn golden_corpus_conforms() {
             drift.len(),
             drift[0]
         );
-        let conformance = diff_reports(&harness::production_report(&bundle, config), &oracle);
-        assert!(
-            conformance.is_empty(),
-            "production diverged from oracle on `{bench}` ({} field(s)), first: {}",
-            conformance.len(),
-            conformance[0]
-        );
+        for shards in [1, 4] {
+            let production = harness::production_report(&bundle, config.with_shards(shards));
+            let conformance = diff_reports(&production, &oracle);
+            assert!(
+                conformance.is_empty(),
+                "production (shards={shards}) diverged from oracle on `{bench}` \
+                 ({} field(s)), first: {}",
+                conformance.len(),
+                conformance[0]
+            );
+        }
     }
 }
