@@ -129,6 +129,17 @@ impl DependencyGraph {
 
     /// Builds the graph, charging each data-transfer edge under `comm`.
     pub fn from_event_file_with(events: &EventFile, comm: &CommModel) -> Self {
+        Self::from_records(events.records().iter().copied(), comm)
+    }
+
+    /// Builds the graph from any record sequence — an in-memory slice, or
+    /// a streaming decode of the binary format (the graph itself is still
+    /// O(records); use [`crate::streaming::CriticalPathFold`] when only
+    /// the summary numbers are needed at bounded memory).
+    pub fn from_records<I>(records: I, comm: &CommModel) -> Self
+    where
+        I: IntoIterator<Item = EventRecord>,
+    {
         // Latest fragment node index per dynamic call.
         let mut latest: HashMap<CallNumber, usize> = HashMap::new();
         // Pending data-readiness per consumer call: (finish, node index).
@@ -136,8 +147,8 @@ impl DependencyGraph {
         let mut nodes: Vec<FragmentNode> = Vec::new();
         let mut serial_ops = 0u64;
 
-        for record in events.records() {
-            match *record {
+        for record in records {
+            match record {
                 EventRecord::Call {
                     parent_call,
                     call,
@@ -158,7 +169,7 @@ impl DependencyGraph {
                     latest.insert(call, idx);
                 }
                 EventRecord::Compute { call, ctx, ops } => {
-                    serial_ops += ops;
+                    serial_ops = serial_ops.saturating_add(ops);
                     let prev = latest.get(&call).copied();
                     let prev_finish = prev.map_or(0, |i| nodes[i].finish);
                     let (data_finish, data_pred) =
@@ -173,7 +184,7 @@ impl DependencyGraph {
                         call,
                         ctx,
                         self_ops: ops,
-                        finish: start + ops,
+                        finish: start.saturating_add(ops),
                         pred,
                         order_pred: prev,
                         data_pred,
@@ -186,7 +197,9 @@ impl DependencyGraph {
                     bytes,
                 } => {
                     if let Some(&producer_idx) = latest.get(&from_call) {
-                        let finish = nodes[producer_idx].finish + comm.latency(bytes);
+                        let finish = nodes[producer_idx]
+                            .finish
+                            .saturating_add(comm.latency(bytes));
                         ready
                             .entry(to_call)
                             .and_modify(|entry| {

@@ -52,6 +52,7 @@ pub mod inclusive;
 pub mod partition;
 pub mod reuse_analysis;
 pub mod schedule;
+pub mod streaming;
 pub mod whatif;
 
 pub use breakeven::{breakeven_speedup, BusModel};
@@ -59,4 +60,11 @@ pub use buffer::{bb_curve, BufferPoint};
 pub use cdfg::Cdfg;
 pub use critical_path::{CommModel, CriticalPath, DependencyGraph};
 pub use inclusive::{inclusive_table, InclusiveCosts};
-pub use partition::{rank_functions, trim_calltree, Candidate, PartitionConfig, TrimmedTree};
+pub use partition::{
+    rank_functions, rank_functions_prepared, trim_calltree, trim_calltree_prepared, Candidate,
+    PartitionConfig, PreparedCdfg, TrimmedTree,
+};
+pub use streaming::{
+    critical_path_from_bin, event_cdfg_from_bin, CriticalPathFold, EventCdfg, EventCdfgFold,
+    PathSummary, StreamError,
+};

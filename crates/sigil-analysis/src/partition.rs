@@ -66,6 +66,27 @@ pub struct TrimmedTree {
     pub coverage: f64,
 }
 
+/// The CDFG and its inclusive-cost table, built once and shared by
+/// [`trim_calltree_prepared`] and [`rank_functions_prepared`] — callers
+/// that run both analyses (e.g. `sigil partition`) avoid rebuilding the
+/// graph and re-walking every edge's ancestor chains.
+#[derive(Debug, Clone)]
+pub struct PreparedCdfg {
+    /// The control data-flow graph.
+    pub cdfg: Cdfg,
+    /// Inclusive costs per context, indexed by raw context id.
+    pub inclusive: Vec<InclusiveCosts>,
+}
+
+impl PreparedCdfg {
+    /// Builds the CDFG and inclusive table from a finished profile.
+    pub fn from_profile(profile: &Profile) -> Self {
+        let cdfg = Cdfg::from_profile(profile);
+        let inclusive = inclusive_table(&cdfg);
+        PreparedCdfg { cdfg, inclusive }
+    }
+}
+
 struct Trimmer<'a> {
     cdfg: &'a Cdfg,
     inclusive: &'a [InclusiveCosts],
@@ -142,9 +163,17 @@ impl Trimmer<'_> {
 /// assert!(trimmed.leaves[0].breakeven < 1.01, "pure compute ≈ breakeven 1");
 /// ```
 pub fn trim_calltree(profile: &Profile, config: &PartitionConfig) -> TrimmedTree {
+    trim_calltree_prepared(&PreparedCdfg::from_profile(profile), profile, config)
+}
+
+/// Like [`trim_calltree`], reusing an already-built [`PreparedCdfg`].
+pub fn trim_calltree_prepared(
+    prepared: &PreparedCdfg,
+    profile: &Profile,
+    config: &PartitionConfig,
+) -> TrimmedTree {
     let _span = sigil_obs::span("analysis:trim_calltree");
-    let cdfg = Cdfg::from_profile(profile);
-    let inclusive = inclusive_table(&cdfg);
+    let PreparedCdfg { cdfg, inclusive } = prepared;
     let model = profile.callgrind.cycle_model;
     let cycles: Vec<u64> = inclusive.iter().map(|i| model.estimate(&i.costs)).collect();
     let breakevens: Vec<f64> = inclusive
@@ -154,8 +183,8 @@ pub fn trim_calltree(profile: &Profile, config: &PartitionConfig) -> TrimmedTree
         .collect();
 
     let trimmer = Trimmer {
-        cdfg: &cdfg,
-        inclusive: &inclusive,
+        cdfg,
+        inclusive,
         breakevens,
         cycles,
         config,
@@ -201,10 +230,18 @@ pub fn trim_calltree(profile: &Profile, config: &PartitionConfig) -> TrimmedTree
 /// speedup, ascending. The head of the list is the paper's Table II, the
 /// tail its Table III.
 pub fn rank_functions(profile: &Profile, config: &PartitionConfig) -> Vec<Candidate> {
+    rank_functions_prepared(&PreparedCdfg::from_profile(profile), profile, config)
+}
+
+/// Like [`rank_functions`], reusing an already-built [`PreparedCdfg`].
+pub fn rank_functions_prepared(
+    prepared: &PreparedCdfg,
+    profile: &Profile,
+    config: &PartitionConfig,
+) -> Vec<Candidate> {
     use std::collections::HashMap;
     let _span = sigil_obs::span("analysis:rank_functions");
-    let cdfg = Cdfg::from_profile(profile);
-    let inclusive = inclusive_table(&cdfg);
+    let PreparedCdfg { cdfg, inclusive } = prepared;
     let model = profile.callgrind.cycle_model;
     let total_cycles = profile.callgrind.total_cycles().max(1);
 

@@ -1,0 +1,124 @@
+//! Binary event-format throughput: encode, decode, and the streaming
+//! critical-path fold, against text parse/serialize on the same records.
+//!
+//! One iteration processes the whole event file of the `vips` workload
+//! (about 20k records) plus a 128k-record synthetic file shaped like a
+//! pipelined workload loop, so ns/iter divided by the record count gives
+//! events/sec for `BENCH_events_bin.json`.
+//!
+//! The acceptance bar from the format PR: the binary file at the default
+//! chunk size is at least 3x smaller than the text form, and the
+//! streaming fold prices no slower than decode-then-fold (it does
+//! strictly less work: no record materialization into an `EventFile`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_analysis::streaming::CriticalPathFold;
+use sigil_analysis::CommModel;
+use sigil_core::events_bin::{decode_events, encode_events, BinReader, ChunkStream};
+use sigil_core::{EventFile, SigilConfig};
+use sigil_workloads::{Benchmark, InputSize};
+
+/// The `vips` event file: the suite's image pipeline, recorded exactly
+/// as `sigil events dump vips` would.
+fn vips_events() -> EventFile {
+    sigil_bench::profile(
+        Benchmark::Vips,
+        InputSize::SimSmall,
+        SigilConfig::default().with_events(),
+    )
+    .events
+    .expect("events recording enabled")
+}
+
+/// A 128k-record synthetic file: a producer/worker/consumer loop with
+/// deterministic (xorshift) op and byte counts, the shape the format's
+/// delta encoding is tuned for.
+fn synthetic_events(records: usize) -> EventFile {
+    let mut file = EventFile::new();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut call = 0u64;
+    while file.len() < records {
+        let parent = call;
+        for lane in 0..3u64 {
+            call += 1;
+            file.push_call(
+                sigil_trace::CallNumber::from_raw(parent),
+                sigil_trace::CallNumber::from_raw(call),
+                sigil_callgrind::ContextId(2 + lane as u32),
+            );
+            file.push_compute(
+                sigil_trace::CallNumber::from_raw(call),
+                sigil_callgrind::ContextId(2 + lane as u32),
+                1 + rand() % 4096,
+            );
+            if call > 1 {
+                file.push_transfer(
+                    sigil_trace::CallNumber::from_raw(call - 1),
+                    sigil_trace::CallNumber::from_raw(call),
+                    1 + rand() % 512,
+                );
+            }
+        }
+    }
+    file
+}
+
+fn events_bin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_bin");
+    group.sample_size(20);
+    let inputs: [(&str, EventFile); 2] = [
+        ("vips", vips_events()),
+        ("synthetic_128k", synthetic_events(128 * 1024)),
+    ];
+    for (name, events) in &inputs {
+        let text = events.to_text();
+        let bytes = encode_events(events);
+        group.bench_with_input(BenchmarkId::new("encode", name), events, |b, events| {
+            b.iter(|| black_box(encode_events(events)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
+            b.iter(|| black_box(decode_events(bytes).expect("valid file")));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stream_critpath", name),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let mut stream = ChunkStream::new(&bytes[..]).expect("valid header");
+                    let mut fold = CriticalPathFold::with_comm(CommModel::free());
+                    while let Some(records) = stream.next_chunk().expect("valid chunk") {
+                        fold.extend(records);
+                    }
+                    black_box(fold.finish().expect("non-empty file"))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stat_trailer", name),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| black_box(BinReader::parse(bytes).expect("valid file").totals()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("text_parse", name), &text, |b, text| {
+            b.iter(|| black_box(EventFile::from_text(text).expect("valid text")));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("text_serialize", name),
+            events,
+            |b, events| {
+                b.iter(|| black_box(events.to_text()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, events_bin);
+criterion_main!(benches);

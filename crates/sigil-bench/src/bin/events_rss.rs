@@ -1,0 +1,167 @@
+//! Peak-RSS comparison: streaming vs. in-memory critical path over a
+//! large binary event file.
+//!
+//! The in-memory path decodes the whole file into an `EventFile` and
+//! builds the full `DependencyGraph` (one node per record); the
+//! streaming path folds `ChunkStream` chunks through `CriticalPathFold`,
+//! holding one chunk plus per-call state. Peak RSS is a process-wide
+//! high-water mark (`VmHWM` in `/proc/self/status`), so each arm runs in
+//! its own child process: the orchestrator writes the file, re-executes
+//! itself with `--measure <arm> <file>`, and reports both marks.
+//!
+//! ```text
+//! cargo run --release -p sigil-bench --bin events_rss [records]
+//! ```
+//!
+//! The two arms must agree on the summary (the orchestrator checks), so
+//! the RSS gap prices identical work. Results land in
+//! `BENCH_events_bin.json`.
+
+use std::io::Write as _;
+use std::process::Command;
+
+use sigil_analysis::critical_path::{CommModel, DependencyGraph};
+use sigil_analysis::streaming::critical_path_from_bin;
+use sigil_core::events_bin::{decode_events, BinWriter};
+use sigil_core::EventFile;
+use sigil_trace::CallNumber;
+
+/// Deterministic producer/worker/consumer loop, the same shape as the
+/// `events_bin` criterion bench.
+fn synthetic_events(records: usize) -> EventFile {
+    let mut file = EventFile::new();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut call = 0u64;
+    while file.len() < records {
+        let parent = call;
+        for lane in 0..3u64 {
+            call += 1;
+            file.push_call(
+                CallNumber::from_raw(parent),
+                CallNumber::from_raw(call),
+                sigil_callgrind::ContextId(2 + lane as u32),
+            );
+            file.push_compute(
+                CallNumber::from_raw(call),
+                sigil_callgrind::ContextId(2 + lane as u32),
+                1 + rand() % 4096,
+            );
+            if call > 1 {
+                file.push_transfer(
+                    CallNumber::from_raw(call - 1),
+                    CallNumber::from_raw(call),
+                    1 + rand() % 512,
+                );
+            }
+        }
+    }
+    file
+}
+
+/// `VmHWM` (peak resident set) of this process, in KiB.
+fn peak_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Child-process arm: compute the critical path one way, print
+/// `serial_ops length_ops peak_rss_kib` on one line.
+fn measure(arm: &str, path: &str) {
+    let (serial_ops, length_ops) = match arm {
+        "inmem" => {
+            let bytes = std::fs::read(path).expect("read event file");
+            let events = decode_events(&bytes).expect("valid binary event file");
+            drop(bytes);
+            let graph = DependencyGraph::from_event_file_with(&events, &CommModel::free());
+            let cp = graph.critical_path().expect("non-empty file");
+            (cp.serial_ops, cp.length_ops)
+        }
+        "stream" => {
+            let file = std::fs::File::open(path).expect("open event file");
+            let summary = critical_path_from_bin(std::io::BufReader::new(file), &CommModel::free())
+                .expect("valid binary event file");
+            (summary.serial_ops, summary.length_ops)
+        }
+        other => panic!("unknown measure arm `{other}`"),
+    };
+    println!("{serial_ops} {length_ops} {}", peak_rss_kib());
+}
+
+/// Runs one arm in a child process, returning (serial, length, peak KiB).
+fn run_arm(arm: &str, path: &str) -> (u64, u64, u64) {
+    let exe = std::env::current_exe().expect("own path");
+    let out = Command::new(exe)
+        .args(["--measure", arm, path])
+        .output()
+        .expect("spawn measurement child");
+    assert!(
+        out.status.success(),
+        "{arm} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut it = text.split_whitespace().map(|f| f.parse().expect("number"));
+    (
+        it.next().expect("serial"),
+        it.next().expect("length"),
+        it.next().expect("rss"),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--measure") {
+        measure(&args[1], &args[2]);
+        return;
+    }
+    let records: usize = args
+        .first()
+        .map(|a| a.parse().expect("record count"))
+        .unwrap_or(2_000_000);
+
+    let events = synthetic_events(records);
+    let dir = std::env::temp_dir().join("sigil-events-rss");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("synthetic-{records}.evb"));
+    let file = std::fs::File::create(&path).expect("create event file");
+    let mut writer = BinWriter::new(std::io::BufWriter::new(file)).expect("write header");
+    writer.push_file(&events).expect("write records");
+    let (totals, inner) = writer.finish().expect("write trailer");
+    inner.into_inner().expect("flush").flush().expect("flush");
+    let bin_len = std::fs::metadata(&path).expect("stat").len();
+    drop(events);
+
+    let path = path.to_string_lossy().into_owned();
+    let (s_serial, s_length, s_rss) = run_arm("stream", &path);
+    let (m_serial, m_length, m_rss) = run_arm("inmem", &path);
+    assert_eq!(
+        (s_serial, s_length),
+        (m_serial, m_length),
+        "streaming and in-memory critical paths disagree"
+    );
+
+    println!("# events_rss: streaming vs in-memory critical path");
+    println!(
+        "file           : {path} ({bin_len} bytes, {} records, {} chunks)",
+        totals.records, totals.chunks
+    );
+    println!("critical path  : serial {s_serial} ops, length {s_length} ops");
+    println!("peak RSS inmem : {m_rss} KiB");
+    println!("peak RSS stream: {s_rss} KiB");
+    println!(
+        "ratio          : {:.2}x smaller peak",
+        m_rss as f64 / s_rss.max(1) as f64
+    );
+    let _ = std::fs::remove_file(&path);
+}

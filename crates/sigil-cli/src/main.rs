@@ -5,6 +5,11 @@
 //! sigil partition <benchmark> [--size S]        # accelerator candidates (Tables II/III)
 //! sigil reuse <benchmark> [--size S]            # reuse breakdown + top functions
 //! sigil critpath <benchmark> [--size S]         # critical path & parallelism limit
+//! sigil critpath --from-events <file>           # streaming summary off an event file
+//! sigil events dump <benchmark> -o <file>       # record the event file (.evb = binary)
+//! sigil events pack <in.txt> -o <out.evb>       # text -> chunk-indexed binary
+//! sigil events unpack <in.evb> [-o <out.txt>]   # binary -> text, one chunk at a time
+//! sigil events stat <in.evb> [--verify]         # trailer-index stats (no record decode)
 //! sigil schedule <benchmark> [--cores N]        # map dependency chains onto cores
 //! sigil calltree <benchmark> [--size S]         # callgrind-style context tree
 //! sigil dot <benchmark> [--size S]              # control data-flow graph (Graphviz)
@@ -28,13 +33,17 @@
 
 use std::process::ExitCode;
 
-use sigil_analysis::critical_path::CriticalPath;
+use sigil_analysis::critical_path::{CommModel, CriticalPath};
 use sigil_analysis::dot::to_dot;
-use sigil_analysis::partition::{rank_functions, trim_calltree, PartitionConfig};
+use sigil_analysis::partition::{
+    rank_functions_prepared, trim_calltree_prepared, PartitionConfig, PreparedCdfg,
+};
 use sigil_analysis::reuse_analysis;
 use sigil_analysis::schedule::schedule;
+use sigil_analysis::streaming::{critical_path_from_bin, CriticalPathFold, PathSummary};
 use sigil_analysis::Cdfg;
-use sigil_core::{report, Profile, SigilConfig, SigilProfiler};
+use sigil_core::events_bin::{BinReader, BinTotals, BinWriter, ChunkStream, DEFAULT_CHUNK_RECORDS};
+use sigil_core::{report, EventFile, Profile, SigilConfig, SigilProfiler};
 use sigil_obs::log::Level;
 use sigil_obs::{obs_debug, obs_info};
 use sigil_trace::observer::RecordingObserver;
@@ -42,10 +51,12 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|diff|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|diff|events|list> [target] [options]\n\
+     events:  sigil events <dump|pack|unpack|stat> <target> [-o <file>] [--chunk-records <n>] [--verify]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
               --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json\n\
               --seeds <n> --seed-base <n> --golden-dir <dir> --bless\n\
+              --from-events <file> --chunk-records <n> --verify\n\
               --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
               -h | --help    print this help\n\
               -V | --version print the version"
@@ -82,6 +93,12 @@ struct Options {
     golden_dir: String,
     /// Regenerate the golden corpus instead of checking it.
     bless: bool,
+    /// Run analyses off an event file instead of profiling a benchmark.
+    from_events: Option<String>,
+    /// Records per chunk when writing binary event files.
+    chunk_records: Option<usize>,
+    /// Fully scan binary event files and cross-check the trailer index.
+    verify: bool,
 }
 
 impl Options {
@@ -114,6 +131,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed_base: 0,
         golden_dir: "tests/golden".to_owned(),
         bless: false,
+        from_events: None,
+        chunk_records: None,
+        verify: false,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -194,6 +214,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.golden_dir = value.clone();
             }
             "--bless" => opts.bless = true,
+            "--from-events" => {
+                let value = it.next().ok_or("--from-events needs a file name")?;
+                opts.from_events = Some(value.clone());
+            }
+            "--chunk-records" => {
+                let value = it.next().ok_or("--chunk-records needs a value")?;
+                let n: usize = value.parse().map_err(|_| "bad --chunk-records value")?;
+                if n == 0 {
+                    return Err("--chunk-records must be at least 1".to_owned());
+                }
+                opts.chunk_records = Some(n);
+            }
+            "--verify" => opts.verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -267,7 +300,9 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
 fn cmd_partition(opts: &Options) -> Result<(), String> {
     let profile = collect(opts)?;
     let config = PartitionConfig::default();
-    let trimmed = trim_calltree(&profile, &config);
+    // Trim and rank share one CDFG + inclusive-table build.
+    let prepared = PreparedCdfg::from_profile(&profile);
+    let trimmed = trim_calltree_prepared(&prepared, &profile, &config);
     println!(
         "# {} ({}): trimmed calltree, coverage {:.1}%",
         opts.target,
@@ -290,7 +325,7 @@ fn cmd_partition(opts: &Options) -> Result<(), String> {
         );
     }
     println!("\n# all functions ranked by breakeven (best and worst 5)");
-    let ranked = rank_functions(&profile, &config);
+    let ranked = rank_functions_prepared(&prepared, &profile, &config);
     for row in ranked.iter().take(5) {
         println!("  best  {:<32} {:.3}", row.name, row.breakeven);
     }
@@ -346,7 +381,34 @@ fn events_profile(opts: &Options) -> Result<Profile, String> {
     })
 }
 
+/// Streaming critical-path summary straight off an event file: binary
+/// files fold one chunk at a time (memory bounded by one chunk plus the
+/// per-call state); text files are parsed and folded in memory.
+fn critpath_from_events(path: &str) -> Result<PathSummary, String> {
+    if path.ends_with(".evb") {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        critical_path_from_bin(std::io::BufReader::new(file), &CommModel::free())
+            .map_err(|e| e.to_string())
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let events =
+            EventFile::from_text(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+        let mut fold = CriticalPathFold::new();
+        fold.extend(events.records());
+        fold.finish().map_err(|e| e.to_string())
+    }
+}
+
 fn cmd_critpath(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.from_events {
+        let summary = critpath_from_events(path)?;
+        println!("# {path}: critical path (streaming)");
+        println!("serial length  : {} ops", summary.serial_ops);
+        println!("critical path  : {} ops", summary.length_ops);
+        println!("max parallelism: {:.2}x", summary.max_parallelism());
+        return Ok(());
+    }
     let profile = events_profile(opts)?;
     let cp = CriticalPath::from_profile(&profile).map_err(|e| e.to_string())?;
     println!("# {} ({}): critical path", opts.target, opts.size);
@@ -485,6 +547,135 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     let profile = profiler.into_profile(symbols);
     println!("# replayed {} events from {}", events.len(), opts.target);
     print!("{}", report::full_report(&profile));
+    Ok(())
+}
+
+/// Streams `events` into a chunk-indexed binary file at `path`.
+fn write_events_binary(
+    events: &EventFile,
+    path: &str,
+    chunk_records: usize,
+) -> Result<BinTotals, String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let mut writer = BinWriter::with_chunk_records(std::io::BufWriter::new(file), chunk_records)
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    writer
+        .push_file(events)
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    let (totals, _) = writer
+        .finish()
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    Ok(totals)
+}
+
+/// `sigil events dump <benchmark> -o <file>`: record the event file and
+/// write it out — chunk-indexed binary for `.evb` targets, text otherwise
+/// (stdout when no `-o`).
+fn cmd_events_dump(opts: &Options) -> Result<(), String> {
+    let profile = events_profile(opts)?;
+    let events = profile
+        .events
+        .as_ref()
+        .expect("events_profile enables recording");
+    match opts.output.as_deref() {
+        Some(path) if path.ends_with(".evb") => {
+            let chunk = opts.chunk_records.unwrap_or(DEFAULT_CHUNK_RECORDS);
+            let totals = write_events_binary(events, path, chunk)?;
+            println!(
+                "wrote {} records ({} chunks) to {path}",
+                totals.records, totals.chunks
+            );
+        }
+        Some(path) => {
+            std::fs::write(path, events.to_text())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {} records to {path}", events.len());
+        }
+        None => print!("{}", events.to_text()),
+    }
+    Ok(())
+}
+
+/// `sigil events pack <in.txt> -o <out.evb>`: text → binary.
+fn cmd_events_pack(opts: &Options) -> Result<(), String> {
+    let out = opts.output.as_deref().ok_or("pack needs -o <file.evb>")?;
+    let text = std::fs::read_to_string(&opts.target)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.target))?;
+    let events = EventFile::from_text(&text)
+        .map_err(|(line, msg)| format!("{}:{line}: {msg}", opts.target))?;
+    let chunk = opts.chunk_records.unwrap_or(DEFAULT_CHUNK_RECORDS);
+    let totals = write_events_binary(&events, out, chunk)?;
+    let bin_len = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    let ratio = text.len() as f64 / bin_len.max(1) as f64;
+    println!(
+        "packed {} records ({} chunks): {} -> {bin_len} bytes ({ratio:.2}x smaller)",
+        totals.records,
+        totals.chunks,
+        text.len()
+    );
+    Ok(())
+}
+
+/// `sigil events unpack <in.evb> [-o <out.txt>]`: binary → text, decoding
+/// one chunk at a time so memory stays bounded by one chunk.
+fn cmd_events_unpack(opts: &Options) -> Result<(), String> {
+    use std::io::Write as _;
+    let file = std::fs::File::open(&opts.target)
+        .map_err(|e| format!("cannot open `{}`: {e}", opts.target))?;
+    let mut stream = ChunkStream::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", opts.target))?;
+    let mut sink: Box<dyn std::io::Write> = match opts.output.as_deref() {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    while let Some(records) = stream
+        .next_chunk()
+        .map_err(|e| format!("{}: {e}", opts.target))?
+    {
+        let text = EventFile::from_records(records.to_vec()).to_text();
+        sink.write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write output: {e}"))?;
+    }
+    sink.flush()
+        .map_err(|e| format!("cannot write output: {e}"))?;
+    if let Some(path) = opts.output.as_deref() {
+        let totals = stream.totals();
+        println!(
+            "unpacked {} records ({} chunks) to {path}",
+            totals.records, totals.chunks
+        );
+    }
+    Ok(())
+}
+
+/// `sigil events stat <in.evb> [--verify]`: answer from the trailer index
+/// alone; `--verify` additionally decodes every chunk and cross-checks.
+fn cmd_events_stat(opts: &Options) -> Result<(), String> {
+    let data =
+        std::fs::read(&opts.target).map_err(|e| format!("cannot read `{}`: {e}", opts.target))?;
+    let reader = BinReader::parse(&data).map_err(|e| format!("{}: {e}", opts.target))?;
+    let totals = reader.totals();
+    println!("# {} ({} bytes)", opts.target, data.len());
+    println!("chunk target   : {} records", reader.chunk_target());
+    println!("chunks         : {}", totals.chunks);
+    println!("records        : {}", totals.records);
+    println!("call records   : {}", totals.call_records);
+    println!("compute ops    : {}", totals.compute_ops);
+    println!("transfer bytes : {}", totals.transfer_bytes);
+    if totals.records > 0 {
+        println!(
+            "bytes/record   : {:.2}",
+            data.len() as f64 / totals.records as f64
+        );
+    }
+    if opts.verify {
+        reader
+            .verify()
+            .map_err(|e| format!("{}: {e}", opts.target))?;
+        println!("verified       : full scan matches the trailer index");
+    }
     Ok(())
 }
 
@@ -658,6 +849,26 @@ fn main() -> ExitCode {
     if command == "diff" && args.get(1).is_none_or(|a| a.starts_with('-')) {
         args.insert(1, "random".to_owned());
     }
+    // `sigil critpath --from-events <file>` needs no benchmark target.
+    if command == "critpath" && args.get(1).is_some_and(|a| a.starts_with('-')) {
+        args.insert(1, "random".to_owned());
+    }
+    // `sigil events <dump|pack|unpack|stat> <target> ...` folds its
+    // subcommand into the command name so `<target>` parses as usual.
+    let command = if command == "events" {
+        let Some(sub) = args.get(1).cloned() else {
+            eprintln!("error: `events` needs a subcommand: dump, pack, unpack or stat");
+            return ExitCode::FAILURE;
+        };
+        if !matches!(sub.as_str(), "dump" | "pack" | "unpack" | "stat") {
+            eprintln!("error: unknown events subcommand `{sub}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        args.remove(1);
+        format!("events-{sub}")
+    } else {
+        command
+    };
     let result = parse_options(&args[1..]).and_then(|opts| {
         sigil_obs::log::set_level(opts.log_level);
         if opts.trace_out.is_some() || opts.metrics_out.is_some() {
@@ -676,6 +887,10 @@ fn main() -> ExitCode {
             "replay" => cmd_replay(&opts),
             "sweep" => cmd_sweep(&opts),
             "diff" => cmd_diff(&opts),
+            "events-dump" => cmd_events_dump(&opts),
+            "events-pack" => cmd_events_pack(&opts),
+            "events-unpack" => cmd_events_unpack(&opts),
+            "events-stat" => cmd_events_stat(&opts),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         }
         .and_then(|()| write_observability(&opts))
@@ -706,6 +921,31 @@ mod tests {
         assert_eq!(opts.cores, 4);
         assert_eq!(opts.jobs, 1);
         assert!(opts.bench().is_ok());
+    }
+
+    #[test]
+    fn parse_events_flags() {
+        let opts = parse_options(&args(&[
+            "events.txt",
+            "--chunk-records",
+            "128",
+            "-o",
+            "events.evb",
+            "--verify",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.target, "events.txt");
+        assert_eq!(opts.chunk_records, Some(128));
+        assert_eq!(opts.output.as_deref(), Some("events.evb"));
+        assert!(opts.verify);
+        assert!(parse_options(&args(&["events.txt", "--chunk-records", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_from_events_flag() {
+        let opts = parse_options(&args(&["random", "--from-events", "ev.evb"])).expect("parses");
+        assert_eq!(opts.from_events.as_deref(), Some("ev.evb"));
+        assert!(parse_options(&args(&["random", "--from-events"])).is_err());
     }
 
     #[test]

@@ -80,6 +80,11 @@ impl EventFile {
 
     /// Appends a transfer, coalescing with an immediately preceding
     /// transfer between the same pair of calls.
+    ///
+    /// Coalescing uses checked accumulation: if the merged byte count
+    /// would overflow `u64`, the transfer is kept as a separate record
+    /// instead (lossless — the total is preserved across two records),
+    /// rather than wrapping in release builds and panicking in debug.
     pub fn push_transfer(&mut self, from_call: CallNumber, to_call: CallNumber, bytes: u64) {
         if bytes == 0 {
             return;
@@ -91,8 +96,10 @@ impl EventFile {
         }) = self.records.last_mut()
         {
             if *f == from_call && *t == to_call {
-                *b += bytes;
-                return;
+                if let Some(sum) = b.checked_add(bytes) {
+                    *b = sum;
+                    return;
+                }
             }
         }
         self.records.push(EventRecord::Transfer {
@@ -100,6 +107,13 @@ impl EventFile {
             to_call,
             bytes,
         });
+    }
+
+    /// Wraps an already-ordered record list without re-coalescing —
+    /// decoders that must reproduce a file byte-for-byte (e.g. the
+    /// binary reader in [`crate::events_bin`]) use this.
+    pub fn from_records(records: Vec<EventRecord>) -> Self {
+        EventFile { records }
     }
 
     /// The records, in program order.
@@ -188,6 +202,10 @@ impl EventFile {
 
     /// Parses the format produced by [`EventFile::to_text`].
     ///
+    /// Each record line must carry exactly its documented fields —
+    /// trailing tokens (`COMP call=1 ctx=0 ops=5 junk=9`) are rejected,
+    /// not silently dropped.
+    ///
     /// # Errors
     ///
     /// Returns `(line_number, message)` for the first malformed line.
@@ -203,6 +221,16 @@ impl EventFile {
                 .map_err(|_| (line, format!("bad number in `{token}`")))
         }
 
+        fn end(
+            mut parts: std::str::SplitWhitespace<'_>,
+            line: usize,
+        ) -> Result<(), (usize, String)> {
+            match parts.next() {
+                None => Ok(()),
+                Some(extra) => Err((line, format!("unexpected trailing field `{extra}`"))),
+            }
+        }
+
         let mut file = EventFile::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -216,6 +244,7 @@ impl EventFile {
                     let parent = field(parts.next(), "parent", line)?;
                     let call = field(parts.next(), "call", line)?;
                     let ctx = field(parts.next(), "ctx", line)?;
+                    end(parts, line)?;
                     file.records.push(EventRecord::Call {
                         parent_call: CallNumber::from_raw(parent),
                         call: CallNumber::from_raw(call),
@@ -229,6 +258,7 @@ impl EventFile {
                     let call = field(parts.next(), "call", line)?;
                     let ctx = field(parts.next(), "ctx", line)?;
                     let ops = field(parts.next(), "ops", line)?;
+                    end(parts, line)?;
                     file.records.push(EventRecord::Compute {
                         call: CallNumber::from_raw(call),
                         ctx: ContextId(
@@ -242,6 +272,7 @@ impl EventFile {
                     let from = field(parts.next(), "from", line)?;
                     let to = field(parts.next(), "to", line)?;
                     let bytes = field(parts.next(), "bytes", line)?;
+                    end(parts, line)?;
                     file.records.push(EventRecord::Transfer {
                         from_call: CallNumber::from_raw(from),
                         to_call: CallNumber::from_raw(to),
@@ -323,6 +354,48 @@ mod tests {
 
         let err = EventFile::from_text("XFER from=1 to=2 bytes=lots\n").unwrap_err();
         assert!(err.1.contains("bad number"));
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        for case in [
+            "CALL parent=0 call=1 ctx=1 junk=9",
+            "COMP call=1 ctx=0 ops=5 junk=9",
+            "XFER from=1 to=2 bytes=4 5",
+        ] {
+            let (line, msg) = EventFile::from_text(case).expect_err(case);
+            assert_eq!(line, 1, "{case}");
+            assert!(msg.contains("trailing"), "{case}: {msg}");
+        }
+    }
+
+    #[test]
+    fn transfer_coalescing_never_overflows() {
+        let mut f = EventFile::new();
+        f.push_transfer(call(1), call(2), u64::MAX - 3);
+        f.push_transfer(call(1), call(2), 3); // exact fit: coalesces
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.total_transfer_bytes(), u64::MAX);
+        f.push_transfer(call(1), call(2), 1); // would overflow: new record
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.records(),
+            &[
+                EventRecord::Transfer {
+                    from_call: call(1),
+                    to_call: call(2),
+                    bytes: u64::MAX,
+                },
+                EventRecord::Transfer {
+                    from_call: call(1),
+                    to_call: call(2),
+                    bytes: 1,
+                },
+            ]
+        );
+        // The follow-up record keeps coalescing normally.
+        f.push_transfer(call(1), call(2), 7);
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

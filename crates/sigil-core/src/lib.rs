@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod events_bin;
 pub mod events_out;
 pub mod profile;
 pub mod profiler;
@@ -66,6 +67,9 @@ pub mod stats;
 pub mod sweep;
 
 pub use config::SigilConfig;
+pub use events_bin::{
+    decode_events, encode_events, BinError, BinReader, BinTotals, BinWriter, ChunkInfo, ChunkStream,
+};
 pub use events_out::{EventFile, EventRecord};
 pub use profile::{ContextComm, FunctionComm, Profile};
 pub use profiler::{LineReport, SigilProfiler};
