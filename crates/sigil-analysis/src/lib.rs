@@ -65,6 +65,6 @@ pub use partition::{
     PartitionConfig, PreparedCdfg, TrimmedTree,
 };
 pub use streaming::{
-    critical_path_from_bin, event_cdfg_from_bin, CriticalPathFold, EventCdfg, EventCdfgFold,
-    PathSummary, StreamError,
+    critical_path_from_bin, event_cdfg_from_bin, phase_profile_from_bin, CriticalPathFold,
+    EventCdfg, EventCdfgFold, PathSummary, PhaseFold, StreamError,
 };

@@ -28,7 +28,7 @@ use std::io::Read;
 use serde::{Deserialize, Serialize};
 use sigil_callgrind::ContextId;
 use sigil_core::events_bin::{BinError, ChunkStream};
-use sigil_core::EventRecord;
+use sigil_core::{EventRecord, PhaseBuilder, PhaseProfile};
 use sigil_trace::CallNumber;
 
 use crate::breakeven::{breakeven_speedup, BusModel};
@@ -637,6 +637,115 @@ pub fn event_cdfg_from_bin<R: Read>(source: R) -> Result<EventCdfg, StreamError>
     Ok(fold.finish())
 }
 
+/// Streaming phase-profile fold: rebuilds the profiler's
+/// [`PhaseProfile`] from the event stream alone.
+///
+/// The phase clock is recovered by replaying the profiler's tick rules
+/// over the records in program order:
+///
+/// * a `Call` record is tallied at the *pre-tick* clock, then advances
+///   the clock by one (the call itself retires one op);
+/// * a `Compute` fragment advances the clock by its `ops`;
+/// * a `Transfer` is tallied at the current clock (its consuming read
+///   already retired inside the preceding compute fragment).
+///
+/// Because the profiler only ticks for work the event sequencer also
+/// sees, the recovered clock — and therefore every bucket index — is
+/// identical to the in-memory profiler's, making the fold's output
+/// byte-identical to `Profile::phases` for the same bucket width. State
+/// is O(distinct dynamic calls) for attribution plus O(occupied cells):
+/// bounded, stream-friendly memory.
+///
+/// Transfers naming a call no `Call` record declared (malformed or
+/// truncated streams) are attributed to [`ContextId::ROOT`].
+#[derive(Debug, Clone)]
+pub struct PhaseFold {
+    builder: PhaseBuilder,
+    /// Context each dynamic call executes in.
+    ctx_of: HashMap<CallNumber, ContextId>,
+    /// Recovered phase clock (retired ops since trace start).
+    clock: u64,
+}
+
+impl PhaseFold {
+    /// An empty fold bucketing at `bucket_ops` retired ops per phase
+    /// (`0` is clamped to `1`).
+    pub fn new(bucket_ops: u64) -> Self {
+        PhaseFold {
+            builder: PhaseBuilder::new(bucket_ops),
+            ctx_of: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn ctx_or_root(&self, call: CallNumber) -> ContextId {
+        if call == CallNumber::ROOT {
+            ContextId::ROOT
+        } else {
+            self.ctx_of.get(&call).copied().unwrap_or(ContextId::ROOT)
+        }
+    }
+
+    /// Folds one record.
+    pub fn push(&mut self, record: &EventRecord) {
+        match *record {
+            EventRecord::Call {
+                parent_call,
+                call,
+                ctx,
+            } => {
+                let from = self.ctx_or_root(parent_call);
+                self.ctx_of.insert(call, ctx);
+                self.builder.record_call(from, ctx, self.clock);
+                self.clock += 1;
+            }
+            EventRecord::Compute { ops, .. } => self.clock += ops,
+            EventRecord::Transfer {
+                from_call,
+                to_call,
+                bytes,
+            } => {
+                let from = self.ctx_or_root(from_call);
+                let to = self.ctx_or_root(to_call);
+                self.builder.record_transfer(from, to, self.clock, bytes);
+            }
+        }
+    }
+
+    /// Folds a whole record sequence.
+    pub fn extend<'a, I: IntoIterator<Item = &'a EventRecord>>(&mut self, records: I) {
+        for record in records {
+            self.push(record);
+        }
+    }
+
+    /// The recovered phase clock so far (total retired ops folded).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The finished profile, in the profiler's canonical shape.
+    pub fn finish(self) -> PhaseProfile {
+        self.builder.finish()
+    }
+}
+
+/// Streams a binary event file through [`PhaseFold`] with memory bounded
+/// by one chunk plus the attribution map and occupied cells.
+///
+/// # Errors
+///
+/// Fails on a malformed file.
+pub fn phase_profile_from_bin<R: Read>(
+    source: R,
+    bucket_ops: u64,
+) -> Result<PhaseProfile, StreamError> {
+    let _span = sigil_obs::span("analysis:phase_stream");
+    let mut fold = PhaseFold::new(bucket_ops);
+    ChunkStream::new(source)?.for_each(|record| fold.push(record))?;
+    Ok(fold.finish())
+}
+
 /// Reference implementation used by the conformance tests: the summary of
 /// the full in-memory dependency graph.
 ///
@@ -800,6 +909,62 @@ mod tests {
         for c in &candidates {
             assert!(c.breakeven >= 1.0);
         }
+    }
+
+    #[test]
+    fn phase_fold_matches_profiler_profile() {
+        // The fold recovers the profiler's own PhaseProfile from the
+        // event stream, byte-for-byte, across bucket widths.
+        for width in [1, 3, 64] {
+            let mut engine = Engine::new(SigilProfiler::new(
+                SigilConfig::default().with_events().with_phases(width),
+            ));
+            engine.scoped_named("main", |e| {
+                e.scoped_named("producer", |e| {
+                    e.op(OpClass::IntArith, 7);
+                    e.write(0x0, 8);
+                    e.write(0x100, 8);
+                });
+                e.scoped_named("worker_a", |e| {
+                    e.read(0x0, 8);
+                    e.op(OpClass::IntArith, 11);
+                });
+                e.scoped_named("worker_b", |e| {
+                    e.read(0x100, 8);
+                    e.read(0x100, 8); // repeat read: no transfer
+                });
+            });
+            let (p, s) = engine.finish_with_symbols();
+            let profile = p.into_profile(s);
+            let events = profile.events.as_ref().expect("events on");
+            let reference = profile.phases.as_ref().expect("phases on");
+
+            let mut fold = PhaseFold::new(width);
+            fold.extend(events.records());
+            assert_eq!(fold.clock(), events.total_ops() + 4, "ops + 4 calls");
+            let folded = fold.finish();
+            assert_eq!(&folded, reference, "width={width}");
+
+            // And the chunked binary path agrees with the in-memory fold.
+            let bytes = encode_events_chunked(events, 3);
+            let streamed = phase_profile_from_bin(bytes.as_slice(), width).expect("clean file");
+            assert_eq!(&streamed, reference, "width={width} (binary)");
+        }
+    }
+
+    #[test]
+    fn phase_fold_attributes_unknown_calls_to_root() {
+        let mut fold = PhaseFold::new(10);
+        fold.push(&EventRecord::Transfer {
+            from_call: call(99),
+            to_call: call(98),
+            bytes: 16,
+        });
+        let profile = fold.finish();
+        assert_eq!(profile.pairs.len(), 1);
+        assert_eq!(profile.pairs[0].from, ContextId::ROOT);
+        assert_eq!(profile.pairs[0].to, ContextId::ROOT);
+        assert_eq!(profile.pairs[0].buckets[0].xfer_bytes, 16);
     }
 
     #[test]

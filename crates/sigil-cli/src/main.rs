@@ -6,6 +6,8 @@
 //! sigil reuse <benchmark> [--size S]            # reuse breakdown + top functions
 //! sigil critpath <benchmark> [--size S]         # critical path & parallelism limit
 //! sigil critpath --from-events <file>           # streaming summary off an event file
+//! sigil phases <benchmark> [--bucket-ops N]     # phase-sliced communication profile
+//! sigil phases --from-events <file> [--json]    # same, streamed off an event file
 //! sigil events dump <benchmark> -o <file>       # record the event file (.evb = binary)
 //! sigil events pack <in.txt> -o <out.evb>       # text -> chunk-indexed binary
 //! sigil events unpack <in.evb> [-o <out.txt>]   # binary -> text, one chunk at a time
@@ -26,10 +28,12 @@
 //!
 //! Every command additionally accepts the observability flags
 //! `--log-level <off|warn|info|debug>`, `--trace-out <file>` (Chrome
-//! trace-event JSON of the run's phase spans) and `--metrics-out <file>`
-//! (metrics snapshot JSON); either output flag switches `sigil-obs`
-//! collection on for the process. `-h`/`--help` and `-V`/`--version`
-//! short-circuit before any command runs.
+//! trace-event JSON of the run's phase spans), `--metrics-out <file>`
+//! (metrics snapshot JSON), and `--metrics-stream <file>` with
+//! `--metrics-interval-ms <n>` (live JSONL delta snapshots appended by a
+//! background thread while the command runs); any output flag switches
+//! `sigil-obs` collection on for the process. `-h`/`--help` and
+//! `-V`/`--version` short-circuit before any command runs.
 
 use std::process::ExitCode;
 
@@ -40,10 +44,12 @@ use sigil_analysis::partition::{
 };
 use sigil_analysis::reuse_analysis;
 use sigil_analysis::schedule::schedule;
-use sigil_analysis::streaming::{critical_path_from_bin, CriticalPathFold, PathSummary};
+use sigil_analysis::streaming::{
+    critical_path_from_bin, phase_profile_from_bin, CriticalPathFold, PathSummary, PhaseFold,
+};
 use sigil_analysis::Cdfg;
 use sigil_core::events_bin::{BinReader, BinTotals, BinWriter, ChunkStream, DEFAULT_CHUNK_RECORDS};
-use sigil_core::{report, EventFile, Profile, SigilConfig, SigilProfiler};
+use sigil_core::{report, EventFile, PhaseProfile, Profile, SigilConfig, SigilProfiler};
 use sigil_obs::log::Level;
 use sigil_obs::{obs_debug, obs_info};
 use sigil_trace::observer::RecordingObserver;
@@ -51,13 +57,16 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|schedule|calltree|dot|run|trace|replay|sweep|diff|events|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|phases|schedule|calltree|dot|run|trace|replay|sweep|diff|events|list> [target] [options]\n\
      events:  sigil events <dump|pack|unpack|stat> <target> [-o <file>] [--chunk-records <n>] [--verify]\n\
+     phases:  sigil phases <benchmark|--from-events <file>> [--bucket-ops <n>] [--json|--table]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
-              --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json\n\
+              --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json --table\n\
               --seeds <n> --seed-base <n> --golden-dir <dir> --bless\n\
               --from-events <file> --chunk-records <n> --verify\n\
+              --bucket-ops <n> (alias: --bucket-us) phase bucket width in retired ops\n\
               --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
+              --metrics-stream <file> --metrics-interval-ms <n>\n\
               -h | --help    print this help\n\
               -V | --version print the version"
 }
@@ -85,6 +94,17 @@ struct Options {
     trace_out: Option<String>,
     /// Write a metrics snapshot JSON file here.
     metrics_out: Option<String>,
+    /// Append live JSONL metric delta snapshots to this file while the
+    /// command runs.
+    metrics_stream: Option<String>,
+    /// Interval between streamed snapshots, in milliseconds.
+    metrics_interval_ms: u64,
+    /// Phase bucket width in retired ops (`sigil phases`, or any
+    /// profiling command to add `phases` to its JSON output).
+    bucket_ops: Option<u64>,
+    /// Force the human-readable table renderer (the default; the
+    /// counterpart of `--json`).
+    table: bool,
     /// Random-program seed count for `sigil diff`.
     seeds: u64,
     /// First seed for `sigil diff`.
@@ -127,6 +147,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         log_level: Level::Info,
         trace_out: None,
         metrics_out: None,
+        metrics_stream: None,
+        metrics_interval_ms: 200,
+        bucket_ops: None,
+        table: false,
         seeds: 500,
         seed_base: 0,
         golden_dir: "tests/golden".to_owned(),
@@ -198,6 +222,30 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("--metrics-out needs a file name")?;
                 opts.metrics_out = Some(value.clone());
             }
+            "--metrics-stream" => {
+                let value = it.next().ok_or("--metrics-stream needs a file name")?;
+                opts.metrics_stream = Some(value.clone());
+            }
+            "--metrics-interval-ms" => {
+                let value = it.next().ok_or("--metrics-interval-ms needs a value")?;
+                opts.metrics_interval_ms = value
+                    .parse()
+                    .map_err(|_| "bad --metrics-interval-ms value")?;
+                if opts.metrics_interval_ms == 0 {
+                    return Err("--metrics-interval-ms must be at least 1".to_owned());
+                }
+            }
+            // `--bucket-us` is accepted as an alias: on the platform-
+            // independent event clock, a "microsecond" is a retired op.
+            "--bucket-ops" | "--bucket-us" => {
+                let value = it.next().ok_or("--bucket-ops needs a value")?;
+                let n: u64 = value.parse().map_err(|_| "bad --bucket-ops value")?;
+                if n == 0 {
+                    return Err("--bucket-ops must be at least 1".to_owned());
+                }
+                opts.bucket_ops = Some(n);
+            }
+            "--table" => opts.table = true,
             "--seeds" => {
                 let value = it.next().ok_or("--seeds needs a value")?;
                 opts.seeds = value.parse().map_err(|_| "bad --seeds value")?;
@@ -249,6 +297,9 @@ fn sigil_config(opts: &Options) -> SigilConfig {
     }
     if let Some(shards) = opts.shards {
         config = config.with_shards(shards);
+    }
+    if let Some(bucket_ops) = opts.bucket_ops {
+        config = config.with_phases(bucket_ops);
     }
     config
 }
@@ -422,6 +473,79 @@ fn cmd_critpath(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Default phase bucket width in retired ops when `--bucket-ops` is not
+/// given.
+const DEFAULT_BUCKET_OPS: u64 = 1000;
+
+/// Streaming phase profile straight off an event file: binary files fold
+/// one chunk at a time; text files are parsed and folded in memory.
+fn phases_from_events(path: &str, bucket_ops: u64) -> Result<PhaseProfile, String> {
+    if path.ends_with(".evb") {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+        phase_profile_from_bin(std::io::BufReader::new(file), bucket_ops).map_err(|e| e.to_string())
+    } else {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let events =
+            EventFile::from_text(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+        let mut fold = PhaseFold::new(bucket_ops);
+        fold.extend(events.records());
+        Ok(fold.finish())
+    }
+}
+
+fn cmd_phases(opts: &Options) -> Result<(), String> {
+    let bucket_ops = opts.bucket_ops.unwrap_or(DEFAULT_BUCKET_OPS);
+    let (label, phases) = if let Some(path) = &opts.from_events {
+        (
+            format!("{path} (streaming)"),
+            phases_from_events(path, bucket_ops)?,
+        )
+    } else {
+        let profile = collect(&Options {
+            bucket_ops: Some(bucket_ops),
+            ..opts.clone()
+        })?;
+        let phases = profile.phases.expect("phase collection enabled");
+        (format!("{} ({})", opts.target, opts.size), phases)
+    };
+    if opts.json {
+        let json = serde_json::to_string_pretty(&phases).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!("# {label}: phase-sliced communication, bucket = {bucket_ops} ops");
+    println!(
+        "phases: {} | communicating context pairs: {}",
+        phases.num_buckets(),
+        phases.pairs.len()
+    );
+    println!(
+        "{:>8} {:>14} {:>8} {:>8} {:>10} {:>12}",
+        "phase", "ops window", "from", "to", "calls", "xfer bytes"
+    );
+    // Pairs are sorted by (from, to); re-key rows by phase so the table
+    // reads as a timeline.
+    let mut rows: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
+    for pair in &phases.pairs {
+        for bucket in &pair.buckets {
+            rows.push((
+                bucket.index,
+                pair.from.0,
+                pair.to.0,
+                bucket.calls,
+                bucket.xfer_bytes,
+            ));
+        }
+    }
+    rows.sort_unstable();
+    for (index, from, to, calls, bytes) in rows {
+        let window = format!("{}..{}", index * bucket_ops, (index + 1) * bucket_ops);
+        println!("{index:>8} {window:>14} {from:>8} {to:>8} {calls:>10} {bytes:>12}");
+    }
+    Ok(())
+}
+
 fn cmd_schedule(opts: &Options) -> Result<(), String> {
     let profile = events_profile(opts)?;
     let sched = schedule(&profile, opts.cores).map_err(|e| e.to_string())?;
@@ -519,7 +643,52 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     }
     let total_ms: f64 = entries.iter().map(|e| e.wall_ms).sum();
     println!("# sum of per-workload wall times: {total_ms:.2} ms");
+    if sigil_obs::is_enabled() {
+        print_sweep_telemetry(config.shards);
+    }
     Ok(())
+}
+
+/// Appends the observability-derived sweep summary lines: wall-time
+/// percentiles estimated from the `sweep.wall_ms` histogram, and — for
+/// sharded sweeps — aggregate shard-worker utilization from the
+/// busy/idle counters.
+fn print_sweep_telemetry(shards: usize) {
+    use sigil_obs::metrics::{percentile_from_buckets, MetricValue};
+    let snapshot = sigil_obs::metrics::snapshot();
+    if let Some(MetricValue::Histogram {
+        bounds,
+        counts,
+        total,
+        ..
+    }) = snapshot.get("sweep.wall_ms")
+    {
+        if *total > 0 {
+            let p = |q: f64| percentile_from_buckets(bounds, counts, q).unwrap_or(0.0);
+            println!(
+                "# wall_ms percentiles (histogram estimate): p50 {:.1} | p95 {:.1} | p99 {:.1}",
+                p(50.0),
+                p(95.0),
+                p(99.0)
+            );
+        }
+    }
+    if shards > 1 {
+        let counter = |name: &str| match snapshot.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        let busy = counter("shadow.shards.busy_ns");
+        let idle = counter("shadow.shards.idle_ns");
+        if busy + idle > 0 {
+            println!(
+                "# shard utilization: {:.1}% busy ({:.2} ms busy / {:.2} ms idle, {shards} shards/job)",
+                100.0 * busy as f64 / (busy + idle) as f64,
+                busy as f64 / 1e6,
+                idle as f64 / 1e6
+            );
+        }
+    }
 }
 
 fn cmd_trace(opts: &Options) -> Result<(), String> {
@@ -849,8 +1018,11 @@ fn main() -> ExitCode {
     if command == "diff" && args.get(1).is_none_or(|a| a.starts_with('-')) {
         args.insert(1, "random".to_owned());
     }
-    // `sigil critpath --from-events <file>` needs no benchmark target.
-    if command == "critpath" && args.get(1).is_some_and(|a| a.starts_with('-')) {
+    // `sigil critpath --from-events <file>` and `sigil phases
+    // --from-events <file>` need no benchmark target.
+    if (command == "critpath" || command == "phases")
+        && args.get(1).is_some_and(|a| a.starts_with('-'))
+    {
         args.insert(1, "random".to_owned());
     }
     // `sigil events <dump|pack|unpack|stat> <target> ...` folds its
@@ -871,14 +1043,28 @@ fn main() -> ExitCode {
     };
     let result = parse_options(&args[1..]).and_then(|opts| {
         sigil_obs::log::set_level(opts.log_level);
-        if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        if opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.metrics_stream.is_some() {
             sigil_obs::set_enabled(true);
         }
-        match command.as_str() {
+        // Live metrics stream: a background thread appends JSONL delta
+        // snapshots while the command runs; stopped (with a final line)
+        // whether the command succeeds or fails.
+        let streamer = match &opts.metrics_stream {
+            Some(path) => Some(
+                sigil_obs::MetricsStreamer::start(
+                    path,
+                    std::time::Duration::from_millis(opts.metrics_interval_ms),
+                )
+                .map_err(|e| format!("cannot start metrics stream `{path}`: {e}"))?,
+            ),
+            None => None,
+        };
+        let outcome = match command.as_str() {
             "profile" => cmd_profile(&opts),
             "partition" => cmd_partition(&opts),
             "reuse" => cmd_reuse(&opts),
             "critpath" => cmd_critpath(&opts),
+            "phases" => cmd_phases(&opts),
             "schedule" => cmd_schedule(&opts),
             "calltree" => cmd_calltree(&opts),
             "dot" => cmd_dot(&opts),
@@ -892,8 +1078,16 @@ fn main() -> ExitCode {
             "events-unpack" => cmd_events_unpack(&opts),
             "events-stat" => cmd_events_stat(&opts),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
-        }
-        .and_then(|()| write_observability(&opts))
+        };
+        let stream_outcome = match streamer {
+            Some(streamer) => streamer
+                .stop()
+                .map_err(|e| format!("metrics stream failed: {e}")),
+            None => Ok(()),
+        };
+        outcome
+            .and(stream_outcome)
+            .and_then(|()| write_observability(&opts))
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -1024,6 +1218,48 @@ mod tests {
         assert!(parse_options(&args(&["vips", "--log-level", "loud"])).is_err());
         assert!(parse_options(&args(&["vips", "--log-level"])).is_err());
         assert!(parse_options(&args(&["vips", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn parse_phase_flags() {
+        let opts = parse_options(&args(&["vips"])).expect("parses");
+        assert_eq!(opts.bucket_ops, None);
+        assert!(sigil_config(&opts).phase_bucket_ops.is_none());
+
+        let opts = parse_options(&args(&["vips", "--bucket-ops", "250", "--table"])).expect("ok");
+        assert_eq!(opts.bucket_ops, Some(250));
+        assert!(opts.table);
+        assert_eq!(sigil_config(&opts).phase_bucket_ops, Some(250));
+
+        // `--bucket-us` is an alias for the same knob.
+        let opts = parse_options(&args(&["vips", "--bucket-us", "64"])).expect("parses");
+        assert_eq!(opts.bucket_ops, Some(64));
+
+        assert!(parse_options(&args(&["vips", "--bucket-ops", "0"])).is_err());
+        assert!(parse_options(&args(&["vips", "--bucket-ops", "x"])).is_err());
+        assert!(parse_options(&args(&["vips", "--bucket-ops"])).is_err());
+    }
+
+    #[test]
+    fn parse_metrics_stream_flags() {
+        let opts = parse_options(&args(&["vips"])).expect("parses");
+        assert_eq!(opts.metrics_stream, None);
+        assert_eq!(opts.metrics_interval_ms, 200);
+
+        let opts = parse_options(&args(&[
+            "vips",
+            "--metrics-stream",
+            "live.jsonl",
+            "--metrics-interval-ms",
+            "50",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.metrics_stream.as_deref(), Some("live.jsonl"));
+        assert_eq!(opts.metrics_interval_ms, 50);
+
+        assert!(parse_options(&args(&["vips", "--metrics-stream"])).is_err());
+        assert!(parse_options(&args(&["vips", "--metrics-interval-ms", "0"])).is_err());
+        assert!(parse_options(&args(&["vips", "--metrics-interval-ms", "x"])).is_err());
     }
 
     #[test]

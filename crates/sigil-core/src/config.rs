@@ -36,6 +36,9 @@ pub struct SigilConfig {
     /// Record the event-file representation (sequence of dependent
     /// events) in addition to aggregates.
     pub record_events: bool,
+    /// Collect a phase-sliced communication profile with this bucket
+    /// width along the phase clock (retired ops); `None` = off.
+    pub phase_bucket_ops: Option<u64>,
     /// Number of shadow-memory shards replayed by parallel workers.
     /// `1` (the default) profiles serially on the dispatching thread;
     /// `N > 1` partitions the address space by chunk (`chunk_key % N`)
@@ -55,6 +58,7 @@ impl Default for SigilConfig {
             shadow_chunk_limit: None,
             eviction: EvictionPolicy::Fifo,
             record_events: false,
+            phase_bucket_ops: None,
             shards: 1,
             callgrind: CallgrindConfig::default(),
         }
@@ -97,6 +101,14 @@ impl SigilConfig {
         self
     }
 
+    /// Enables phase-sliced profiling with the given bucket width in
+    /// retired ops (`0` is clamped to `1`).
+    #[must_use]
+    pub fn with_phases(mut self, bucket_ops: u64) -> Self {
+        self.phase_bucket_ops = Some(bucket_ops.max(1));
+        self
+    }
+
     /// Sets the number of shadow-memory shards (`0` is treated as `1`).
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
@@ -123,6 +135,7 @@ mod tests {
         assert!(c.line_size.is_none());
         assert!(c.shadow_chunk_limit.is_none());
         assert!(!c.record_events);
+        assert!(c.phase_bucket_ops.is_none());
         assert_eq!(c.shards, 1, "serial by default");
     }
 
@@ -144,5 +157,6 @@ mod tests {
         assert_eq!(c.shadow_chunk_limit, Some(16));
         assert_eq!(c.eviction, EvictionPolicy::Lru);
         assert_eq!(c.line_size, Some(128));
+        assert_eq!(c.with_phases(0).phase_bucket_ops, Some(1), "width clamps");
     }
 }

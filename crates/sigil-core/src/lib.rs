@@ -58,6 +58,7 @@
 pub mod config;
 pub mod events_bin;
 pub mod events_out;
+pub mod phase;
 pub mod profile;
 pub mod profiler;
 pub mod report;
@@ -71,6 +72,7 @@ pub use events_bin::{
     decode_events, encode_events, BinError, BinReader, BinTotals, BinWriter, ChunkInfo, ChunkStream,
 };
 pub use events_out::{EventFile, EventRecord};
+pub use phase::{PhaseBucket, PhaseBuilder, PhasePair, PhaseProfile};
 pub use profile::{ContextComm, FunctionComm, Profile};
 pub use profiler::{LineReport, SigilProfiler};
 pub use reuse::{ContextReuse, LifetimeHistogram, ReuseBucket};

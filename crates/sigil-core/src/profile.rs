@@ -6,6 +6,7 @@ use sigil_mem::MemoryStats;
 use sigil_trace::{FunctionId, SymbolTable};
 
 use crate::events_out::EventFile;
+use crate::phase::PhaseProfile;
 use crate::profiler::LineReport;
 use crate::reuse::ContextReuse;
 use crate::stats::{CommEdge, CommStats};
@@ -55,6 +56,9 @@ pub struct Profile {
     pub lines: Option<LineReport>,
     /// The event file (present when event recording was enabled).
     pub events: Option<EventFile>,
+    /// Phase-sliced communication profile (present when phase
+    /// collection was enabled).
+    pub phases: Option<PhaseProfile>,
     /// Shadow-memory footprint at end of run.
     pub memory: MemoryStats,
 }

@@ -12,6 +12,7 @@ use sigil_trace::{
 
 use crate::config::SigilConfig;
 use crate::events_out::EventFile;
+use crate::phase::{PhaseBuilder, PhaseProfile};
 use crate::profile::{ContextComm, Profile};
 use crate::reuse::ContextReuse;
 use crate::shard::{sequence_events, ShardEngine, ShardFragment};
@@ -66,6 +67,7 @@ type ProfileParts = (
     Vec<CommEdge>,
     Option<Vec<ContextReuse>>,
     Option<EventFile>,
+    Option<PhaseProfile>,
 );
 
 /// The Sigil profiler: an [`ExecutionObserver`] that shadows every data
@@ -90,6 +92,13 @@ pub struct SigilProfiler {
     edges: HashMap<(ContextId, ContextId), EdgeAccum>,
     reuse: Option<Vec<ContextReuse>>,
     events: Option<EventFile>,
+    /// Phase-sliced profile builder (present when phase collection is
+    /// on). In sharded mode this dispatch-side builder tallies calls;
+    /// transfers come back in the workers' fragments.
+    phases: Option<PhaseBuilder>,
+    /// The phase clock: cumulative event-stream-visible retired ops
+    /// (see [`crate::phase`] for the exact tick rules).
+    phase_clock: u64,
     /// Present when `config.shards > 1`: per-byte classification runs on
     /// worker threads and `shadow` stays empty (see [`crate::shard`]).
     engine: Option<ShardEngine>,
@@ -120,6 +129,8 @@ impl SigilProfiler {
             // Sharded event files are sequenced from the dispatch log at
             // the end of the run instead of being built incrementally.
             events: (config.record_events && !sharded).then(EventFile::new),
+            phases: config.phase_bucket_ops.map(PhaseBuilder::new),
+            phase_clock: 0,
             engine: sharded.then(|| ShardEngine::new(&config)),
         }
     }
@@ -232,11 +243,30 @@ impl SigilProfiler {
         if let Some(events) = self.events.as_mut() {
             events.push_call(parent.call, call, ctx);
         }
+        if let Some(builder) = self.phases.as_mut() {
+            // The call is tallied at the pre-tick clock.
+            builder.record_call(parent.ctx, ctx, self.phase_clock);
+        }
+        // The Call record itself retires one op and is always visible in
+        // the event stream, so it always ticks the phase clock.
+        self.phase_clock += 1;
         self.frames_mut().push(Frame {
             ctx,
             call,
             pending_ops: 0,
         });
+    }
+
+    /// Retires `count` ops into the open frame's pending fragment and
+    /// ticks the phase clock. With no open frame both drop the ops —
+    /// exactly like the event sequencer, so the phase clock stays
+    /// reconstructible from the event stream.
+    fn retire_pending(&mut self, count: u64) {
+        let Some(f) = self.frames_mut().last_mut() else {
+            return;
+        };
+        f.pending_ops += count;
+        self.phase_clock += count;
     }
 
     fn handle_leave(&mut self) {
@@ -257,9 +287,7 @@ impl SigilProfiler {
         if let Some(lines) = self.lines.as_mut() {
             lines.record_access(access, at);
         }
-        if let Some(f) = self.frames_mut().last_mut() {
-            f.pending_ops += 1;
-        }
+        self.retire_pending(1);
 
         // Consumer tallies accumulate locally and flush once per access;
         // producer tallies flush once per segment of consecutive bytes
@@ -277,6 +305,11 @@ impl SigilProfiler {
         // event stream exactly.
         let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
         let events_on = self.events.is_some();
+        // Phase-profile transfer segments (producer context, bytes) —
+        // kept apart from `transfers`: phases stay on when event
+        // recording is off, and bucket by producer *context*.
+        let mut phase_transfers: Vec<(ContextId, u64)> = Vec::new();
+        let phases_on = self.phases.is_some();
 
         // `runs` holds a mutable borrow of `self.shadow`; the loop body
         // may only touch the disjoint fields `self.cg` / `self.reuse` /
@@ -361,10 +394,18 @@ impl SigilProfiler {
                 // function (classified *local* for the byte accounting
                 // above, but still a real dependency between the two call
                 // nodes of the Figure 3 construction).
-                if !repeat && producer.is_some() && producer_call != frame.call && events_on {
-                    match transfers.last_mut() {
-                        Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
-                        _ => transfers.push((producer_call, 1)),
+                if !repeat && producer.is_some() && producer_call != frame.call {
+                    if events_on {
+                        match transfers.last_mut() {
+                            Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
+                            _ => transfers.push((producer_call, 1)),
+                        }
+                    }
+                    if phases_on {
+                        match phase_transfers.last_mut() {
+                            Some((last_ctx, bytes)) if *last_ctx == producer_ctx => *bytes += 1,
+                            _ => phase_transfers.push((producer_ctx, 1)),
+                        }
                     }
                 }
             }
@@ -397,6 +438,15 @@ impl SigilProfiler {
                 }
             }
         }
+        if !phase_transfers.is_empty() {
+            // Bucketed at the post-tick clock: the event file flushes the
+            // read's own pending op before its transfer records, so the
+            // streaming fold sees these exact timestamps.
+            let builder = self.phases.as_mut().expect("phases on");
+            for (producer_ctx, bytes) in phase_transfers {
+                builder.record_transfer(producer_ctx, frame.ctx, self.phase_clock, bytes);
+            }
+        }
     }
 
     fn handle_write(&mut self, access: MemAccess, at: Timestamp) {
@@ -408,9 +458,7 @@ impl SigilProfiler {
         if let Some(lines) = self.lines.as_mut() {
             lines.record_access(access, at);
         }
-        if let Some(f) = self.frames_mut().last_mut() {
-            f.pending_ops += 1;
-        }
+        self.retire_pending(1);
         self.comm_mut(frame.ctx).bytes_written += u64::from(access.size);
         let mut runs = self.shadow.runs_mut(access.addr, access.len());
         while let Some((_, slots)) = runs.next_run() {
@@ -435,6 +483,12 @@ impl SigilProfiler {
                 let ctx = self.cg.current_context();
                 self.call_counter = self.call_counter.next();
                 let call = self.call_counter;
+                let parent = self.current_frame();
+                if let Some(builder) = self.phases.as_mut() {
+                    // Same pre-tick tally as the serial path.
+                    builder.record_call(parent.ctx, ctx, self.phase_clock);
+                }
+                self.phase_clock += 1;
                 let engine = self.engine.as_mut().expect("sharded mode");
                 engine.sync_ctxs(self.cg.tree());
                 engine.log_call(call, ctx);
@@ -449,10 +503,18 @@ impl SigilProfiler {
                 self.frames_mut().pop();
             }
             RuntimeEvent::Op { count, .. } => {
+                // The sequencer drops ops logged with no open frame, so
+                // the phase clock must drop them identically.
+                if self.frames().is_some_and(|f| !f.is_empty()) {
+                    self.phase_clock += u64::from(count);
+                }
                 let engine = self.engine.as_mut().expect("sharded mode");
                 engine.log_ops(u64::from(count));
             }
             RuntimeEvent::Branch { .. } => {
+                if self.frames().is_some_and(|f| !f.is_empty()) {
+                    self.phase_clock += 1;
+                }
                 self.engine.as_mut().expect("sharded mode").log_ops(1);
             }
             RuntimeEvent::Read { access } => self.dispatch_sharded(false, access, at),
@@ -486,6 +548,13 @@ impl SigilProfiler {
         } else {
             self.comm_mut(frame.ctx).bytes_read += u64::from(access.size);
         }
+        // The access's own retired op ticks the phase clock exactly when
+        // the serial path's pending-op bump fires: with an open frame.
+        // (`log_ops` below is unconditional, but the sequencer drops ops
+        // on empty stacks — the clock must not count those.)
+        if self.frames().is_some_and(|f| !f.is_empty()) {
+            self.phase_clock += 1;
+        }
         let engine = self.engine.as_mut().expect("sharded mode");
         engine.sync_ctxs(self.cg.tree());
         if write {
@@ -501,6 +570,7 @@ impl SigilProfiler {
             frame.call,
             reader_fn,
             at,
+            self.phase_clock,
         );
     }
 
@@ -524,12 +594,16 @@ impl SigilProfiler {
             edges: Vec::new(),
             reuse: self.reuse.take(),
             memory: MemoryStats::default(),
+            // The dispatch side tallied the calls; worker fragments fold
+            // their transfer buckets in through the monoid below.
+            phases: self.phases.take().map(PhaseBuilder::finish),
         };
         let mut transfers = crate::shard::TransferMap::new();
         let obs = sigil_obs::is_enabled();
         if obs {
             sigil_obs::metrics::set_counter("shadow.shards", shards as u64);
         }
+        let (mut busy_total, mut idle_total) = (0u64, 0u64);
         for (i, result) in results.into_iter().enumerate() {
             if obs {
                 sigil_obs::metrics::set_counter(
@@ -544,6 +618,16 @@ impl SigilProfiler {
                     &format!("shadow.shard.{i}.evictions"),
                     result.evictions_applied,
                 );
+                sigil_obs::metrics::set_counter(
+                    &format!("shadow.shard.{i}.busy_ns"),
+                    result.busy_ns,
+                );
+                sigil_obs::metrics::set_counter(
+                    &format!("shadow.shard.{i}.idle_ns"),
+                    result.idle_ns,
+                );
+                busy_total += result.busy_ns;
+                idle_total += result.idle_ns;
             }
             let (fragment, shard_transfers) = result.into_fragment();
             merged.merge(&fragment);
@@ -551,11 +635,24 @@ impl SigilProfiler {
                 transfers.entry(idx).or_default().extend(parts);
             }
         }
+        if obs {
+            // Add-counters so sweeps accumulate utilization across
+            // workloads; the sweep report derives busy/(busy+idle).
+            sigil_obs::metrics::counter("shadow.shards.busy_ns").add(busy_total);
+            sigil_obs::metrics::counter("shadow.shards.idle_ns").add(idle_total);
+        }
         let events = self
             .config
             .record_events
             .then(|| sequence_events(seq, &mut transfers));
-        (memory, merged.comm, merged.edges, merged.reuse, events)
+        (
+            memory,
+            merged.comm,
+            merged.edges,
+            merged.reuse,
+            events,
+            merged.phases,
+        )
     }
 
     /// Consumes the profiler, pairing it with `symbols` into a [`Profile`].
@@ -567,7 +664,7 @@ impl SigilProfiler {
     /// shadow-table hot-path counters as `shadow.*` metrics.
     pub fn into_profile(mut self, symbols: SymbolTable) -> Profile {
         let shadow_span = sigil_obs::span("shadow");
-        let (memory, comm, edge_rows, reuse, events) = match self.engine.take() {
+        let (memory, comm, edge_rows, reuse, events, phases) = match self.engine.take() {
             Some(engine) => self.finish_sharded(engine),
             None => {
                 let memory = self.memory_stats();
@@ -598,6 +695,7 @@ impl SigilProfiler {
                     edges,
                     self.reuse.take(),
                     self.events.take(),
+                    self.phases.take().map(PhaseBuilder::finish),
                 )
             }
         };
@@ -643,6 +741,7 @@ impl SigilProfiler {
             reuse,
             lines: line_report,
             events,
+            phases,
             memory,
         }
     }
@@ -659,16 +758,8 @@ impl ExecutionObserver for SigilProfiler {
         match event {
             RuntimeEvent::Call { .. } | RuntimeEvent::SyscallEnter { .. } => self.handle_enter(),
             RuntimeEvent::Return | RuntimeEvent::SyscallExit => self.handle_leave(),
-            RuntimeEvent::Op { count, .. } => {
-                if let Some(f) = self.frames_mut().last_mut() {
-                    f.pending_ops += u64::from(count);
-                }
-            }
-            RuntimeEvent::Branch { .. } => {
-                if let Some(f) = self.frames_mut().last_mut() {
-                    f.pending_ops += 1;
-                }
-            }
+            RuntimeEvent::Op { count, .. } => self.retire_pending(u64::from(count)),
+            RuntimeEvent::Branch { .. } => self.retire_pending(1),
             RuntimeEvent::Read { access } => self.handle_read(access, at),
             RuntimeEvent::Write { access } => self.handle_write(access, at),
             RuntimeEvent::ThreadSwitch { thread } => {
@@ -1000,7 +1091,8 @@ mod tests {
             let base = SigilConfig::default()
                 .with_reuse_mode()
                 .with_line_mode(64)
-                .with_events();
+                .with_events()
+                .with_phases(5);
             let serial = run(base, composite_scenario);
             let sharded = run(base.with_shards(shards), composite_scenario);
             assert_eq!(
@@ -1008,7 +1100,58 @@ mod tests {
                 serde_json::to_string(&sharded).unwrap(),
                 "shards={shards}"
             );
+            assert!(
+                serial.phases.as_ref().is_some_and(|p| !p.pairs.is_empty()),
+                "composite scenario produces phase activity"
+            );
         }
+    }
+
+    #[test]
+    fn phase_profile_matches_event_clock() {
+        // The phase clock must agree with the event file's timestamps:
+        // replaying the recorded events through the fold rules yields
+        // the identical profile. This pins serial replay and the
+        // event-stream interpretation together.
+        let config = SigilConfig::default().with_events().with_phases(3);
+        let profile = run(config, composite_scenario);
+        let events = profile.events.as_ref().expect("events on");
+        let phases = profile.phases.as_ref().expect("phases on");
+
+        use crate::events_out::EventRecord;
+        let root = sigil_callgrind::ContextId::ROOT;
+        let mut builder = PhaseBuilder::new(3);
+        let mut ctx_of = std::collections::HashMap::new();
+        let mut clock = 0u64;
+        for record in events.records() {
+            match *record {
+                EventRecord::Call {
+                    parent_call,
+                    call,
+                    ctx,
+                } => {
+                    ctx_of.insert(call, ctx);
+                    let from = ctx_of.get(&parent_call).copied().unwrap_or(root);
+                    builder.record_call(from, ctx, clock);
+                    clock += 1;
+                }
+                EventRecord::Compute { ops, .. } => clock += ops,
+                EventRecord::Transfer {
+                    from_call,
+                    to_call,
+                    bytes,
+                } => {
+                    let from = ctx_of.get(&from_call).copied().unwrap_or(root);
+                    let to = ctx_of.get(&to_call).copied().unwrap_or(root);
+                    builder.record_transfer(from, to, clock, bytes);
+                }
+            }
+        }
+        let refolded = builder.finish();
+        assert_eq!(
+            serde_json::to_string(phases).unwrap(),
+            serde_json::to_string(&refolded).unwrap()
+        );
     }
 
     #[test]

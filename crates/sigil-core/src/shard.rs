@@ -38,8 +38,11 @@
 //! the `shard_merge` proptests.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use sigil_callgrind::{CallTree, ContextId};
 use sigil_mem::{chunk_key, MemoryStats, Owner, ShadowObject, ShadowTable};
@@ -47,6 +50,7 @@ use sigil_trace::{Addr, CallNumber, FunctionId, Timestamp};
 
 use crate::config::SigilConfig;
 use crate::events_out::EventFile;
+use crate::phase::{PhaseBuilder, PhaseProfile};
 use crate::profiler::{EdgeAccum, SigilProfiler};
 use crate::reuse::ContextReuse;
 use crate::stats::{CommEdge, CommStats};
@@ -86,6 +90,9 @@ struct AccessRecord {
     reader_fn: Option<FunctionId>,
     /// Op-clock timestamp of the access.
     at: Timestamp,
+    /// Phase-clock timestamp of the access (post-tick — includes the
+    /// access's own retired op), for phase-profile transfer bucketing.
+    phase_at: u64,
 }
 
 enum ShardMsg {
@@ -128,17 +135,25 @@ pub(crate) struct ShardResult {
     pub(crate) edges: HashMap<(ContextId, ContextId), EdgeAccum>,
     pub(crate) reuse: Option<Vec<ContextReuse>>,
     pub(crate) transfers: TransferMap,
+    /// Phase-profile transfer buckets for this shard's bytes (phase
+    /// collection only).
+    pub(crate) phases: Option<PhaseBuilder>,
     /// The worker table's own counters — observability only; the
     /// authoritative [`MemoryStats`] comes from the dispatch oracle.
     pub(crate) stats: MemoryStats,
     pub(crate) evictions_applied: u64,
+    /// Nanoseconds this worker spent applying batches (telemetry).
+    pub(crate) busy_ns: u64,
+    /// Nanoseconds this worker spent blocked on its channel (telemetry).
+    pub(crate) idle_ns: u64,
 }
 
 /// One shard's (or the dispatch thread's) contribution to a profile:
 /// the commutative merge layer.
 ///
 /// `comm` and `reuse` are indexed by raw context id; `edges` is sorted
-/// by `(producer, consumer)`; `memory` sums component-wise. All four
+/// by `(producer, consumer)`; `phases` folds cell-wise through
+/// [`PhaseProfile::merge`]; `memory` sums component-wise. All five
 /// merges are commutative and associative, so fragments fold in any
 /// permutation to an identical result.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -149,6 +164,8 @@ pub struct ShardFragment {
     pub edges: Vec<CommEdge>,
     /// Per-context reuse aggregates (reuse mode only).
     pub reuse: Option<Vec<ContextReuse>>,
+    /// Phase-sliced profile slice (phase collection only).
+    pub phases: Option<PhaseProfile>,
     /// Shadow-footprint counters.
     pub memory: MemoryStats,
 }
@@ -194,6 +211,13 @@ impl ShardFragment {
             }
         }
 
+        if let Some(from) = &other.phases {
+            match self.phases.as_mut() {
+                Some(into) => into.merge(from),
+                None => self.phases = Some(from.clone()),
+            }
+        }
+
         self.memory = self.memory.combined(other.memory);
     }
 }
@@ -225,6 +249,7 @@ impl ShardResult {
                 comm: self.comm,
                 edges,
                 reuse: self.reuse,
+                phases: self.phases.map(PhaseBuilder::finish),
                 memory: MemoryStats::default(),
             },
             self.transfers,
@@ -248,6 +273,12 @@ pub(crate) struct ShardEngine {
     events_on: bool,
     seq: Vec<SeqOp>,
     scratch_evictions: Vec<u64>,
+    /// Telemetry (obs-enabled runs only): batches sent per shard, and
+    /// the workers' shared drain counters — their difference is the
+    /// channel depth sampled into the timeseries at each flush.
+    obs_on: bool,
+    sent_batches: Vec<u64>,
+    received_batches: Vec<Arc<AtomicU64>>,
 }
 
 impl std::fmt::Debug for ShardEngine {
@@ -270,14 +301,25 @@ impl ShardEngine {
         oracle.enable_eviction_log();
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut received_batches = Vec::with_capacity(shards);
         let (reuse_mode, events_on) = (config.reuse_mode, config.record_events);
+        let phase_bucket_ops = config.phase_bucket_ops;
         for shard in 0..shards {
             let (tx, rx) = sync_channel::<Vec<ShardMsg>>(CHANNEL_DEPTH);
             senders.push(tx);
+            let received = Arc::new(AtomicU64::new(0));
+            received_batches.push(Arc::clone(&received));
+            let spec = WorkerSpec {
+                shard,
+                reuse_mode,
+                events_on,
+                phase_bucket_ops,
+                batches_received: received,
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sigil-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, rx, reuse_mode, events_on))
+                    .spawn(move || shard_worker(spec, rx))
                     .expect("spawn shard worker"),
             );
         }
@@ -292,6 +334,9 @@ impl ShardEngine {
             events_on,
             seq: Vec::new(),
             scratch_evictions: Vec::new(),
+            obs_on: sigil_obs::is_enabled(),
+            sent_batches: vec![0; shards],
+            received_batches,
         }
     }
 
@@ -320,6 +365,30 @@ impl ShardEngine {
         // A send error means the worker died; its join below will
         // surface the panic, so don't double-panic here.
         let _ = self.senders[shard].send(batch);
+        if self.obs_on {
+            self.sent_batches[shard] += 1;
+            self.sample_depths(shard);
+        }
+    }
+
+    /// Samples the flushed shard's channel depth and the whole
+    /// pipeline's dispatch backlog (batches sent but not yet drained)
+    /// into the timeseries store.
+    fn sample_depths(&self, shard: usize) {
+        let drained = self.received_batches[shard].load(Ordering::Relaxed);
+        let depth = self.sent_batches[shard].saturating_sub(drained);
+        sigil_obs::timeseries::record_gauge(&format!("shard.{shard}.depth"), depth as f64);
+        let sent: u64 = self.sent_batches.iter().sum();
+        let received: u64 = self
+            .received_batches
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        sigil_obs::timeseries::record_gauge(
+            "shard.dispatch_backlog",
+            sent.saturating_sub(received) as f64,
+        );
+        sigil_obs::timeseries::record_counter("shard.batches_sent", 1);
     }
 
     /// Broadcasts any calltree contexts created since the last sync, so
@@ -389,6 +458,7 @@ impl ShardEngine {
         call: CallNumber,
         reader_fn: Option<FunctionId>,
         at: Timestamp,
+        phase_at: u64,
     ) {
         let idx = self.next_idx;
         self.next_idx += 1;
@@ -426,6 +496,7 @@ impl ShardEngine {
                     call,
                     reader_fn,
                     at,
+                    phase_at,
                 }),
             );
             part += 1;
@@ -459,6 +530,18 @@ impl ShardEngine {
     }
 }
 
+/// Per-worker launch parameters.
+struct WorkerSpec {
+    shard: usize,
+    reuse_mode: bool,
+    events_on: bool,
+    /// Phase-profile bucket width; `Some` turns on transfer bucketing.
+    phase_bucket_ops: Option<u64>,
+    /// Telemetry: batches this worker has drained, shared with the
+    /// dispatcher's channel-depth sampling.
+    batches_received: Arc<AtomicU64>,
+}
+
 /// Per-worker replay state.
 struct WorkerState {
     table: ShadowTable<ShadowObject>,
@@ -468,28 +551,32 @@ struct WorkerState {
     /// Context → function map, filled by `CtxDef` broadcasts.
     ctx_funcs: Vec<Option<FunctionId>>,
     transfers: TransferMap,
+    phases: Option<PhaseBuilder>,
     events_on: bool,
     evictions_applied: u64,
 }
 
-fn shard_worker(
-    shard: usize,
-    rx: Receiver<Vec<ShardMsg>>,
-    reuse_mode: bool,
-    events_on: bool,
-) -> ShardResult {
-    let _span = sigil_obs::span_with(|| format!("shard-worker-{shard}"));
+fn shard_worker(spec: WorkerSpec, rx: Receiver<Vec<ShardMsg>>) -> ShardResult {
+    let _span = sigil_obs::span_with(|| format!("shard-worker-{}", spec.shard));
     let mut state = WorkerState {
         table: ShadowTable::new(),
         comm: Vec::new(),
         edges: HashMap::new(),
-        reuse: reuse_mode.then(Vec::new),
+        reuse: spec.reuse_mode.then(Vec::new),
         ctx_funcs: Vec::new(),
         transfers: TransferMap::new(),
-        events_on,
+        phases: spec.phase_bucket_ops.map(PhaseBuilder::new),
+        events_on: spec.events_on,
         evictions_applied: 0,
     };
-    while let Ok(batch) = rx.recv() {
+    let mut busy_ns = 0u64;
+    let mut idle_ns = 0u64;
+    loop {
+        let wait = Instant::now();
+        let Ok(batch) = rx.recv() else { break };
+        idle_ns += u64::try_from(wait.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        spec.batches_received.fetch_add(1, Ordering::Relaxed);
+        let work = Instant::now();
         for msg in batch {
             match msg {
                 ShardMsg::CtxDef { func } => state.ctx_funcs.push(func),
@@ -502,6 +589,7 @@ fn shard_worker(
                 ShardMsg::Access(rec) => apply_read(&mut state, rec),
             }
         }
+        busy_ns += u64::try_from(work.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
     // Flush outstanding reuse records (bytes still "live" at exit) —
     // the shard owns exactly its bytes, so the union over shards equals
@@ -519,7 +607,10 @@ fn shard_worker(
         edges: state.edges,
         reuse: state.reuse,
         transfers: state.transfers,
+        phases: state.phases,
         evictions_applied: state.evictions_applied,
+        busy_ns,
+        idle_ns,
     }
 }
 
@@ -535,6 +626,10 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
     let mut producer_fn_memo: Option<(ContextId, Option<FunctionId>)> = None;
     let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
     let events_on = state.events_on;
+    // Phase-profile transfer segments, mirroring the serial path's
+    // producer-context accumulation (see `SigilProfiler::handle_read`).
+    let mut phase_transfers: Vec<(ContextId, u64)> = Vec::new();
+    let phases_on = state.phases.is_some();
 
     let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
     debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
@@ -603,10 +698,18 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
                 }
             }
         }
-        if !repeat && producer.is_some() && producer_call != rec.call && events_on {
-            match transfers.last_mut() {
-                Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
-                _ => transfers.push((producer_call, 1)),
+        if !repeat && producer.is_some() && producer_call != rec.call {
+            if events_on {
+                match transfers.last_mut() {
+                    Some((last_call, bytes)) if *last_call == producer_call => *bytes += 1,
+                    _ => transfers.push((producer_call, 1)),
+                }
+            }
+            if phases_on {
+                match phase_transfers.last_mut() {
+                    Some((last_ctx, bytes)) if *last_ctx == producer_ctx => *bytes += 1,
+                    _ => phase_transfers.push((producer_ctx, 1)),
+                }
             }
         }
     }
@@ -633,6 +736,12 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
             .entry(rec.idx)
             .or_default()
             .push((rec.part, transfers));
+    }
+    if !phase_transfers.is_empty() {
+        let builder = state.phases.as_mut().expect("phases on");
+        for (producer_ctx, bytes) in phase_transfers {
+            builder.record_transfer(producer_ctx, rec.ctx, rec.phase_at, bytes);
+        }
     }
 }
 
@@ -743,6 +852,7 @@ mod tests {
             comm,
             edges: edge_rows,
             reuse: None,
+            phases: None,
             memory: MemoryStats::default(),
         }
     }

@@ -13,8 +13,8 @@
 //! a sweep at `jobs = N` is observably identical to the serial sweep
 //! apart from wall time.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -130,17 +130,33 @@ pub struct SweepEntry {
 /// Upper bucket bounds (milliseconds) for the `sweep.wall_ms` histogram.
 const WALL_MS_BOUNDS: &[u64] = &[1, 10, 50, 100, 500, 1000, 5000, 30_000];
 
-/// Shared progress state for a sweep, read by the monitor thread.
+/// Shared progress state for a sweep, read by the monitor thread. The
+/// stop flag lives under a condvar so teardown wakes the monitor
+/// immediately instead of waiting out a poll sleep.
 struct SweepProgress {
     total: usize,
     done: AtomicUsize,
     running: AtomicUsize,
-    stop: AtomicBool,
+    stop: Mutex<bool>,
+    stopped: Condvar,
+}
+
+impl SweepProgress {
+    /// Signals the monitor to exit and wakes it from its timed wait.
+    fn request_stop(&self) {
+        *self.stop.lock().expect("sweep stop lock") = true;
+        self.stopped.notify_all();
+    }
 }
 
 /// Spawns a background thread that logs a progress line (workloads done /
-/// running / elapsed) roughly every two seconds at `info` level. Returns
-/// `None` when info logging is off so quiet runs pay nothing.
+/// running / elapsed) roughly every two seconds at `info` level, and a
+/// final `N/N done` summary when the sweep completes. Returns `None`
+/// when info logging is off so quiet runs pay nothing.
+///
+/// The monitor parks on a condvar rather than a sleep loop: when the
+/// sweep finishes, [`SweepProgress::request_stop`] wakes it at once, so
+/// teardown costs microseconds instead of the worst-case poll interval.
 fn spawn_progress_monitor(progress: &Arc<SweepProgress>) -> Option<std::thread::JoinHandle<()>> {
     if !sigil_obs::log::enabled(sigil_obs::log::Level::Info) {
         return None;
@@ -148,25 +164,31 @@ fn spawn_progress_monitor(progress: &Arc<SweepProgress>) -> Option<std::thread::
     let progress = Arc::clone(progress);
     Some(std::thread::spawn(move || {
         let start = Instant::now();
-        // Poll the stop flag often so sweep teardown is prompt, but only
-        // print every ~2s (20 polls) to keep the log readable.
-        let mut polls = 0u32;
+        let interval = Duration::from_secs(2);
+        let mut guard = progress.stop.lock().expect("sweep stop lock");
         loop {
-            std::thread::sleep(Duration::from_millis(100));
-            if progress.stop.load(Ordering::Acquire) {
-                break;
+            let (next, timeout) = progress
+                .stopped
+                .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                .expect("sweep stop lock");
+            guard = next;
+            if !timeout.timed_out() {
+                break; // stop requested: fall through to the summary
             }
-            polls += 1;
-            if polls.is_multiple_of(20) {
-                obs_info!(
-                    "sweep progress: {}/{} done, {} running, {:.1}s elapsed",
-                    progress.done.load(Ordering::Relaxed),
-                    progress.total,
-                    progress.running.load(Ordering::Relaxed),
-                    start.elapsed().as_secs_f64()
-                );
-            }
+            obs_info!(
+                "sweep progress: {}/{} done, {} running, {:.1}s elapsed",
+                progress.done.load(Ordering::Relaxed),
+                progress.total,
+                progress.running.load(Ordering::Relaxed),
+                start.elapsed().as_secs_f64()
+            );
         }
+        obs_info!(
+            "sweep complete: {}/{} done in {:.1}s",
+            progress.done.load(Ordering::Relaxed),
+            progress.total,
+            start.elapsed().as_secs_f64()
+        );
     }))
 }
 
@@ -189,7 +211,8 @@ where
         total: names.len(),
         done: AtomicUsize::new(0),
         running: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
+        stop: Mutex::new(false),
+        stopped: Condvar::new(),
     });
     let monitor = spawn_progress_monitor(&progress);
     let done_counter = sigil_obs::metrics::counter("sweep.workloads_done");
@@ -214,7 +237,7 @@ where
         }
     });
 
-    progress.stop.store(true, Ordering::Release);
+    progress.request_stop();
     if let Some(handle) = monitor {
         let _ = handle.join();
     }
@@ -282,6 +305,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stop_wakes_the_monitor_wait_immediately() {
+        // The monitor parks on the condvar with a long timeout; a stop
+        // request must wake it without waiting the interval out. A
+        // 30-second timeout makes a regression (back to sleep polling)
+        // fail loudly instead of flaking.
+        let progress = Arc::new(SweepProgress {
+            total: 3,
+            done: AtomicUsize::new(3),
+            running: AtomicUsize::new(0),
+            stop: Mutex::new(false),
+            stopped: Condvar::new(),
+        });
+        let waiter = std::thread::spawn({
+            let progress = Arc::clone(&progress);
+            move || {
+                let guard = progress.stop.lock().expect("stop lock");
+                let (_guard, timeout) = progress
+                    .stopped
+                    .wait_timeout_while(guard, Duration::from_secs(30), |stopped| !*stopped)
+                    .expect("stop lock");
+                timeout.timed_out()
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        progress.request_stop();
+        let timed_out = waiter.join().expect("waiter thread");
+        assert!(!timed_out, "stop must wake the wait, not let it time out");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use sigil_callgrind::ContextId;
 use sigil_core::{merge_fragments, ContextReuse, ShardFragment, SigilConfig, SigilProfiler};
-use sigil_core::{CommEdge, CommStats};
+use sigil_core::{CommEdge, CommStats, PhaseBuilder, PhaseProfile};
 use sigil_mem::{EvictionPolicy, MemoryStats};
 use sigil_trace::{Engine, OpClass, ThreadId};
 
@@ -92,17 +92,41 @@ fn arb_memory() -> impl Strategy<Value = MemoryStats> {
     })
 }
 
+/// Phase profiles share one bucket width (merging mixed widths is a
+/// programming error and panics), built through the real
+/// [`PhaseBuilder`] so the canonical sparse/sorted shape holds.
+fn arb_phases() -> impl Strategy<Value = Option<PhaseProfile>> {
+    (
+        0u8..2,
+        proptest::collection::vec((0u32..4, 0u32..4, 0u64..64, 0u64..3, 0u64..200), 0..8),
+    )
+        .prop_map(|(some, cells)| {
+            (some == 1).then(|| {
+                let mut builder = PhaseBuilder::new(8);
+                for (from, to, at, calls, bytes) in cells {
+                    for _ in 0..calls {
+                        builder.record_call(ContextId(from), ContextId(to), at);
+                    }
+                    builder.record_transfer(ContextId(from), ContextId(to), at, bytes);
+                }
+                builder.finish()
+            })
+        })
+}
+
 fn arb_fragment() -> impl Strategy<Value = ShardFragment> {
     (
         proptest::collection::vec(arb_comm(), 0..5),
         arb_edges(),
         arb_reuse(),
+        arb_phases(),
         arb_memory(),
     )
-        .prop_map(|(comm, edges, reuse, memory)| ShardFragment {
+        .prop_map(|(comm, edges, reuse, phases, memory)| ShardFragment {
             comm,
             edges,
             reuse,
+            phases,
             memory,
         })
 }
@@ -244,6 +268,7 @@ proptest! {
             .with_reuse_mode()
             .with_line_mode(64)
             .with_events()
+            .with_phases(7)
             .with_shadow_limit(limit)
             .with_eviction(policy);
         let serial = replay(&steps, config);

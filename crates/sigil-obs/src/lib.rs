@@ -16,6 +16,10 @@
 //! 3. **Leveled logging** ([`log`] and the [`obs_warn!`], [`obs_info!`],
 //!    [`obs_debug!`] macros) — a global level gate that compiles down to
 //!    one relaxed atomic load when the level is off.
+//! 4. **Time series and live streaming** ([`timeseries`], [`stream`]) —
+//!    fixed-resolution bucketed counters/gauges since the trace epoch,
+//!    and a background [`MetricsStreamer`] appending delta snapshots of
+//!    the metrics registry as tail-able JSONL at a fixed interval.
 //!
 //! Tracing and metrics are **disabled by default** and cost one relaxed
 //! atomic load per instrumentation site until [`set_enabled`] turns them
@@ -46,10 +50,13 @@ pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod stream;
+pub mod timeseries;
 
 pub use chrome::{export_chrome_trace, write_chrome_trace};
 pub use log::Level;
 pub use span::{span, span_with, SpanGuard, SpanRecord};
+pub use stream::MetricsStreamer;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

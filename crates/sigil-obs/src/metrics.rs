@@ -111,6 +111,55 @@ impl Histogram {
         core.total.fetch_add(1, Ordering::Relaxed);
         core.sum.fetch_add(value, Ordering::Relaxed);
     }
+
+    /// Estimates the `p`-th percentile (`0.0..=100.0`) by linear
+    /// interpolation inside the bucket holding that rank. Returns `None`
+    /// for an inert handle or an empty histogram. Ranks landing in the
+    /// overflow bucket report the last finite bound (a floor, not an
+    /// estimate — the histogram has no upper edge there).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let core = self.0.as_ref()?;
+        let counts: Vec<u64> = core
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        percentile_from_buckets(&core.bounds, &counts, p)
+    }
+}
+
+/// Percentile estimate from raw histogram state: `counts` has one entry
+/// per bound plus a final overflow bucket. Linear interpolation within
+/// the bucket containing rank `p/100 * total`; bucket `i` spans
+/// `(bounds[i-1], bounds[i]]` (the first spans `[0, bounds[0]]`).
+/// Returns `None` when there are no observations or the shapes mismatch.
+pub fn percentile_from_buckets(bounds: &[u64], counts: &[u64], p: f64) -> Option<f64> {
+    if bounds.is_empty() || counts.len() != bounds.len() + 1 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * total as f64;
+    let mut below = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let cumulative = below + count;
+        if cumulative as f64 >= rank {
+            let Some(&upper) = bounds.get(i) else {
+                // Overflow bucket: no upper edge to interpolate against.
+                return Some(*bounds.last().expect("bounds non-empty") as f64);
+            };
+            let lower = if i == 0 { 0 } else { bounds[i - 1] };
+            let fraction = ((rank - below as f64) / count as f64).clamp(0.0, 1.0);
+            return Some(lower as f64 + fraction * (upper - lower) as f64);
+        }
+        below = cumulative;
+    }
+    Some(*bounds.last().expect("bounds non-empty") as f64)
 }
 
 /// Registers (or finds) the counter `name` and returns a handle.
@@ -381,6 +430,36 @@ mod tests {
         assert_eq!(snapshot()["name"], MetricValue::Counter(1));
         crate::set_enabled(false);
         clear();
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        let h = histogram("lat", &[10, 100, 1000]);
+        assert_eq!(h.percentile(50.0), None, "empty histogram has no rank");
+        for v in [5, 5, 50, 50, 50, 50, 500, 500, 500, 5000] {
+            h.observe(v);
+        }
+        // Rank 5 of 10 sits at the end of the (10, 100] bucket's second
+        // of four observations: 10 + (5-2)/4 * 90 = 77.5.
+        assert_eq!(h.percentile(50.0), Some(77.5));
+        // Rank 0 clamps into the first occupied bucket.
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        // Rank 10 lands in the overflow bucket: floored to the last bound.
+        assert_eq!(h.percentile(99.9), Some(1000.0));
+        crate::set_enabled(false);
+        clear();
+        assert_eq!(Histogram(None).percentile(50.0), None);
+    }
+
+    #[test]
+    fn percentile_from_buckets_rejects_bad_shapes() {
+        assert_eq!(percentile_from_buckets(&[], &[3], 50.0), None);
+        assert_eq!(percentile_from_buckets(&[10], &[1], 50.0), None);
+        assert_eq!(percentile_from_buckets(&[10], &[0, 0], 50.0), None);
+        assert_eq!(percentile_from_buckets(&[10], &[2, 0], 100.0), Some(10.0));
     }
 
     #[test]

@@ -15,8 +15,13 @@
 //! minimal repro before the assert fires, so the panic message alone is
 //! enough to reproduce and debug the mismatch by hand.
 
-use sigil_oracle::harness::{self, diff_seed, golden_config, record_benchmark, shrink};
+use sigil_core::{PhaseBuilder, PhaseProfile, SigilConfig, SigilProfiler};
+use sigil_oracle::harness::{
+    self, diff_seed, golden_config, record_benchmark, record_program, shrink, TraceBundle,
+    SHARD_AXIS,
+};
 use sigil_oracle::{diff_reports, InjectedBug, OracleReport};
+use sigil_trace::io::replay;
 use sigil_vm::GenProgram;
 use sigil_workloads::{Benchmark, InputSize};
 
@@ -90,6 +95,125 @@ fn injected_bugs_are_caught_and_shrink() {
                 harness::first_divergent_access(&bundle, config, Some(bug)).is_some(),
                 "{bug:?} (shards={}): no first divergent access located",
                 config.shards
+            );
+        }
+    }
+}
+
+/// Replays `bundle` through the production profiler and returns the full
+/// profile (the phase tests need `Profile.phases` and `Profile.events`,
+/// which the projected [`OracleReport`] deliberately omits).
+fn production_profile(bundle: &TraceBundle, config: SigilConfig) -> sigil_core::Profile {
+    let mut profiler = SigilProfiler::new(config);
+    replay(&bundle.events, &mut profiler);
+    profiler.into_profile(bundle.symbols.clone())
+}
+
+/// The naive phase oracle: folds a recorded event file into a bucketed
+/// profile with nothing but the documented clock rules — an independent
+/// reimplementation of what `SigilProfiler` computes incrementally
+/// during replay (and what `PhaseFold` recovers when streaming).
+fn naive_phase_fold(events: &sigil_core::EventFile, bucket_ops: u64) -> PhaseProfile {
+    use sigil_core::EventRecord;
+    let root = sigil_callgrind::ContextId::ROOT;
+    let mut ctx_of = std::collections::HashMap::new();
+    let mut builder = PhaseBuilder::new(bucket_ops);
+    let mut clock = 0u64;
+    for record in events.records() {
+        match *record {
+            EventRecord::Call {
+                parent_call,
+                call,
+                ctx,
+            } => {
+                let from = ctx_of.get(&parent_call).copied().unwrap_or(root);
+                ctx_of.insert(call, ctx);
+                builder.record_call(from, ctx, clock);
+                clock += 1;
+            }
+            EventRecord::Compute { ops, .. } => clock += ops,
+            EventRecord::Transfer {
+                from_call,
+                to_call,
+                bytes,
+            } => {
+                let from = ctx_of.get(&from_call).copied().unwrap_or(root);
+                let to = ctx_of.get(&to_call).copied().unwrap_or(root);
+                builder.record_transfer(from, to, clock, bytes);
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// Seeded random programs: the production `PhaseProfile` — serial and
+/// across the full shard axis — equals the naive bucketed fold of the
+/// very same run's event file. Seed count is env-tunable via
+/// `SIGIL_DIFF_PHASE_SEEDS`.
+#[test]
+fn phase_profiles_conform_to_naive_event_fold() {
+    let default_seeds = if cfg!(debug_assertions) { 12 } else { 60 };
+    let seeds = env_u64("SIGIL_DIFF_PHASE_SEEDS", default_seeds);
+    for seed in 0..seeds {
+        let bundle = record_program(&GenProgram::generate(seed));
+        // Vary the bucket width per seed so boundary alignments differ.
+        let width = 1 + seed % 97;
+        let config = golden_config().with_events().with_phases(width);
+        let serial = production_profile(&bundle, config);
+        let events = serial.events.as_ref().expect("events enabled");
+        let phases = serial.phases.as_ref().expect("phases enabled");
+        let naive = naive_phase_fold(events, width);
+        assert_eq!(
+            phases, &naive,
+            "seed {seed} width {width}: production phases diverged from the naive event fold"
+        );
+        for &shards in &SHARD_AXIS[1..] {
+            let sharded = production_profile(&bundle, config.with_shards(shards));
+            assert_eq!(
+                sharded.phases.as_ref(),
+                Some(&naive),
+                "seed {seed} width {width} shards {shards}: sharded phases diverged"
+            );
+        }
+    }
+}
+
+/// The tentpole three-way equivalence on every golden workload: the
+/// phase profile is byte-identical (serde) across serial replay, 2/4/8-
+/// way sharded replay, and the bounded-memory `PhaseFold` streaming off
+/// the chunked binary event file.
+#[test]
+fn phase_profiles_identical_across_paths_on_golden_workloads() {
+    use sigil_core::events_bin::encode_events_chunked;
+    let width = 500;
+    let config = golden_config().with_events().with_phases(width);
+    for bench in Benchmark::ALL {
+        let bundle = record_benchmark(bench, InputSize::SimSmall);
+        let serial = production_profile(&bundle, config);
+        let events = serial.events.as_ref().expect("events enabled");
+        let phases = serial.phases.as_ref().expect("phases enabled");
+        let serial_json = serde_json::to_string(phases).expect("phases serialize");
+        assert!(
+            !phases.pairs.is_empty(),
+            "{bench}: golden workload produced no phase activity"
+        );
+
+        let bytes = encode_events_chunked(events, 256);
+        let streamed = sigil_analysis::phase_profile_from_bin(bytes.as_slice(), width)
+            .expect("clean event file");
+        assert_eq!(
+            serde_json::to_string(&streamed).expect("phases serialize"),
+            serial_json,
+            "{bench}: streaming PhaseFold diverged from serial replay"
+        );
+
+        for &shards in &SHARD_AXIS[1..] {
+            let sharded = production_profile(&bundle, config.with_shards(shards));
+            let sharded_json = serde_json::to_string(sharded.phases.as_ref().expect("phases on"))
+                .expect("phases serialize");
+            assert_eq!(
+                sharded_json, serial_json,
+                "{bench} shards={shards}: sharded phases diverged from serial"
             );
         }
     }

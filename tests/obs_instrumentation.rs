@@ -105,6 +105,84 @@ fn enabled_observability_captures_phases_and_shadow_counters() {
     metrics::clear();
 }
 
+/// Writers on many threads hammer counters, gauges, histograms, and
+/// timeseries buckets while a reader repeatedly snapshots — every JSON
+/// export must stay well-formed mid-flight, and the final counter totals
+/// must be exact (no lost updates).
+#[test]
+fn concurrent_writers_keep_snapshots_well_formed() {
+    let _lock = obs_lock();
+    span::clear();
+    metrics::clear();
+    sigil::obs::timeseries::clear();
+    sigil::obs::set_enabled(true);
+
+    const WRITERS: usize = 8;
+    const ROUNDS: u64 = 500;
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    metrics::counter("stress.shared").inc();
+                    metrics::counter(&format!("stress.worker.{w}")).add(i);
+                    metrics::set_gauge(&format!("stress.depth.{w}"), i as f64);
+                    metrics::histogram("stress.lat", &[1, 10, 100]).observe(i);
+                    sigil::obs::timeseries::record_counter_at("stress.ops", i, 1);
+                }
+            })
+        })
+        .collect();
+
+    // Read concurrently with the writers: partial counts are fine, but
+    // the exports must always parse and keys must stay sorted.
+    for _ in 0..50 {
+        let doc = json::parse(&metrics::snapshot_json()).expect("metrics JSON mid-write");
+        assert!(doc.get("counters").is_some());
+        json::parse(&sigil::obs::timeseries::snapshot_json()).expect("timeseries JSON mid-write");
+        let snap = metrics::snapshot();
+        let keys: Vec<_> = snap.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "snapshot keys stay sorted");
+        std::thread::yield_now();
+    }
+    for writer in writers {
+        writer.join().expect("writer thread panicked");
+    }
+
+    let snap = metrics::snapshot();
+    assert_eq!(
+        snap.get("stress.shared"),
+        Some(&MetricValue::Counter(WRITERS as u64 * ROUNDS)),
+        "shared counter lost updates under contention"
+    );
+    let per_worker = ROUNDS * (ROUNDS - 1) / 2;
+    for w in 0..WRITERS {
+        assert_eq!(
+            snap.get(&format!("stress.worker.{w}")),
+            Some(&MetricValue::Counter(per_worker))
+        );
+    }
+    match snap.get("stress.lat") {
+        Some(MetricValue::Histogram { total, .. }) => {
+            assert_eq!(*total, WRITERS as u64 * ROUNDS, "histogram lost samples");
+        }
+        other => panic!("stress.lat should be a histogram, got {other:?}"),
+    }
+    let (_, series) = sigil::obs::timeseries::snapshot();
+    match series.get("stress.ops") {
+        Some(sigil::obs::timeseries::SeriesSnapshot::Counter(points)) => {
+            let total: u64 = points.iter().map(|&(_, v)| v).sum();
+            assert_eq!(total, WRITERS as u64 * ROUNDS, "timeseries lost updates");
+        }
+        other => panic!("stress.ops should be a counter series, got {other:?}"),
+    }
+
+    sigil::obs::set_enabled(false);
+    metrics::clear();
+    sigil::obs::timeseries::clear();
+}
+
 #[test]
 fn sweep_entries_surface_memory_stats() {
     // No obs globals involved: SweepEntry.memory is plain data.
