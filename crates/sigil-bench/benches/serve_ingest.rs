@@ -1,0 +1,126 @@
+//! Ingest throughput of the `sigil-serve` daemon: how fast a live TCP
+//! session swallows a trace, single-session and 4-way concurrent,
+//! against the in-process batch replay of the exact same events.
+//!
+//! One iteration streams (or replays) the whole synthetic trace — about
+//! 100k runtime events of a producer/consumer loop with real
+//! cross-function communication — so ns/iter divided by the event count
+//! gives events/sec for `BENCH_serve.json`. The 4-way arm streams the
+//! same trace over four concurrent sessions and counts 4x the events per
+//! iteration: it prices session isolation (per-session worker threads,
+//! shared metrics registry), not speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_serve::{Client, Listen, ServeConfig, Server, SessionSpec};
+use sigil_trace::io::replay;
+use sigil_trace::{MemAccess, OpClass, RuntimeEvent, SymbolTable};
+
+/// Producer/consumer rounds with disjoint-then-reused buffers: writes,
+/// cross-function reads, ops, branches, and a thread switch per round,
+/// the event mix a real frontend would emit.
+fn synthetic_trace(rounds: usize) -> (SymbolTable, Vec<RuntimeEvent>) {
+    let mut symbols = SymbolTable::new();
+    let main = symbols.intern("main");
+    let produce = symbols.intern("produce");
+    let consume = symbols.intern("consume");
+    let mut events = vec![RuntimeEvent::Call { callee: main }];
+    for round in 0..rounds {
+        let base = 0x1000 + (round as u64 % 64) * 0x100;
+        events.push(RuntimeEvent::Call { callee: produce });
+        for i in 0..8u64 {
+            events.push(RuntimeEvent::Write {
+                access: MemAccess::new(base + i * 8, 8),
+            });
+            events.push(RuntimeEvent::Op {
+                class: OpClass::IntArith,
+                count: 3,
+            });
+        }
+        events.push(RuntimeEvent::Return);
+        events.push(RuntimeEvent::Call { callee: consume });
+        for i in 0..8u64 {
+            events.push(RuntimeEvent::Read {
+                access: MemAccess::new(base + i * 8, 8),
+            });
+            events.push(RuntimeEvent::Op {
+                class: OpClass::FloatArith,
+                count: 2,
+            });
+            events.push(RuntimeEvent::Branch {
+                site: base + i,
+                taken: i % 3 != 0,
+            });
+        }
+        events.push(RuntimeEvent::Return);
+        if round % 16 == 15 {
+            events.push(RuntimeEvent::ThreadSwitch {
+                thread: sigil_trace::ThreadId::from_raw((round / 16) as u32 % 4),
+            });
+        }
+    }
+    events.push(RuntimeEvent::Return);
+    (symbols, events)
+}
+
+fn bench_config() -> SigilConfig {
+    SigilConfig::default().with_reuse_mode().with_line_mode(64)
+}
+
+fn stream_once(address: &str, name: &str, symbols: &SymbolTable, events: &[RuntimeEvent]) {
+    let mut client =
+        Client::connect(address, &SessionSpec::trace(name, bench_config())).expect("connect");
+    client
+        .stream_trace(symbols, events)
+        .expect("stream the trace");
+    let result = client.finish().expect("finish the session");
+    assert_eq!(result.records, events.len() as u64, "server lost events");
+}
+
+fn serve_ingest(c: &mut Criterion) {
+    let (symbols, events) = synthetic_trace(2048); // ~100k events
+    let server =
+        Server::bind(Listen::parse("127.0.0.1:0"), ServeConfig::default()).expect("bind server");
+    let address = server.address();
+
+    let mut group = c.benchmark_group("serve_ingest");
+    group.sample_size(10);
+
+    // Baseline: the same events through the in-process batch pipeline.
+    group.bench_function("batch_replay", |b| {
+        b.iter(|| {
+            let mut profiler = SigilProfiler::new(bench_config());
+            replay(&events, &mut profiler);
+            profiler.into_profile(symbols.clone())
+        })
+    });
+
+    // One session end-to-end: connect, stream every chunk through the
+    // socket and the bounded ingest queue, FINISH, full profile back.
+    group.bench_function("session_single", |b| {
+        b.iter(|| stream_once(&address, "bench-single", &symbols, &events))
+    });
+
+    // Four concurrent sessions of the same trace: 4x the events per
+    // iteration across four worker threads.
+    group.bench_function("session_4way", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for lane in 0..4 {
+                    let address = &address;
+                    let symbols = &symbols;
+                    let events = &events;
+                    scope.spawn(move || {
+                        stream_once(address, &format!("bench-lane-{lane}"), symbols, events)
+                    });
+                }
+            })
+        })
+    });
+
+    group.finish();
+    drop(server);
+}
+
+criterion_group!(benches, serve_ingest);
+criterion_main!(benches);

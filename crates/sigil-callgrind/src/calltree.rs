@@ -35,7 +35,7 @@ impl fmt::Display for ContextId {
 }
 
 /// One calltree node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContextNode {
     /// The function this context executes; `None` only for the root.
     pub func: Option<FunctionId>,
@@ -246,6 +246,18 @@ impl CallTree {
         total
     }
 }
+
+/// Equality compares the persistent tree only — cursor state (stack,
+/// parked per-thread stacks, current thread) is transient replay
+/// machinery that `serde` already skips, so two trees are equal exactly
+/// when their serialized forms are.
+impl PartialEq for CallTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
+}
+
+impl Eq for CallTree {}
 
 impl Default for CallTree {
     fn default() -> Self {

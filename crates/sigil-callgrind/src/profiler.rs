@@ -168,7 +168,7 @@ pub struct FunctionRow {
 }
 
 /// A finished Callgrind-like profile: calltree + symbols + cycle model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CallgrindProfile {
     /// The context-sensitive calltree with exclusive costs.
     pub tree: CallTree,

@@ -21,8 +21,14 @@
 //! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
 //! sigil diff [random] [--seeds N] [--seed-base N] [--limit N] [--shards N]
 //!                                               # differential oracle conformance on random programs
-//! sigil diff golden [--golden-dir D] [--shards N] # check the golden corpus against oracle + production
+//! sigil diff golden [--golden-dir D] [--shards N] [--connect A]
+//!                                               # check the golden corpus against oracle + production
 //! sigil diff bless [--golden-dir D]             # regenerate the golden corpus (also: --bless)
+//! sigil diff serve [--seeds N] [--shards N]     # online == batch conformance over a real socket
+//! sigil serve [--listen <addr|path>] [--credits N] [--idle-timeout-ms N]
+//!                                               # concurrent trace-ingestion daemon
+//! sigil client <benchmark|file.evb|shutdown> --connect <addr> [--check]
+//!                                               # replay a workload or event file into a server
 //! sigil list                                    # available benchmarks
 //! ```
 //!
@@ -57,13 +63,16 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|phases|schedule|calltree|dot|run|trace|replay|sweep|diff|events|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|phases|schedule|calltree|dot|run|trace|replay|sweep|diff|events|serve|client|list> [target] [options]\n\
      events:  sigil events <dump|pack|unpack|stat> <target> [-o <file>] [--chunk-records <n>] [--verify]\n\
      phases:  sigil phases <benchmark|--from-events <file>> [--bucket-ops <n>] [--json|--table]\n\
+     serve:   sigil serve [--listen <addr|path>] [--credits <n>] [--idle-timeout-ms <n>]\n\
+     client:  sigil client <benchmark|file.evb|shutdown> --connect <addr|path> [--check]\n\
      options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
               --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json --table\n\
               --seeds <n> --seed-base <n> --golden-dir <dir> --bless\n\
               --from-events <file> --chunk-records <n> --verify\n\
+              --listen <addr|path> --connect <addr|path> --credits <n> --idle-timeout-ms <n> --check\n\
               --bucket-ops <n> (alias: --bucket-us) phase bucket width in retired ops\n\
               --log-level <off|warn|info|debug> --trace-out <file> --metrics-out <file>\n\
               --metrics-stream <file> --metrics-interval-ms <n>\n\
@@ -119,6 +128,18 @@ struct Options {
     chunk_records: Option<usize>,
     /// Fully scan binary event files and cross-check the trailer index.
     verify: bool,
+    /// Listen address for `sigil serve` (a path containing `/` means a
+    /// Unix-domain socket).
+    listen: String,
+    /// Server address for `sigil client` / `sigil diff golden|serve`.
+    connect: Option<String>,
+    /// Per-session credit window for `sigil serve`.
+    credits: u32,
+    /// Idle-session timeout for `sigil serve`, in milliseconds.
+    idle_timeout_ms: u64,
+    /// `sigil client --check`: also profile locally and require the
+    /// server's result to be byte-identical.
+    check: bool,
 }
 
 impl Options {
@@ -158,6 +179,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         from_events: None,
         chunk_records: None,
         verify: false,
+        listen: "127.0.0.1:7077".to_owned(),
+        connect: None,
+        credits: 8,
+        idle_timeout_ms: 30_000,
+        check: false,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -275,6 +301,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.chunk_records = Some(n);
             }
             "--verify" => opts.verify = true,
+            "--listen" => {
+                let value = it
+                    .next()
+                    .ok_or("--listen needs an address or socket path")?;
+                opts.listen = value.clone();
+            }
+            "--connect" => {
+                let value = it
+                    .next()
+                    .ok_or("--connect needs an address or socket path")?;
+                opts.connect = Some(value.clone());
+            }
+            "--credits" => {
+                let value = it.next().ok_or("--credits needs a value")?;
+                opts.credits = value.parse().map_err(|_| "bad --credits value")?;
+                if opts.credits == 0 {
+                    return Err("--credits must be at least 1".to_owned());
+                }
+            }
+            "--idle-timeout-ms" => {
+                let value = it.next().ok_or("--idle-timeout-ms needs a value")?;
+                opts.idle_timeout_ms = value.parse().map_err(|_| "bad --idle-timeout-ms value")?;
+                if opts.idle_timeout_ms == 0 {
+                    return Err("--idle-timeout-ms must be at least 1".to_owned());
+                }
+            }
+            "--check" => opts.check = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -855,8 +908,9 @@ fn cmd_diff(opts: &Options) -> Result<(), String> {
     match opts.target.as_str() {
         "random" => cmd_diff_random(opts),
         "golden" => cmd_diff_golden(opts),
+        "serve" => cmd_diff_serve(opts),
         other => Err(format!(
-            "unknown diff target `{other}` (expected random, golden, or bless)"
+            "unknown diff target `{other}` (expected random, golden, serve, or bless)"
         )),
     }
 }
@@ -931,7 +985,39 @@ fn cmd_diff_golden(opts: &Options) -> Result<(), String> {
             message.push_str("re-bless only if the change is intentional: sigil diff bless");
             return Err(message);
         }
-        let production = harness::production_report(&bundle, production_config);
+        // With `--connect`, the production side replays through a live
+        // `sigil-serve` daemon instead of in-process — and the online
+        // profile must additionally be byte-identical to the batch one.
+        let production = match opts.connect.as_deref() {
+            None => harness::production_report(&bundle, production_config),
+            Some(address) => {
+                use sigil_oracle::serve_axis;
+                let batch = serve_axis::batch_outcome(&bundle, production_config);
+                let online = serve_axis::online_outcome(
+                    address,
+                    &format!("golden-{bench}"),
+                    &bundle,
+                    production_config,
+                    opts.chunk_records.unwrap_or(DEFAULT_CHUNK_RECORDS),
+                )
+                .map_err(|e| format!("`{bench}` via {address}: {e}"))?;
+                let profile = online
+                    .profile
+                    .ok_or_else(|| format!("`{bench}` via {address}: no profile returned"))?;
+                let online_json = serde_json::to_string(&profile).map_err(|e| e.to_string())?;
+                let batch_json =
+                    serde_json::to_string(&batch.profile).map_err(|e| e.to_string())?;
+                if online_json != batch_json {
+                    return Err(format!(
+                        "`{bench}` via {address}: online profile is not byte-identical to batch \
+                         ({} vs {} JSON bytes)",
+                        online_json.len(),
+                        batch_json.len()
+                    ));
+                }
+                sigil_oracle::project_profile(&profile)
+            }
+        };
         let conformance = sigil_oracle::diff_reports(&production, &oracle);
         if !conformance.is_empty() {
             let mut message = format!(
@@ -990,6 +1076,211 @@ fn cmd_diff_bless(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `sigil serve`: run the concurrent trace-ingestion daemon until a
+/// SHUTDOWN frame arrives (`sigil client shutdown --connect <addr>`).
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    use sigil_serve::{Listen, ServeConfig, Server};
+    let config = ServeConfig {
+        credits: opts.credits,
+        idle_timeout: std::time::Duration::from_millis(opts.idle_timeout_ms),
+    };
+    let server = Server::bind(Listen::parse(&opts.listen), config)
+        .map_err(|e| format!("cannot listen on `{}`: {e}", opts.listen))?;
+    let address = server.address();
+    println!(
+        "serving on {address} (credits {}, idle timeout {} ms)",
+        opts.credits, opts.idle_timeout_ms
+    );
+    println!("stop with: sigil client shutdown --connect {address}");
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `sigil client <benchmark|file.evb|shutdown> --connect <addr>`:
+/// replay a workload (trace session) or a binary event file (events
+/// session) into a running server; `--check` additionally profiles
+/// locally and requires the server's profile to be byte-identical.
+fn cmd_client(opts: &Options) -> Result<(), String> {
+    use sigil_core::events_bin::encode_chunk_payload;
+    use sigil_serve::{shutdown_server, Client, SessionSpec};
+    let address = opts
+        .connect
+        .as_deref()
+        .ok_or("client needs --connect <addr|path>")?;
+    if opts.target == "shutdown" {
+        let summary = shutdown_server(address).map_err(|e| e.to_string())?;
+        println!(
+            "server shut down (drained: {}, sessions served: {})",
+            summary.drained, summary.opened
+        );
+        return Ok(());
+    }
+    if opts.target.ends_with(".evb") {
+        let file = std::fs::File::open(&opts.target)
+            .map_err(|e| format!("cannot open `{}`: {e}", opts.target))?;
+        let mut stream = ChunkStream::new(std::io::BufReader::new(file))
+            .map_err(|e| format!("{}: {e}", opts.target))?;
+        let bucket_ops = opts.bucket_ops.unwrap_or(DEFAULT_BUCKET_OPS);
+        let spec = SessionSpec::events(opts.target.clone(), Some(bucket_ops));
+        let mut client = Client::connect(address, &spec).map_err(|e| e.to_string())?;
+        while let Some(records) = stream
+            .next_chunk()
+            .map_err(|e| format!("{}: {e}", opts.target))?
+        {
+            client
+                .send_chunk(encode_chunk_payload(records), records.len() as u32)
+                .map_err(|e| e.to_string())?;
+        }
+        let result = client.finish().map_err(|e| e.to_string())?;
+        println!(
+            "# {} streamed to {address}: {} records",
+            opts.target, result.records
+        );
+        if let Some(cp) = &result.critpath {
+            println!(
+                "critical path  : {} ops (max parallelism {:.2}x)",
+                cp.length_ops,
+                cp.max_parallelism()
+            );
+        }
+        println!(
+            "cdfg           : {} contexts, {} edges | compute {} ops | transfers {} bytes",
+            result.cdfg_contexts.unwrap_or(0),
+            result.cdfg_edges.unwrap_or(0),
+            result.compute_ops.unwrap_or(0),
+            result.transfer_bytes.unwrap_or(0)
+        );
+        return Ok(());
+    }
+    let bench = opts.bench()?;
+    let mut engine = Engine::new(RecordingObserver::new());
+    bench.run(opts.size, &mut engine);
+    let (recorder, symbols) = engine.finish_with_symbols();
+    let events = recorder.into_events();
+    let config = sigil_config(opts);
+    let mut client = Client::connect(address, &SessionSpec::trace(opts.target.clone(), config))
+        .map_err(|e| e.to_string())?;
+    if let Some(chunk) = opts.chunk_records {
+        client.set_chunk_records(chunk);
+    }
+    client
+        .stream_trace(&symbols, &events)
+        .map_err(|e| e.to_string())?;
+    let waits = client.credit_waits();
+    let result = client.finish().map_err(|e| e.to_string())?;
+    let profile = result
+        .profile
+        .ok_or("server returned no profile for a trace session")?;
+    println!(
+        "# {} ({}) streamed to {address}: {} events, {} credit wait(s)",
+        opts.target, opts.size, result.records, waits
+    );
+    if opts.check {
+        let mut profiler = SigilProfiler::new(config);
+        sigil_trace::io::replay(&events, &mut profiler);
+        let batch = profiler.into_profile(symbols);
+        let online_json = serde_json::to_string(&profile).map_err(|e| e.to_string())?;
+        let batch_json = serde_json::to_string(&batch).map_err(|e| e.to_string())?;
+        if online_json != batch_json {
+            return Err(format!(
+                "online profile diverges from local batch profile ({} vs {} JSON bytes)",
+                online_json.len(),
+                batch_json.len()
+            ));
+        }
+        println!("check: online profile byte-identical to local batch profile");
+    }
+    if opts.json {
+        let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        print!("{}", report::full_report(&profile));
+    }
+    Ok(())
+}
+
+/// Wire-chunking axis for `sigil diff serve`: conformance must not
+/// depend on where chunk boundaries fall, so seeds rotate through
+/// tiny, small, and default chunk sizes.
+const SERVE_CHUNK_AXIS: [usize; 4] = [3, 64, 1024, DEFAULT_CHUNK_RECORDS];
+
+/// `sigil diff serve`: replay seeded random programs both through the
+/// in-process batch pipeline and through a real socket into a
+/// `sigil-serve` daemon (an in-process one unless `--connect` points at
+/// an external server); every Profile, phase profile, and critical path
+/// must be byte-identical. Divergences are ddmin-shrunk online.
+fn cmd_diff_serve(opts: &Options) -> Result<(), String> {
+    use sigil_oracle::{harness, serve_axis};
+    let local_server = match &opts.connect {
+        Some(_) => None,
+        None => Some(
+            sigil_serve::Server::bind(
+                sigil_serve::Listen::parse("127.0.0.1:0"),
+                sigil_serve::ServeConfig::default(),
+            )
+            .map_err(|e| format!("cannot start in-process server: {e}"))?,
+        ),
+    };
+    let address = match &opts.connect {
+        Some(addr) => addr.clone(),
+        None => local_server.as_ref().expect("bound above").address(),
+    };
+    let mut config = serve_axis::serve_config();
+    if let Some(shards) = opts.shards {
+        config = config.with_shards(shards);
+    }
+    let end = opts.seed_base + opts.seeds;
+    for seed in opts.seed_base..end {
+        let program = sigil_vm::GenProgram::generate(seed);
+        let bundle = harness::record_program(&program);
+        let chunk_records = SERVE_CHUNK_AXIS[(seed % 4) as usize];
+        let divergences = serve_axis::diff_online(
+            &address,
+            &format!("diff-serve-{seed}"),
+            &bundle,
+            config,
+            chunk_records,
+        )
+        .map_err(|e| format!("seed {seed}: {e}"))?;
+        if !divergences.is_empty() {
+            let minimized = serve_axis::shrink_online(&address, &program, config);
+            let mut message = format!(
+                "seed {seed} (chunk_records={chunk_records}, shards={}): online diverged from batch ({} field(s)):\n",
+                config.shards,
+                divergences.len()
+            );
+            for d in divergences.iter().take(8) {
+                message.push_str(&format!("  {d}\n"));
+            }
+            message.push_str(&format!(
+                "minimized repro: {} instructions (from {})",
+                minimized.inst_count(),
+                program.inst_count()
+            ));
+            return Err(message);
+        }
+        let done = seed - opts.seed_base + 1;
+        if done.is_multiple_of(100) {
+            println!("# {done}/{} seeds online == batch", opts.seeds);
+        }
+    }
+    if let Some(server) = local_server {
+        sigil_serve::shutdown_server(&address).map_err(|e| e.to_string())?;
+        server.wait();
+    }
+    println!(
+        "{} seeds replayed over {}: online == batch, byte-identical",
+        opts.seeds,
+        if opts.connect.is_some() {
+            "an external socket"
+        } else {
+            "a local socket"
+        }
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help")
@@ -1017,6 +1308,10 @@ fn main() -> ExitCode {
     // `sigil diff` and `sigil diff --seeds N ...` imply the `random` target.
     if command == "diff" && args.get(1).is_none_or(|a| a.starts_with('-')) {
         args.insert(1, "random".to_owned());
+    }
+    // `sigil serve` takes no target; insert a dummy so options parse.
+    if command == "serve" && args.get(1).is_none_or(|a| a.starts_with('-')) {
+        args.insert(1, "daemon".to_owned());
     }
     // `sigil critpath --from-events <file>` and `sigil phases
     // --from-events <file>` need no benchmark target.
@@ -1073,6 +1368,8 @@ fn main() -> ExitCode {
             "replay" => cmd_replay(&opts),
             "sweep" => cmd_sweep(&opts),
             "diff" => cmd_diff(&opts),
+            "serve" => cmd_serve(&opts),
+            "client" => cmd_client(&opts),
             "events-dump" => cmd_events_dump(&opts),
             "events-pack" => cmd_events_pack(&opts),
             "events-unpack" => cmd_events_unpack(&opts),
@@ -1299,6 +1596,52 @@ mod tests {
         assert!(parse_options(&args(&["random", "--seeds", "x"])).is_err());
         assert!(parse_options(&args(&["random", "--seed-base"])).is_err());
         assert!(parse_options(&args(&["random", "--golden-dir"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let opts = parse_options(&args(&["daemon"])).expect("parses");
+        assert_eq!(opts.listen, "127.0.0.1:7077");
+        assert_eq!(opts.credits, 8);
+        assert_eq!(opts.idle_timeout_ms, 30_000);
+        assert_eq!(opts.connect, None);
+        assert!(!opts.check);
+
+        let opts = parse_options(&args(&[
+            "daemon",
+            "--listen",
+            "/tmp/sigil.sock",
+            "--credits",
+            "2",
+            "--idle-timeout-ms",
+            "500",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.listen, "/tmp/sigil.sock");
+        assert_eq!(opts.credits, 2);
+        assert_eq!(opts.idle_timeout_ms, 500);
+
+        assert!(parse_options(&args(&["daemon", "--credits", "0"])).is_err());
+        assert!(parse_options(&args(&["daemon", "--credits", "x"])).is_err());
+        assert!(parse_options(&args(&["daemon", "--idle-timeout-ms", "0"])).is_err());
+        assert!(parse_options(&args(&["daemon", "--listen"])).is_err());
+    }
+
+    #[test]
+    fn parse_client_flags() {
+        let opts = parse_options(&args(&[
+            "vips",
+            "--connect",
+            "127.0.0.1:7077",
+            "--check",
+            "--chunk-records",
+            "256",
+        ]))
+        .expect("parses");
+        assert_eq!(opts.connect.as_deref(), Some("127.0.0.1:7077"));
+        assert!(opts.check);
+        assert_eq!(opts.chunk_records, Some(256));
+        assert!(parse_options(&args(&["vips", "--connect"])).is_err());
     }
 
     #[test]

@@ -76,8 +76,9 @@ const INDEX_ENTRY_LEN: usize = 32;
 /// Byte length of the footer.
 const FOOTER_LEN: usize = 32;
 /// Upper bound on a single chunk payload (corruption guard: never
-/// allocate more than this from an untrusted length field).
-const MAX_PAYLOAD: u32 = 1 << 26;
+/// allocate more than this from an untrusted length field). Public so
+/// wire protocols framing SGEB chunk payloads enforce the same bound.
+pub const MAX_PAYLOAD: u32 = 1 << 26;
 
 /// A decode or I/O failure, located as precisely as the format allows.
 #[derive(Debug)]
@@ -378,6 +379,61 @@ fn decode_record(cursor: &mut Cursor<'_>, prev_call: &mut u64) -> Result<EventRe
             format!("unknown record tag {other:#04x}"),
         )),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Standalone chunk-payload codec (wire reuse)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit checksum as used over SGEB chunk payloads — exposed so
+/// wire framings reusing the chunk encoding can carry the same checksum.
+pub fn payload_checksum(data: &[u8]) -> u64 {
+    fnv1a64(data)
+}
+
+/// Encodes `records` as one standalone SGEB chunk payload: the exact
+/// byte encoding a [`BinWriter`] would emit for a chunk holding these
+/// records (varint/zigzag-delta, per-chunk `prev_call` baseline of 0).
+pub fn encode_chunk_payload(records: &[EventRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 8);
+    let mut prev_call = 0u64;
+    for record in records {
+        encode_record(&mut out, record, &mut prev_call);
+    }
+    out
+}
+
+/// Decodes one standalone SGEB chunk payload of exactly `records`
+/// records, as produced by [`encode_chunk_payload`] (or cut from a
+/// `.evb` file). Offsets in errors are payload-relative.
+///
+/// # Errors
+///
+/// Returns a located [`BinError`] on malformed records, a record count
+/// mismatch, or trailing payload bytes.
+pub fn decode_chunk_payload(payload: &[u8], records: u32) -> Result<Vec<EventRecord>, BinError> {
+    let mut out = Vec::with_capacity(records as usize);
+    let mut cursor = Cursor {
+        data: payload,
+        pos: 0,
+        base: 0,
+        chunk: 0,
+    };
+    let mut prev_call = 0u64;
+    for _ in 0..records {
+        out.push(decode_record(&mut cursor, &mut prev_call)?);
+    }
+    if cursor.pos != payload.len() {
+        return Err(BinError::format(
+            cursor.offset(),
+            None,
+            format!(
+                "{} trailing payload bytes after the last record",
+                payload.len() - cursor.pos
+            ),
+        ));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -1227,6 +1283,24 @@ mod tests {
         for delta in [0u64, 1, u64::MAX, u64::MAX - 3, 1 << 40] {
             assert_eq!(unzigzag(zigzag(delta)), delta);
         }
+    }
+
+    #[test]
+    fn standalone_chunk_payload_matches_writer_bytes() {
+        let file = sample();
+        // One chunk holding everything: the standalone payload must be
+        // byte-identical to the BinWriter's chunk payload.
+        let bytes = encode_events_chunked(&file, file.len());
+        let payload = encode_chunk_payload(file.records());
+        let chunk_start = HEADER_LEN + 1 + CHUNK_HEADER_LEN;
+        assert_eq!(&bytes[chunk_start..chunk_start + payload.len()], &payload);
+        let stored_checksum = read_u64(&bytes, HEADER_LEN + 9);
+        assert_eq!(payload_checksum(&payload), stored_checksum);
+        let decoded = decode_chunk_payload(&payload, file.len() as u32).expect("standalone decode");
+        assert_eq!(decoded.as_slice(), file.records());
+        // Count mismatches and trailing bytes are located errors.
+        assert!(decode_chunk_payload(&payload, file.len() as u32 + 1).is_err());
+        assert!(decode_chunk_payload(&payload, file.len() as u32 - 1).is_err());
     }
 
     #[test]

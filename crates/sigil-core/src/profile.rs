@@ -42,7 +42,7 @@ pub struct FunctionComm {
 /// Combines the embedded Callgrind profile (calltree, costs, cycle model)
 /// with Sigil's communication classification, and optionally reuse
 /// aggregates, a line-granularity report, and the event file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Profile {
     /// The embedded Callgrind-like profile.
     pub callgrind: CallgrindProfile,

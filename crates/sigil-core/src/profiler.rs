@@ -156,6 +156,17 @@ impl SigilProfiler {
         }
     }
 
+    /// A point-in-time snapshot of the phase-sliced profile built so
+    /// far, for live queries against an in-progress run. `None` when
+    /// phase collection is off or the profiler is sharded (sharded
+    /// replay assembles phases only at finish).
+    pub fn phase_snapshot(&self) -> Option<crate::phase::PhaseProfile> {
+        if self.engine.is_some() {
+            return None;
+        }
+        self.phases.as_ref().map(|b| b.clone().finish())
+    }
+
     fn frames(&self) -> Option<&Vec<Frame>> {
         self.thread_frames.get(&self.current_thread)
     }

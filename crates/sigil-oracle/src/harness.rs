@@ -198,6 +198,18 @@ pub fn diverges(program: &GenProgram, config: SigilConfig, bug: Option<InjectedB
 /// list: halving chunks, then single instructions, iterated to a fixed
 /// point). Returns the minimized program; the input must diverge.
 pub fn shrink(program: &GenProgram, config: SigilConfig, bug: Option<InjectedBug>) -> GenProgram {
+    shrink_with(program, |candidate| diverges(candidate, config, bug))
+}
+
+/// The ddmin loop behind [`shrink`], generalized over the failure
+/// predicate so other axes (the `sigil-serve` online-vs-batch diff, for
+/// one) reuse the identical minimization strategy: drop halving chunks
+/// down to single instructions while `still_fails` holds, iterated to a
+/// fixed point. The input program must satisfy the predicate.
+pub fn shrink_with<F>(program: &GenProgram, mut still_fails: F) -> GenProgram
+where
+    F: FnMut(&GenProgram) -> bool,
+{
     let mut current = program.clone();
     loop {
         let before = current.inst_count();
@@ -209,9 +221,7 @@ pub fn shrink(program: &GenProgram, config: SigilConfig, bug: Option<InjectedBug
             let mut start = 0;
             while start < current.inst_count() {
                 let candidate = current.drop_range(start, chunk);
-                if candidate.inst_count() < current.inst_count()
-                    && diverges(&candidate, config, bug)
-                {
+                if candidate.inst_count() < current.inst_count() && still_fails(&candidate) {
                     current = candidate;
                 } else {
                     start += chunk;

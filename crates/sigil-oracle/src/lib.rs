@@ -40,6 +40,7 @@
 pub mod harness;
 pub mod profiler;
 pub mod report;
+pub mod serve_axis;
 
 pub use profiler::{InjectedBug, OracleProfiler};
 pub use report::{

@@ -1,0 +1,191 @@
+//! The server conformance axis: online == batch.
+//!
+//! The other harness axes prove the production profiler against a naive
+//! oracle. This axis proves the *daemon* against the batch pipeline: the
+//! same recorded trace is profiled once in-process
+//! ([`batch_outcome`]) and once by streaming it through a real socket
+//! into a running `sigil-serve` server ([`online_outcome`]), and the
+//! finished session's Profile, phase profile, and critical-path summary
+//! must be **byte-identical** as JSON ([`diff_online`]). Divergences
+//! delta-debug exactly like shadow-memory divergences: [`shrink_online`]
+//! reuses the harness ddmin loop with "still diverges over the socket"
+//! as the predicate.
+//!
+//! Byte-level JSON comparison is sound here because the vendored
+//! `serde_json` formats floats shortest-roundtrip: serialize →
+//! deserialize → serialize is the identity on these types, so equal
+//! semantics imply equal bytes.
+
+use sigil_analysis::streaming::{CriticalPathFold, PathSummary};
+use sigil_core::{PhaseProfile, Profile, SigilConfig, SigilProfiler};
+use sigil_serve::{Client, ClientError, SessionResult, SessionSpec};
+use sigil_trace::io::replay;
+use sigil_vm::GenProgram;
+
+use crate::harness::{golden_config, record_program, shrink_with, TraceBundle};
+use crate::report::{diff_reports, project_profile, Divergence};
+
+/// Phase bucket the serve axis profiles under: small enough that every
+/// golden workload and generated seed crosses many bucket boundaries.
+pub const SERVE_BUCKET_OPS: u64 = 256;
+
+/// The configuration the serve axis replays under: the golden corpus
+/// configuration plus recorded events (so the critical path is
+/// computable from the finished profile) and phase slicing (so the
+/// phase fold path is conformance-tested too).
+pub fn serve_config() -> SigilConfig {
+    golden_config().with_events().with_phases(SERVE_BUCKET_OPS)
+}
+
+/// What the batch pipeline produces for a bundle: the profile plus the
+/// same derived aggregates a finished server session reports.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The in-process profile.
+    pub profile: Profile,
+    /// Its phase slices (copied out of the profile).
+    pub phases: Option<PhaseProfile>,
+    /// Critical path folded over the recorded event file.
+    pub critpath: Option<PathSummary>,
+}
+
+/// Replays `bundle` through the in-process batch pipeline, finalizing
+/// exactly the way a server session does.
+pub fn batch_outcome(bundle: &TraceBundle, config: SigilConfig) -> BatchOutcome {
+    let mut profiler = SigilProfiler::new(config);
+    replay(&bundle.events, &mut profiler);
+    let profile = profiler.into_profile(bundle.symbols.clone());
+    let critpath = profile.events.as_ref().and_then(|events| {
+        let mut fold = CriticalPathFold::new();
+        fold.extend(events.records());
+        fold.finish().ok()
+    });
+    BatchOutcome {
+        phases: profile.phases.clone(),
+        critpath,
+        profile,
+    }
+}
+
+/// Streams `bundle` into the server at `address` as one trace session
+/// and returns the finished result. `chunk_records` sets the wire
+/// chunking — conformance must not depend on where chunk boundaries
+/// fall, so sweeps vary it.
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures.
+pub fn online_outcome(
+    address: &str,
+    name: &str,
+    bundle: &TraceBundle,
+    config: SigilConfig,
+    chunk_records: usize,
+) -> Result<SessionResult, ClientError> {
+    let mut client = Client::connect(address, &SessionSpec::trace(name, config))?;
+    client.set_chunk_records(chunk_records);
+    client.stream_trace(&bundle.symbols, &bundle.events)?;
+    client.finish()
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("profile types serialize")
+}
+
+/// Compares a finished online session against the batch pipeline,
+/// field-by-field. Empty result = byte-identical Profile, phases, and
+/// critical path.
+pub fn diff_outcomes(batch: &BatchOutcome, online: &SessionResult) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    match &online.profile {
+        None => out.push(Divergence {
+            location: "profile".to_owned(),
+            production: "<missing>".to_owned(),
+            oracle: "<present>".to_owned(),
+        }),
+        Some(profile) => {
+            // Structural equality first: `Profile` compares exactly the
+            // fields serde serializes, and the vendored `serde_json` is
+            // deterministic, so `==` holds iff the JSON bytes match —
+            // without paying to serialize a multi-million-record event
+            // file on the (overwhelmingly common) agreeing path.
+            if *profile != batch.profile {
+                // Name the diverging fields via the oracle projection;
+                // if the projection agrees, record the raw byte
+                // disagreement so nothing slips through unnamed.
+                let fields =
+                    diff_reports(&project_profile(profile), &project_profile(&batch.profile));
+                if fields.is_empty() {
+                    out.push(Divergence {
+                        location: "profile/json-bytes".to_owned(),
+                        production: format!("{} bytes", json(profile).len()),
+                        oracle: format!("{} bytes", json(&batch.profile).len()),
+                    });
+                } else {
+                    out.extend(fields);
+                }
+            }
+        }
+    }
+    if json(&online.phases) != json(&batch.phases) {
+        out.push(Divergence {
+            location: "phases/json-bytes".to_owned(),
+            production: json(&online.phases),
+            oracle: json(&batch.phases),
+        });
+    }
+    if json(&online.critpath) != json(&batch.critpath) {
+        out.push(Divergence {
+            location: "critpath/json-bytes".to_owned(),
+            production: json(&online.critpath),
+            oracle: json(&batch.critpath),
+        });
+    }
+    out
+}
+
+/// Replays `bundle` both ways against the server at `address` and
+/// returns the field-level disagreements (empty = conformant).
+///
+/// # Errors
+///
+/// Propagates connection and protocol failures; a failure is *not* a
+/// divergence.
+pub fn diff_online(
+    address: &str,
+    name: &str,
+    bundle: &TraceBundle,
+    config: SigilConfig,
+    chunk_records: usize,
+) -> Result<Vec<Divergence>, ClientError> {
+    let batch = batch_outcome(bundle, config);
+    let online = online_outcome(address, name, bundle, config, chunk_records)?;
+    let mut out = diff_outcomes(&batch, &online);
+    if online.records != bundle.events.len() as u64 {
+        out.push(Divergence {
+            location: "records".to_owned(),
+            production: online.records.to_string(),
+            oracle: bundle.events.len().to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Whether `program` produces an online-vs-batch divergence against the
+/// server at `address`. Connection failures count as *no* divergence so
+/// the shrinker never minimizes toward a dead server.
+pub fn online_diverges(address: &str, program: &GenProgram, config: SigilConfig) -> bool {
+    let bundle = record_program(program);
+    matches!(
+        diff_online(address, "shrink-probe", &bundle, config, 64),
+        Ok(divergences) if !divergences.is_empty()
+    )
+}
+
+/// Delta-debugs an online-vs-batch divergence down to a minimal
+/// program, reusing the harness ddmin loop. The input must diverge.
+pub fn shrink_online(address: &str, program: &GenProgram, config: SigilConfig) -> GenProgram {
+    shrink_with(program, |candidate| {
+        online_diverges(address, candidate, config)
+    })
+}

@@ -54,6 +54,104 @@ fn bad_data(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
+/// Writes one event in the trace encoding: a tag byte plus a fixed
+/// little-endian payload. The same record encoding is used inside
+/// `.sgtr` containers and as the per-record wire payload of streamed
+/// profile sessions.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_event<W: Write>(writer: &mut W, event: RuntimeEvent) -> io::Result<()> {
+    match event {
+        RuntimeEvent::Call { callee } => {
+            writer.write_all(&[tag::CALL])?;
+            writer.write_all(&callee.as_raw().to_le_bytes())?;
+        }
+        RuntimeEvent::Return => writer.write_all(&[tag::RETURN])?,
+        RuntimeEvent::Read { access } => {
+            writer.write_all(&[tag::READ])?;
+            writer.write_all(&access.addr.to_le_bytes())?;
+            writer.write_all(&access.size.to_le_bytes())?;
+        }
+        RuntimeEvent::Write { access } => {
+            writer.write_all(&[tag::WRITE])?;
+            writer.write_all(&access.addr.to_le_bytes())?;
+            writer.write_all(&access.size.to_le_bytes())?;
+        }
+        RuntimeEvent::Op { class, count } => {
+            writer.write_all(&[tag::OP, op_class_code(class)])?;
+            writer.write_all(&count.to_le_bytes())?;
+        }
+        RuntimeEvent::Branch { site, taken } => {
+            writer.write_all(&[tag::BRANCH, u8::from(taken)])?;
+            writer.write_all(&site.to_le_bytes())?;
+        }
+        RuntimeEvent::SyscallEnter { name } => {
+            writer.write_all(&[tag::SYSCALL_ENTER])?;
+            writer.write_all(&name.as_raw().to_le_bytes())?;
+        }
+        RuntimeEvent::SyscallExit => writer.write_all(&[tag::SYSCALL_EXIT])?,
+        RuntimeEvent::ThreadSwitch { thread } => {
+            writer.write_all(&[tag::THREAD_SWITCH])?;
+            writer.write_all(&thread.as_raw().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads one event written by [`write_event`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on an unknown tag or op class, and
+/// propagates underlying I/O errors (including `UnexpectedEof` on a
+/// truncated record).
+pub fn read_event<R: Read>(reader: &mut R) -> io::Result<RuntimeEvent> {
+    let [tag_byte] = read_exact::<1, _>(reader)?;
+    let event = match tag_byte {
+        tag::CALL => RuntimeEvent::Call {
+            callee: FunctionId::from_raw(u32::from_le_bytes(read_exact::<4, _>(reader)?)),
+        },
+        tag::RETURN => RuntimeEvent::Return,
+        tag::READ | tag::WRITE => {
+            let addr = u64::from_le_bytes(read_exact::<8, _>(reader)?);
+            let size = u32::from_le_bytes(read_exact::<4, _>(reader)?);
+            let access = MemAccess::new(addr, size);
+            if tag_byte == tag::READ {
+                RuntimeEvent::Read { access }
+            } else {
+                RuntimeEvent::Write { access }
+            }
+        }
+        tag::OP => {
+            let [code] = read_exact::<1, _>(reader)?;
+            let count = u32::from_le_bytes(read_exact::<4, _>(reader)?);
+            RuntimeEvent::Op {
+                class: op_class_from(code)?,
+                count,
+            }
+        }
+        tag::BRANCH => {
+            let [taken] = read_exact::<1, _>(reader)?;
+            let site = u64::from_le_bytes(read_exact::<8, _>(reader)?);
+            RuntimeEvent::Branch {
+                site,
+                taken: taken != 0,
+            }
+        }
+        tag::SYSCALL_ENTER => RuntimeEvent::SyscallEnter {
+            name: FunctionId::from_raw(u32::from_le_bytes(read_exact::<4, _>(reader)?)),
+        },
+        tag::SYSCALL_EXIT => RuntimeEvent::SyscallExit,
+        tag::THREAD_SWITCH => RuntimeEvent::ThreadSwitch {
+            thread: crate::ids::ThreadId::from_raw(u32::from_le_bytes(read_exact::<4, _>(reader)?)),
+        },
+        other => return Err(bad_data(format!("unknown event tag {other}"))),
+    };
+    Ok(event)
+}
+
 /// Writes a recorded trace (events + symbols) to `writer`.
 ///
 /// # Errors
@@ -73,40 +171,7 @@ pub fn write_trace<W: Write>(
     }
     writer.write_all(&(events.len() as u64).to_le_bytes())?;
     for &event in events {
-        match event {
-            RuntimeEvent::Call { callee } => {
-                writer.write_all(&[tag::CALL])?;
-                writer.write_all(&callee.as_raw().to_le_bytes())?;
-            }
-            RuntimeEvent::Return => writer.write_all(&[tag::RETURN])?,
-            RuntimeEvent::Read { access } => {
-                writer.write_all(&[tag::READ])?;
-                writer.write_all(&access.addr.to_le_bytes())?;
-                writer.write_all(&access.size.to_le_bytes())?;
-            }
-            RuntimeEvent::Write { access } => {
-                writer.write_all(&[tag::WRITE])?;
-                writer.write_all(&access.addr.to_le_bytes())?;
-                writer.write_all(&access.size.to_le_bytes())?;
-            }
-            RuntimeEvent::Op { class, count } => {
-                writer.write_all(&[tag::OP, op_class_code(class)])?;
-                writer.write_all(&count.to_le_bytes())?;
-            }
-            RuntimeEvent::Branch { site, taken } => {
-                writer.write_all(&[tag::BRANCH, u8::from(taken)])?;
-                writer.write_all(&site.to_le_bytes())?;
-            }
-            RuntimeEvent::SyscallEnter { name } => {
-                writer.write_all(&[tag::SYSCALL_ENTER])?;
-                writer.write_all(&name.as_raw().to_le_bytes())?;
-            }
-            RuntimeEvent::SyscallExit => writer.write_all(&[tag::SYSCALL_EXIT])?,
-            RuntimeEvent::ThreadSwitch { thread } => {
-                writer.write_all(&[tag::THREAD_SWITCH])?;
-                writer.write_all(&thread.as_raw().to_le_bytes())?;
-            }
-        }
+        write_event(writer, event)?;
     }
     Ok(())
 }
@@ -148,50 +213,7 @@ pub fn read_trace<R: Read>(reader: &mut R) -> io::Result<(SymbolTable, Vec<Runti
     let event_count = u64::from_le_bytes(read_exact::<8, _>(reader)?);
     let mut events = Vec::with_capacity(event_count.min(1 << 24) as usize);
     for _ in 0..event_count {
-        let [tag_byte] = read_exact::<1, _>(reader)?;
-        let event = match tag_byte {
-            tag::CALL => RuntimeEvent::Call {
-                callee: FunctionId::from_raw(u32::from_le_bytes(read_exact::<4, _>(reader)?)),
-            },
-            tag::RETURN => RuntimeEvent::Return,
-            tag::READ | tag::WRITE => {
-                let addr = u64::from_le_bytes(read_exact::<8, _>(reader)?);
-                let size = u32::from_le_bytes(read_exact::<4, _>(reader)?);
-                let access = MemAccess::new(addr, size);
-                if tag_byte == tag::READ {
-                    RuntimeEvent::Read { access }
-                } else {
-                    RuntimeEvent::Write { access }
-                }
-            }
-            tag::OP => {
-                let [code] = read_exact::<1, _>(reader)?;
-                let count = u32::from_le_bytes(read_exact::<4, _>(reader)?);
-                RuntimeEvent::Op {
-                    class: op_class_from(code)?,
-                    count,
-                }
-            }
-            tag::BRANCH => {
-                let [taken] = read_exact::<1, _>(reader)?;
-                let site = u64::from_le_bytes(read_exact::<8, _>(reader)?);
-                RuntimeEvent::Branch {
-                    site,
-                    taken: taken != 0,
-                }
-            }
-            tag::SYSCALL_ENTER => RuntimeEvent::SyscallEnter {
-                name: FunctionId::from_raw(u32::from_le_bytes(read_exact::<4, _>(reader)?)),
-            },
-            tag::SYSCALL_EXIT => RuntimeEvent::SyscallExit,
-            tag::THREAD_SWITCH => RuntimeEvent::ThreadSwitch {
-                thread: crate::ids::ThreadId::from_raw(u32::from_le_bytes(read_exact::<4, _>(
-                    reader,
-                )?)),
-            },
-            other => return Err(bad_data(format!("unknown event tag {other}"))),
-        };
-        events.push(event);
+        events.push(read_event(reader)?);
     }
     Ok((symbols, events))
 }
@@ -221,6 +243,21 @@ mod tests {
         });
         let (rec, symbols) = engine.finish_with_symbols();
         (symbols, rec.into_events())
+    }
+
+    #[test]
+    fn single_event_round_trips() {
+        let (_, events) = sample_trace();
+        for &event in &events {
+            let mut buf = Vec::new();
+            write_event(&mut buf, event).expect("write to vec");
+            let back = read_event(&mut buf.as_slice()).expect("read back");
+            assert_eq!(event, back);
+            // The whole buffer is consumed: no trailing bytes.
+            let mut slice = buf.as_slice();
+            let _ = read_event(&mut slice).expect("read");
+            assert!(slice.is_empty());
+        }
     }
 
     #[test]

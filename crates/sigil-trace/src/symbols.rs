@@ -25,7 +25,7 @@ use crate::ids::FunctionId;
 /// assert_eq!(a, b);
 /// assert_eq!(table.name(a), "main");
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SymbolTable {
     names: Vec<String>,
     // BTreeMap, not HashMap: serialized profiles must be byte-identical

@@ -15,6 +15,7 @@
 //! | [`core`] | `sigil-core` | the Sigil profiler: communication classification, aggregates, event files |
 //! | [`analysis`] | `sigil-analysis` | CDFGs, partitioning, breakeven speedup, critical path, reuse histograms |
 //! | [`workloads`] | `sigil-workloads` | synthetic PARSEC-2.1-like workload suite + libquantum |
+//! | [`serve`] | `sigil-serve` | concurrent trace-ingestion daemon: wire protocol, server, client |
 //! | [`obs`] | `sigil-obs` | in-tree observability: spans + Chrome trace export, metrics, leveled logging |
 //!
 //! # Quickstart
@@ -59,6 +60,7 @@ pub use sigil_callgrind as callgrind;
 pub use sigil_core as core;
 pub use sigil_mem as mem;
 pub use sigil_obs as obs;
+pub use sigil_serve as serve;
 pub use sigil_trace as trace;
 pub use sigil_vm as vm;
 pub use sigil_workloads as workloads;

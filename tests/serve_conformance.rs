@@ -1,0 +1,189 @@
+//! Server conformance: online == batch over a real socket.
+//!
+//! Every golden workload and a seeded sweep of generated programs are
+//! profiled twice — once through the in-process batch pipeline and once
+//! by streaming the identical recorded trace into a live `sigil-serve`
+//! daemon over TCP — and the finished Profile, phase profile, and
+//! critical-path summary must be **byte-identical** as JSON, under both
+//! serial and 4-way sharded server-side replay, regardless of where the
+//! wire chunk boundaries fall.
+//!
+//! The seed sweep is env-tunable so CI can widen it without recompiling:
+//!
+//! - `SIGIL_SERVE_SEEDS`     — number of seeds (default 30 debug / 100 release)
+//! - `SIGIL_SERVE_SEED_BASE` — first seed (default 0)
+//!
+//! On any divergence the failing program is delta-debugged down to a
+//! minimal repro *through the socket* before the assert fires, mirroring
+//! `tests/differential.rs`.
+
+use sigil_oracle::harness::{record_benchmark, record_program, shrink_with};
+use sigil_oracle::serve_axis::{
+    batch_outcome, diff_online, diff_outcomes, online_outcome, serve_config, shrink_online,
+};
+use sigil_serve::{Listen, ServeConfig, Server};
+use sigil_vm::GenProgram;
+use sigil_workloads::{Benchmark, InputSize};
+
+/// Wire chunk sizes the sweeps rotate through: a tiny chunk that splits
+/// symbol definitions from events, two mid sizes, and one large enough
+/// that small traces arrive in a single frame.
+const CHUNK_AXIS: [usize; 4] = [3, 64, 1024, 4096];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v:?}")))
+        .unwrap_or(default)
+}
+
+fn start_server() -> Server {
+    Server::bind(Listen::parse("127.0.0.1:0"), ServeConfig::default())
+        .expect("bind conformance server")
+}
+
+/// All 14 golden workloads, each replayed online under serial and 4-way
+/// sharded server-side replay with a per-workload chunk size: the
+/// session result must be byte-identical to the batch pipeline.
+#[test]
+fn golden_workloads_conform_online() {
+    let server = start_server();
+    let address = server.address();
+    for (i, bench) in Benchmark::ALL.into_iter().enumerate() {
+        let recorded_at = std::time::Instant::now();
+        let bundle = record_benchmark(bench, InputSize::SimSmall);
+        eprintln!(
+            "[golden] {bench}: {} events recorded in {:.1?}",
+            bundle.events.len(),
+            recorded_at.elapsed()
+        );
+        let chunk = CHUNK_AXIS[i % CHUNK_AXIS.len()];
+        for shards in [1usize, 4] {
+            let started = std::time::Instant::now();
+            let config = if shards == 1 {
+                serve_config()
+            } else {
+                serve_config().with_shards(shards)
+            };
+            let name = format!("{bench}-s{shards}");
+            let divergences = diff_online(&address, &name, &bundle, config, chunk)
+                .unwrap_or_else(|e| panic!("{bench} (shards {shards}): session failed: {e}"));
+            assert!(
+                divergences.is_empty(),
+                "{bench} (shards {shards}, chunk {chunk}): online diverged from batch:\n{:#?}",
+                divergences
+            );
+            eprintln!(
+                "[golden] {bench} shards={shards} chunk={chunk}: conformed in {:.1?}",
+                started.elapsed()
+            );
+        }
+    }
+    drop(server);
+}
+
+/// Seeded random programs conform online == batch, alternating serial
+/// and 4-way sharded replay and rotating the wire chunk size per seed.
+/// Divergences shrink through the socket before the panic fires.
+#[test]
+fn random_seeds_conform_online() {
+    let default_seeds = if cfg!(debug_assertions) { 30 } else { 100 };
+    let seeds = env_u64("SIGIL_SERVE_SEEDS", default_seeds);
+    let base = env_u64("SIGIL_SERVE_SEED_BASE", 0);
+    let server = start_server();
+    let address = server.address();
+    for seed in base..base + seeds {
+        let program = GenProgram::generate(seed);
+        let bundle = record_program(&program);
+        let chunk = CHUNK_AXIS[(seed % CHUNK_AXIS.len() as u64) as usize];
+        let config = if seed % 2 == 0 {
+            serve_config()
+        } else {
+            serve_config().with_shards(4)
+        };
+        let divergences = diff_online(&address, &format!("seed-{seed}"), &bundle, config, chunk)
+            .unwrap_or_else(|e| panic!("seed {seed}: session failed: {e}"));
+        if !divergences.is_empty() {
+            let minimized = shrink_online(&address, &program, config);
+            panic!(
+                "seed {seed} (shards {}, chunk {chunk}): online diverged from batch:\n{:#?}\n\
+                 minimized repro: {} instructions (from {})",
+                config.shards,
+                divergences.iter().take(8).collect::<Vec<_>>(),
+                minimized.inst_count(),
+                program.inst_count()
+            );
+        }
+    }
+    drop(server);
+}
+
+/// The serve axis has teeth: a deliberately mismatched configuration on
+/// the online side (line granularity 32 vs the batch side's 64) is
+/// detected as a divergence, and the socket-predicate ddmin loop
+/// shrinks the repro while preserving the failure.
+#[test]
+fn mismatched_online_config_is_caught_and_shrinks() {
+    let server = start_server();
+    let address = server.address();
+    let wrong = serve_config().with_line_mode(32);
+    let diverges = |program: &GenProgram| {
+        let bundle = record_program(program);
+        let batch = batch_outcome(&bundle, serve_config());
+        match online_outcome(&address, "teeth", &bundle, wrong, 64) {
+            Ok(online) => !diff_outcomes(&batch, &online).is_empty(),
+            Err(_) => false,
+        }
+    };
+    let seed = (0..50)
+        .find(|&s| diverges(&GenProgram::generate(s)))
+        .expect("line-granularity mismatch never manifested in 50 seeds");
+    let minimized = shrink_with(&GenProgram::generate(seed), diverges);
+    assert!(
+        diverges(&minimized),
+        "shrink lost the online divergence (seed {seed})"
+    );
+    assert!(
+        minimized.inst_count() <= 40,
+        "minimized online repro has {} instructions (> 40)",
+        minimized.inst_count()
+    );
+    drop(server);
+}
+
+/// Tampered session results are reported with named locations — the
+/// field-level differ never waves a mutilated result through.
+#[test]
+fn tampered_results_are_named() {
+    let server = start_server();
+    let address = server.address();
+    let bundle = record_program(&GenProgram::generate(1));
+    let config = serve_config();
+    let batch = batch_outcome(&bundle, config);
+    let mut online =
+        online_outcome(&address, "tamper", &bundle, config, 64).expect("tamper session streams");
+    assert!(
+        diff_outcomes(&batch, &online).is_empty(),
+        "baseline must conform"
+    );
+
+    let mut missing = online.clone();
+    missing.profile = None;
+    let locations: Vec<_> = diff_outcomes(&batch, &missing)
+        .into_iter()
+        .map(|d| d.location)
+        .collect();
+    assert!(
+        locations.iter().any(|l| l == "profile"),
+        "missing profile not named: {locations:?}"
+    );
+
+    online.phases = None;
+    assert!(
+        diff_outcomes(&batch, &online)
+            .iter()
+            .any(|d| d.location == "phases/json-bytes"),
+        "dropped phases not named"
+    );
+    drop(server);
+}

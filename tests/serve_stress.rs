@@ -1,0 +1,238 @@
+//! Concurrent-session stress: eight clients hammer one `sigil-serve`
+//! daemon simultaneously, each streaming a *different* workload with a
+//! *different* wire chunk size, and every session's finished result must
+//! be byte-identical to that workload's solo batch run — session
+//! isolation under real interleaving, not just one-at-a-time replay.
+//!
+//! The per-session `serve.session.<id>.*` counters must also come out
+//! exact: concurrent sessions share the process-global metrics registry,
+//! so any cross-session bleed (a chunk attributed to the wrong session)
+//! shows up as a wrong per-session record count.
+//!
+//! This file is its own test process, so the `sigil-obs` globals are not
+//! shared with any other test binary.
+
+use std::collections::HashMap;
+use std::thread;
+
+use sigil::obs::metrics::{self, MetricValue};
+use sigil::serve::{Client, Listen, ServeConfig, Server, SessionResult, SessionSpec};
+use sigil_oracle::harness::{record_benchmark, record_program, TraceBundle};
+use sigil_oracle::serve_axis::{batch_outcome, serve_config, BatchOutcome};
+use sigil_vm::GenProgram;
+use sigil_workloads::{Benchmark, InputSize};
+
+/// One stress participant: a named workload bundle plus the wire chunk
+/// size its client streams with.
+struct Participant {
+    name: String,
+    bundle: TraceBundle,
+    chunk_records: usize,
+}
+
+fn participants() -> Vec<Participant> {
+    // Four real golden workloads and four seeded generated programs, so
+    // the mix spans both trace shapes; chunk sizes range from "symbol
+    // defs split across frames" to "whole trace in one frame".
+    let benches = [
+        Benchmark::Blackscholes,
+        Benchmark::Fluidanimate,
+        Benchmark::Canneal,
+        Benchmark::Streamcluster,
+    ];
+    let chunks = [3usize, 32, 256, 1024, 7, 64, 512, 4096];
+    let mut out = Vec::new();
+    for (i, bench) in benches.into_iter().enumerate() {
+        out.push(Participant {
+            name: format!("{bench}"),
+            bundle: record_benchmark(bench, InputSize::SimSmall),
+            chunk_records: chunks[i],
+        });
+    }
+    for (i, seed) in (100u64..104).enumerate() {
+        out.push(Participant {
+            name: format!("gen-{seed}"),
+            bundle: record_program(&GenProgram::generate(seed)),
+            chunk_records: chunks[4 + i],
+        });
+    }
+    out
+}
+
+fn counter(snapshot: &std::collections::BTreeMap<String, MetricValue>, name: &str) -> u64 {
+    match snapshot.get(name) {
+        Some(MetricValue::Counter(n)) => *n,
+        // Counters register lazily on first increment; absent means the
+        // event never happened.
+        None => 0,
+        other => panic!("metric {name} is not a counter: {other:?}"),
+    }
+}
+
+fn result_json(result: &SessionResult) -> (String, String, String) {
+    let profile = result
+        .profile
+        .as_ref()
+        .expect("finished trace session carries a profile");
+    let profile = serde_json::to_string(profile).expect("profile serializes");
+    let phases = serde_json::to_string(&result.phases).expect("phases serialize");
+    let critpath = serde_json::to_string(&result.critpath).expect("critpath serializes");
+    (profile, phases, critpath)
+}
+
+fn batch_json(batch: &BatchOutcome) -> (String, String, String) {
+    let profile = serde_json::to_string(&batch.profile).expect("profile serializes");
+    let phases = serde_json::to_string(&batch.phases).expect("phases serialize");
+    let critpath = serde_json::to_string(&batch.critpath).expect("critpath serializes");
+    (profile, phases, critpath)
+}
+
+/// Eight concurrent sessions, each byte-identical to its solo batch run,
+/// with exact per-session metrics and zero sessions left active.
+#[test]
+fn eight_concurrent_sessions_match_their_solo_batch_runs() {
+    metrics::clear();
+    sigil::obs::set_enabled(true);
+
+    let server = Server::bind(Listen::parse("127.0.0.1:0"), ServeConfig::default())
+        .expect("bind stress server");
+    let address = server.address();
+    let config = serve_config();
+
+    let everyone = participants();
+    let batches: Vec<BatchOutcome> = everyone
+        .iter()
+        .map(|p| batch_outcome(&p.bundle, config))
+        .collect();
+
+    // All eight clients stream at once; each returns its session id and
+    // finished result.
+    let outcomes: Vec<(u64, SessionResult)> = thread::scope(|scope| {
+        let address = &address;
+        let handles: Vec<_> = everyone
+            .iter()
+            .map(|p| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(address, &SessionSpec::trace(&p.name, config))
+                        .unwrap_or_else(|e| panic!("{}: connect failed: {e}", p.name));
+                    client.set_chunk_records(p.chunk_records);
+                    let session = client.session();
+                    client
+                        .stream_trace(&p.bundle.symbols, &p.bundle.events)
+                        .unwrap_or_else(|e| panic!("{}: stream failed: {e}", p.name));
+                    let result = client
+                        .finish()
+                        .unwrap_or_else(|e| panic!("{}: finish failed: {e}", p.name));
+                    (session, result)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stress client thread panicked"))
+            .collect()
+    });
+
+    // The client's FINISH returns on the Result frame, a hair before the
+    // server-side connection thread retires the session — poll briefly
+    // for the bookkeeping to settle before freezing the snapshot.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let snapshot = loop {
+        let snapshot = metrics::snapshot();
+        let settled = matches!(
+            snapshot.get("serve.sessions.active"),
+            Some(MetricValue::Gauge(active)) if *active == 0.0
+        ) && matches!(
+            snapshot.get("serve.sessions.finished"),
+            Some(MetricValue::Counter(n)) if *n == everyone.len() as u64
+        );
+        if settled || std::time::Instant::now() > deadline {
+            break snapshot;
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    };
+    sigil::obs::set_enabled(false);
+
+    // Session ids must be unique — eight sessions, eight identities.
+    let ids: std::collections::BTreeSet<u64> = outcomes.iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        ids.len(),
+        everyone.len(),
+        "duplicate session ids handed out"
+    );
+
+    // Each concurrent result is byte-identical to its solo batch run.
+    for ((participant, batch), (_, online)) in everyone.iter().zip(&batches).zip(&outcomes) {
+        assert_eq!(
+            online.records,
+            participant.bundle.events.len() as u64,
+            "{}: event count drifted under concurrency",
+            participant.name
+        );
+        let (op, oph, oc) = result_json(online);
+        let (bp, bph, bc) = batch_json(batch);
+        assert_eq!(
+            op, bp,
+            "{}: profile diverged under concurrency",
+            participant.name
+        );
+        assert_eq!(
+            oph, bph,
+            "{}: phases diverged under concurrency",
+            participant.name
+        );
+        assert_eq!(
+            oc, bc,
+            "{}: critical path diverged under concurrency",
+            participant.name
+        );
+    }
+
+    // Per-session counters are exact — no bleed between sessions.
+    let mut expected: HashMap<u64, u64> = HashMap::new();
+    for ((id, _), participant) in outcomes.iter().zip(&everyone) {
+        expected.insert(*id, participant.bundle.events.len() as u64);
+    }
+    let mut total = 0u64;
+    for (id, records) in &expected {
+        let metric = format!("serve.session.{id}.records");
+        assert_eq!(
+            counter(&snapshot, &metric),
+            *records,
+            "session {id}: per-session record counter bled"
+        );
+        assert!(
+            counter(&snapshot, &format!("serve.session.{id}.chunks")) > 0,
+            "session {id}: no chunks counted"
+        );
+        total += records;
+    }
+    assert_eq!(
+        counter(&snapshot, "serve.records"),
+        total,
+        "global record counter disagrees with the per-session sum"
+    );
+    assert_eq!(
+        counter(&snapshot, "serve.sessions.opened"),
+        everyone.len() as u64,
+        "opened-session counter wrong"
+    );
+    assert_eq!(
+        counter(&snapshot, "serve.sessions.finished"),
+        everyone.len() as u64,
+        "finished-session counter wrong"
+    );
+    assert_eq!(
+        counter(&snapshot, "serve.sessions.failed"),
+        0,
+        "sessions failed"
+    );
+    match snapshot.get("serve.sessions.active") {
+        Some(MetricValue::Gauge(active)) => {
+            assert_eq!(*active, 0.0, "sessions leaked after all clients finished")
+        }
+        other => panic!("serve.sessions.active missing or non-gauge: {other:?}"),
+    }
+
+    drop(server);
+}

@@ -357,15 +357,20 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a whole run of plain characters at once:
+                    // validating UTF-8 per run instead of re-validating
+                    // the rest of the input per character keeps parsing
+                    // linear in the document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| Error::new("unterminated string"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
