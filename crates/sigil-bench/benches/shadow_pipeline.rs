@@ -1,0 +1,105 @@
+//! Pipelined epoch dispatch vs. the legacy per-access dispatch path.
+//!
+//! The sharded replay engine (`sigil_core::shard`) resolves accesses in
+//! epochs: with no shadow-chunk limit the dispatch-side residency oracle
+//! is elided entirely, and consecutive same-shard runs coalesce into one
+//! channel record. This group prices that restructuring two ways:
+//!
+//! - `replay_dense/N` — the default pipelined engine across shard counts
+//!   1, 2, 4, and 8 (the scaling curve recorded in
+//!   `BENCH_shadow_pipeline.json`);
+//! - `legacy_dispatch/N` — the same replay with the dispatch oracle
+//!   pinned on and coalescing off
+//!   (`with_forced_dispatch_oracle().without_dispatch_coalescing()`),
+//!   i.e. the pre-pipeline per-access behaviour kept as a baseline.
+//!
+//! Each iteration includes `into_profile`, which joins the workers and
+//! merges their fragments — the full cost a `sigil profile --shards N`
+//! run pays.
+//!
+//! Interpretation note: on a single-core container the sharded arms
+//! price pure overhead, so the honest claim here is *reduced
+//! dispatch-thread cost per access* (see the `pipeline_dispatch` binary
+//! for the direct `dispatch.busy_ns` comparison), not wall-clock
+//! speedup. Multi-core scaling is environment-gated; see
+//! `BENCH_shadow_pipeline.json` for the measured numbers and the core
+//! count they were taken on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_trace::observer::RecordingObserver;
+use sigil_trace::{io::replay, Engine, OpClass, RuntimeEvent, SymbolTable};
+
+/// Records a dense trace: eight producer→consumer rounds sweeping
+/// 64-byte runs across a 64-chunk working set (~33k accesses), the
+/// access shape where shadow lookups dominate profiling cost.
+fn record_dense() -> (SymbolTable, Vec<RuntimeEvent>) {
+    const SPAN: u64 = 64 * 4096;
+    let mut engine = Engine::new(RecordingObserver::new());
+    engine.scoped_named("main", |e| {
+        for _ in 0..8 {
+            e.scoped_named("producer", |e| {
+                e.op(OpClass::IntArith, 16);
+                for i in 0..2048u64 {
+                    e.write((i * 64) % SPAN, 64);
+                }
+            });
+            e.scoped_named("consumer", |e| {
+                for i in 0..2048u64 {
+                    e.read((i * 64) % SPAN, 64);
+                }
+                e.op(OpClass::FloatArith, 16);
+            });
+        }
+    });
+    let (observer, symbols) = engine.finish_with_symbols();
+    (symbols, observer.into_events())
+}
+
+fn shadow_pipeline(c: &mut Criterion) {
+    let (symbols, events) = record_dense();
+    let mut group = c.benchmark_group("shadow_pipeline");
+    group.sample_size(30);
+    for shards in [1usize, 2, 4, 8] {
+        let config = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_shards(shards);
+        group.bench_with_input(
+            BenchmarkId::new("replay_dense", shards),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut profiler = SigilProfiler::new(config);
+                    replay(events, &mut profiler);
+                    black_box(profiler.into_profile(symbols.clone()))
+                });
+            },
+        );
+    }
+    // Legacy baseline: dispatch oracle pinned on, coalescing off. Only
+    // meaningful for sharded replay (serial has no dispatch thread).
+    for shards in [2usize, 4, 8] {
+        let config = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_shards(shards)
+            .with_forced_dispatch_oracle()
+            .without_dispatch_coalescing();
+        group.bench_with_input(
+            BenchmarkId::new("legacy_dispatch", shards),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut profiler = SigilProfiler::new(config);
+                    replay(events, &mut profiler);
+                    black_box(profiler.into_profile(symbols.clone()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shadow_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Dispatch-thread cost: pipelined epoch dispatch vs. the legacy path.
+//!
+//! Replays the dense producer→consumer trace (the `shadow_pipeline`
+//! criterion shape) through the sharded engine at 2/4/8 shards, once
+//! with the default pipelined dispatch (oracle elided on the unbounded
+//! config, same-shard runs coalesced) and once with the legacy path
+//! pinned (`with_forced_dispatch_oracle().without_dispatch_coalescing()`).
+//! The `dispatch.*` counters exported through `sigil-obs` give the
+//! dispatch thread's busy time directly, so the comparison is the
+//! per-access dispatch cost itself — meaningful even on one core, where
+//! wall-clock sharding numbers price pure overhead.
+//!
+//! ```text
+//! cargo run --release -p sigil-bench --bin pipeline_dispatch
+//! ```
+//!
+//! Results land in `BENCH_shadow_pipeline.json`.
+
+use sigil_core::{SigilConfig, SigilProfiler};
+use sigil_obs::metrics::{self, MetricValue};
+use sigil_trace::observer::RecordingObserver;
+use sigil_trace::{io::replay, Engine, OpClass, RuntimeEvent, SymbolTable};
+
+/// Records a dense trace: eight producer→consumer rounds sweeping
+/// 64-byte runs across a 64-chunk working set (~33k accesses), the
+/// access shape where shadow lookups dominate profiling cost.
+fn record_dense() -> (SymbolTable, Vec<RuntimeEvent>) {
+    const SPAN: u64 = 64 * 4096;
+    let mut engine = Engine::new(RecordingObserver::new());
+    engine.scoped_named("main", |e| {
+        for _ in 0..8 {
+            e.scoped_named("producer", |e| {
+                e.op(OpClass::IntArith, 16);
+                for i in 0..2048u64 {
+                    e.write((i * 64) % SPAN, 64);
+                }
+            });
+            e.scoped_named("consumer", |e| {
+                for i in 0..2048u64 {
+                    e.read((i * 64) % SPAN, 64);
+                }
+                e.op(OpClass::FloatArith, 16);
+            });
+        }
+    });
+    let (observer, symbols) = engine.finish_with_symbols();
+    (symbols, observer.into_events())
+}
+
+/// One arm's dispatch counters, normalized per access.
+#[derive(Debug, Clone, Copy)]
+struct DispatchCost {
+    busy_ns_per_access: f64,
+    resolve_ns_per_access: f64,
+    records_per_access: f64,
+    accesses: u64,
+}
+
+fn counter(snap: &std::collections::BTreeMap<String, MetricValue>, name: &str) -> u64 {
+    match snap.get(name) {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("`{name}` should be a counter, got {other:?}"),
+    }
+}
+
+/// Replays the trace under `config` with obs on and returns the
+/// dispatch-thread counters. `reps` full replays are averaged so the
+/// per-access nanosecond figures are stable on a noisy container.
+fn measure(
+    symbols: &SymbolTable,
+    events: &[RuntimeEvent],
+    config: SigilConfig,
+    reps: u32,
+) -> DispatchCost {
+    metrics::clear();
+    for _ in 0..reps {
+        let mut profiler = SigilProfiler::new(config);
+        replay(events, &mut profiler);
+        std::hint::black_box(profiler.into_profile(symbols.clone()));
+    }
+    let snap = metrics::snapshot();
+    let accesses = counter(&snap, "dispatch.accesses");
+    let records = counter(&snap, "dispatch.records");
+    let cost = DispatchCost {
+        busy_ns_per_access: counter(&snap, "dispatch.busy_ns") as f64 / accesses as f64,
+        resolve_ns_per_access: counter(&snap, "dispatch.resolve_ns") as f64 / accesses as f64,
+        records_per_access: records as f64 / accesses as f64,
+        accesses: accesses / u64::from(reps),
+    };
+    metrics::clear();
+    cost
+}
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("rep count"))
+        .unwrap_or(20);
+    let (symbols, events) = record_dense();
+    sigil_obs::set_enabled(true);
+
+    println!("# pipeline_dispatch: dispatch-thread cost per access, {reps} reps");
+    println!("# trace: dense producer->consumer, ~33k accesses per replay");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14} {:>10} {:>8}",
+        "shards", "mode", "busy ns/acc", "resolve ns/acc", "rec/acc", "drop"
+    );
+    let mut csv = vec![String::from(
+        "shards,mode,busy_ns_per_access,resolve_ns_per_access,records_per_access,accesses",
+    )];
+    for shards in [2usize, 4, 8] {
+        let base = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_shards(shards);
+        let legacy = measure(
+            &symbols,
+            &events,
+            base.with_forced_dispatch_oracle()
+                .without_dispatch_coalescing(),
+            reps,
+        );
+        let pipelined = measure(&symbols, &events, base, reps);
+        let drop_pct = 100.0 * (1.0 - pipelined.busy_ns_per_access / legacy.busy_ns_per_access);
+        for (mode, cost, note) in [
+            ("legacy", legacy, String::new()),
+            ("pipelined", pipelined, format!("{drop_pct:+.1}%")),
+        ] {
+            println!(
+                "{:<7} {:>14} {:>14.1} {:>14.1} {:>10.3} {:>8}",
+                shards,
+                mode,
+                cost.busy_ns_per_access,
+                cost.resolve_ns_per_access,
+                cost.records_per_access,
+                note
+            );
+            csv.push(format!(
+                "{shards},{mode},{:.1},{:.1},{:.4},{}",
+                cost.busy_ns_per_access,
+                cost.resolve_ns_per_access,
+                cost.records_per_access,
+                cost.accesses
+            ));
+        }
+    }
+    println!("--- csv ---");
+    for line in csv {
+        println!("{line}");
+    }
+    sigil_obs::set_enabled(false);
+}

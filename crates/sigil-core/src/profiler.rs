@@ -142,9 +142,13 @@ impl SigilProfiler {
 
     /// Current shadow-memory footprint.
     ///
-    /// In sharded mode this reports the dispatch-side residency oracle,
-    /// which replays the exact serial run sequence — so the counters
-    /// equal serial replay's regardless of worker scheduling.
+    /// In sharded mode with a shadow limit this reports the
+    /// dispatch-side residency oracle, which replays the exact serial
+    /// run sequence — so the counters equal serial replay's regardless
+    /// of worker scheduling. Unbounded sharded runs elide the oracle:
+    /// the access counters stay exact, while mid-run residency comes
+    /// from the workers' per-batch snapshots (it may lag in-flight
+    /// batches; the finished profile's stats are exact).
     pub fn memory_stats(&self) -> MemoryStats {
         let byte_stats = match &self.engine {
             Some(engine) => engine.memory_stats(),
@@ -589,13 +593,20 @@ impl SigilProfiler {
     /// through the commutative merge layer, and sequence the event file
     /// back into access order.
     fn finish_sharded(&mut self, engine: ShardEngine) -> ProfileParts {
-        let mut memory = engine.memory_stats();
+        let shards = engine.shard_count();
+        // Join first: with the oracle elided, the exact residency lives
+        // in the workers' tables and is only authoritative post-join.
+        let crate::shard::ShardFinish {
+            memory,
+            dispatch,
+            results,
+            seq,
+        } = engine.finish();
+        let mut memory = memory;
         if let Some(lines) = &self.lines {
             memory = memory.combined(lines.memory_stats());
         }
         memory.export_metrics("shadow");
-        let shards = engine.shard_count();
-        let (results, seq) = engine.finish();
 
         // The dispatch thread's fragment: whole-access byte counts plus
         // the serial-equivalent footprint; classification comes from the
@@ -651,6 +662,15 @@ impl SigilProfiler {
             // workloads; the sweep report derives busy/(busy+idle).
             sigil_obs::metrics::counter("shadow.shards.busy_ns").add(busy_total);
             sigil_obs::metrics::counter("shadow.shards.idle_ns").add(idle_total);
+            // Dispatch-thread telemetry: where the Amdahl ceiling is.
+            sigil_obs::metrics::add_counter("dispatch.busy_ns", dispatch.busy_ns);
+            sigil_obs::metrics::add_counter("dispatch.resolve_ns", dispatch.resolve_ns);
+            sigil_obs::metrics::add_counter("dispatch.records", dispatch.records);
+            sigil_obs::metrics::add_counter("dispatch.accesses", dispatch.accesses);
+            sigil_obs::metrics::set_gauge(
+                "dispatch.records_per_access",
+                dispatch.records as f64 / dispatch.accesses.max(1) as f64,
+            );
         }
         let events = self
             .config

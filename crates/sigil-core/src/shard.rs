@@ -17,13 +17,20 @@
 //!   results (`ctx`, `call`, `reader_fn`, `at`) inside each
 //!   [`AccessRecord`], so workers never consult shared state.
 //! * **Residency** — chunk eviction is a *global* decision (the limit
-//!   spans the whole table, FIFO/LRU order interleaves all chunks). The
-//!   dispatcher runs a zero-sized residency oracle (`ShadowTable<()>`)
-//!   through the identical run sequence; its logged victims are mirrored
-//!   to the owning shard (`ShadowTable::evict_key`) *between* the same
-//!   runs as in serial replay, so per-shard tables reproduce the serial
-//!   residency — and the oracle's counters reproduce the serial
-//!   [`MemoryStats`] exactly.
+//!   spans the whole table, FIFO/LRU order interleaves all chunks). With
+//!   a `shadow_chunk_limit` the dispatcher runs a zero-sized residency
+//!   oracle (`ShadowTable<()>`) through the identical run sequence; its
+//!   logged victims are mirrored to the owning shard
+//!   (`ShadowTable::evict_key`) *between* the same runs as in serial
+//!   replay, so per-shard tables reproduce the serial residency — and the
+//!   oracle's counters reproduce the serial [`MemoryStats`] exactly.
+//!   **Without** a limit there are no evictions and residency is no
+//!   longer a global decision at all: the oracle is *elided*, each worker
+//!   owns the residency of its own chunks (disjoint sets whose union is
+//!   the serial footprint, folded through the commutative
+//!   [`ShardFragment`] merge), and the serial table's access counters are
+//!   reproduced arithmetically by [`RouteStats`] — dispatch degenerates
+//!   to address routing.
 //! * **Event order** — the event file is globally ordered. The dispatcher
 //!   keeps a compact [`SeqOp`] log; workers return per-access transfer
 //!   segments; [`sequence_events`] replays the log with simulated frame
@@ -31,12 +38,24 @@
 //!   `push_compute`/`push_transfer` coalescing as the serial emitter, so
 //!   the reconstructed file is byte-identical.
 //!
+//! Dispatch itself is **epoch-pipelined**: each access is resolved into
+//! chunk runs (plus any eviction mirrors) in a scratch list, then staged
+//! into per-shard batches, where consecutive same-shard runs with no
+//! intervening eviction coalesce into one [`AccessRecord`] carrying a
+//! sub-access `count`/`sub_len` stride (workers reconstruct per-access
+//! metadata exactly — see [`can_coalesce`] for the legality argument).
+//! Every [`EPOCH_ACCESSES`] accesses all staged batches flush so workers
+//! drain epoch *k* while the dispatcher resolves epoch *k+1*. The cost of
+//! the dispatch thread is observable through the `dispatch.busy_ns` /
+//! `dispatch.resolve_ns` / `dispatch.records_per_access` metrics.
+//!
 //! Everything a worker *does* produce (communication tallies, edges,
 //! reuse aggregates) is a sum over disjoint byte sets, so per-shard
 //! fragments merge through the commutative [`ShardFragment::merge`]
 //! layer in any order with an identical result — a property pinned by
 //! the `shard_merge` proptests.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -45,7 +64,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sigil_callgrind::{CallTree, ContextId};
-use sigil_mem::{chunk_key, MemoryStats, Owner, ShadowObject, ShadowTable};
+use sigil_mem::{chunk_key, chunk_run, MemoryStats, Owner, ShadowObject, ShadowTable, CHUNK_SLOTS};
 use sigil_trace::{Addr, CallNumber, FunctionId, Timestamp};
 
 use crate::config::SigilConfig;
@@ -60,47 +79,69 @@ const BATCH: usize = 256;
 /// Batches in flight per worker before the dispatcher blocks
 /// (backpressure when workers outnumber cores).
 const CHANNEL_DEPTH: usize = 8;
+/// Dispatched accesses per staging epoch. Coalescing slows record
+/// production, so batches alone would add latency before workers see
+/// work; at each epoch boundary every non-empty staging batch flushes,
+/// keeping the previous epoch draining while the next one resolves.
+const EPOCH_ACCESSES: u64 = 2048;
 
 /// Transfer segments produced by one access, keyed by global access
 /// index: `(part, [(producer_call, bytes)])` per chunk run that found
 /// cross-call dependencies.
 pub(crate) type TransferMap = HashMap<u64, Vec<(u32, Vec<(CallNumber, u64)>)>>;
 
-/// One shadow access run, pre-resolved on the dispatch thread.
+/// One shadow access run — or a coalesced train of them — pre-resolved
+/// on the dispatch thread.
 ///
-/// `addr..addr+len` never crosses a chunk boundary (the dispatcher
-/// splits at the residency oracle's runs), so a worker applies it with a
-/// single `run_mut`.
+/// `addr..addr+len` never crosses a chunk boundary (runs split at chunk
+/// edges, and coalescing only extends within a chunk), so a worker
+/// applies it with a single `run_mut`.
+///
+/// A record with `count > 1` carries that many *consecutive whole
+/// accesses* coalesced into one message. For reads needing per-access
+/// metadata (`sub_len > 0`), sub-access `k` of the train covers
+/// `sub_len` bytes starting at `addr + k*sub_len` with index `idx + k`,
+/// timestamp `at.advance(k)`, and phase stamp `phase_at + k` — the
+/// coalescing predicate ([`can_coalesce`]) admits exactly the trains for
+/// which this reconstruction is lossless.
 #[derive(Debug, Clone, Copy)]
 struct AccessRecord {
-    /// Global access index (one per `Read`/`Write` event, shared by all
-    /// parts of a straddling access) — sequences transfers back into
-    /// program order.
+    /// Global access index of the train's first access (one per
+    /// `Read`/`Write` event, shared by all parts of a straddling
+    /// access) — sequences transfers back into program order.
     idx: u64,
     /// Run index within the access, in byte order.
     part: u32,
     write: bool,
     addr: Addr,
     len: u32,
+    /// Coalesced accesses in this record (`1` = a plain run).
+    count: u32,
+    /// Per-sub-access byte stride for coalesced reads; `0` when the
+    /// record needs no sub-access reconstruction (writes, plain runs,
+    /// straddle parts, free-mode reads).
+    sub_len: u32,
     /// The consuming/producing frame's context.
     ctx: ContextId,
     /// Its dynamic call number.
     call: CallNumber,
     /// The reader's function identity (reads only).
     reader_fn: Option<FunctionId>,
-    /// Op-clock timestamp of the access.
+    /// Op-clock timestamp of the (first) access.
     at: Timestamp,
-    /// Phase-clock timestamp of the access (post-tick — includes the
-    /// access's own retired op), for phase-profile transfer bucketing.
+    /// Phase-clock timestamp of the (first) access (post-tick —
+    /// includes the access's own retired op), for phase-profile
+    /// transfer bucketing.
     phase_at: u64,
 }
 
 enum ShardMsg {
-    /// Defines the next context id's function (contexts broadcast in id
-    /// order, so the id is implicit).
-    CtxDef {
-        func: Option<FunctionId>,
-    },
+    /// Defines the next `defs.len()` context ids' functions (contexts
+    /// broadcast in id order, so the ids are implicit). One message per
+    /// sync covers every context created since the last one; the `Arc`
+    /// is shared across shards instead of cloning the definitions
+    /// per-shard.
+    CtxDefs(Arc<[Option<FunctionId>]>),
     Access(AccessRecord),
     /// Mirror of a residency-oracle eviction owned by this shard.
     Evict {
@@ -129,6 +170,72 @@ pub(crate) enum SeqOp {
     Read { idx: u64 },
 }
 
+/// One access resolved against global-order state: either a chunk run
+/// bound for its owner shard, or an eviction mirror that must precede
+/// the run that triggered it.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedOp {
+    Evict { key: u64 },
+    Run { addr: Addr, len: u32 },
+}
+
+/// Read-coalescing regime, fixed per engine by the feature set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadCoalesce {
+    /// No per-access metadata is consumed by `apply_read` (reuse,
+    /// events, and phases all off): any contiguous same-owner reads
+    /// merge, including straddle parts.
+    Free,
+    /// Per-access metadata matters: only whole single-run accesses on
+    /// an exact `idx`/`at`/`phase_at` stride merge, so workers can
+    /// reconstruct each sub-access.
+    Strided,
+}
+
+/// Arithmetic mirror of an *unbounded* [`ShadowTable`]'s access
+/// counters, maintained by the elided-oracle dispatch path.
+///
+/// With no chunk limit the table's counter evolution is a pure function
+/// of the run-key sequence: `run_mut` of `n` slots adds `n` accesses and
+/// one run; the run counts `n` MRU hits when its chunk equals the
+/// previous run's chunk, else `n - 1` (the first slot pays the probe,
+/// and nothing but a run ever moves the MRU cursor when no chunk is
+/// ever evicted). Replaying that recurrence here reproduces the serial
+/// table's `MemoryStats` counters without instantiating a table.
+#[derive(Debug, Default)]
+struct RouteStats {
+    last_key: Option<u64>,
+    accesses: u64,
+    mru_hits: u64,
+    runs: u64,
+    run_bytes: u64,
+}
+
+impl RouteStats {
+    fn record_run(&mut self, key: u64, n: u64) {
+        self.accesses += n;
+        self.runs += 1;
+        self.run_bytes += n;
+        self.mru_hits += if self.last_key == Some(key) { n } else { n - 1 };
+        self.last_key = Some(key);
+    }
+}
+
+/// Dispatch-thread cost and shape counters, exported by the profiler as
+/// `dispatch.*` metrics.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct DispatchStats {
+    /// Nanoseconds spent in `dispatch_access` (obs-enabled runs only).
+    pub(crate) busy_ns: u64,
+    /// Nanoseconds of that spent resolving global order (oracle /
+    /// routing), before staging (obs-enabled runs only).
+    pub(crate) resolve_ns: u64,
+    /// Access records staged (after coalescing).
+    pub(crate) records: u64,
+    /// Accesses dispatched.
+    pub(crate) accesses: u64,
+}
+
 /// What one worker hands back at join time.
 pub(crate) struct ShardResult {
     pub(crate) comm: Vec<CommStats>,
@@ -138,14 +245,26 @@ pub(crate) struct ShardResult {
     /// Phase-profile transfer buckets for this shard's bytes (phase
     /// collection only).
     pub(crate) phases: Option<PhaseBuilder>,
-    /// The worker table's own counters — observability only; the
-    /// authoritative [`MemoryStats`] comes from the dispatch oracle.
+    /// The worker table's own counters. With a dispatch oracle these
+    /// are observability-only; with the oracle elided the `resident_*`
+    /// fields are authoritative (the shards' disjoint chunk sets union
+    /// to the serial footprint).
     pub(crate) stats: MemoryStats,
     pub(crate) evictions_applied: u64,
     /// Nanoseconds this worker spent applying batches (telemetry).
     pub(crate) busy_ns: u64,
     /// Nanoseconds this worker spent blocked on its channel (telemetry).
     pub(crate) idle_ns: u64,
+}
+
+/// Everything the engine hands back after joining its workers.
+pub(crate) struct ShardFinish {
+    /// The serial-equivalent shadow counters (oracle stats re-priced,
+    /// or the elided composition — exact either way).
+    pub(crate) memory: MemoryStats,
+    pub(crate) dispatch: DispatchStats,
+    pub(crate) results: Vec<ShardResult>,
+    pub(crate) seq: Vec<SeqOp>,
 }
 
 /// One shard's (or the dispatch thread's) contribution to a profile:
@@ -257,34 +376,112 @@ impl ShardResult {
     }
 }
 
+/// Decides whether `cand` can extend the coalesced train `prev` (the
+/// last staged record of `cand`'s shard, with the staging window still
+/// open — no flush, eviction, or context sync in between).
+///
+/// Always required: same direction, owner (`ctx`, `call`), reader
+/// identity, and byte contiguity (`prev` ends where `cand` starts).
+/// Contiguity plus same-shard routing implies same-chunk (`N ≥ 2`
+/// shards map adjacent chunks to different shards), so a merged record
+/// still never straddles a chunk.
+///
+/// Writes always merge: `apply_write` touches per-byte state through
+/// the owner alone, so splitting a write train at any boundary is
+/// unobservable. Reads merge freely when no per-access metadata is
+/// consumed ([`ReadCoalesce::Free`]); otherwise only whole single-run
+/// accesses on an exact index/timestamp/phase stride merge
+/// ([`ReadCoalesce::Strided`]), which is precisely the shape
+/// `apply_read` can split back losslessly.
+fn can_coalesce(mode: ReadCoalesce, prev: &AccessRecord, cand: &AccessRecord) -> bool {
+    if prev.write != cand.write
+        || prev.ctx != cand.ctx
+        || prev.call != cand.call
+        || prev.reader_fn != cand.reader_fn
+        || prev.addr.wrapping_add(u64::from(prev.len)) != cand.addr
+    {
+        return false;
+    }
+    if cand.write {
+        return true;
+    }
+    match mode {
+        ReadCoalesce::Free => true,
+        ReadCoalesce::Strided => {
+            cand.sub_len > 0
+                && cand.sub_len == cand.len
+                && prev.sub_len == cand.sub_len
+                && cand.idx == prev.idx + u64::from(prev.count)
+                && cand.at == prev.at.advance(u64::from(prev.count))
+                && cand.phase_at == prev.phase_at + u64::from(prev.count)
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
 /// The dispatch-side engine owned by a sharded [`SigilProfiler`].
 pub(crate) struct ShardEngine {
     shards: usize,
     /// Zero-sized residency oracle: replays the exact serial run
     /// sequence, so its counters and its eviction log *are* the serial
-    /// table's.
-    oracle: ShadowTable<()>,
+    /// table's. `None` when the shadow memory is unbounded (and the
+    /// legacy path isn't forced): no evictions can occur, so dispatch
+    /// elides the table and [`RouteStats`] reproduces its counters.
+    oracle: Option<ShadowTable<()>>,
+    /// Counter mirror for the elided-oracle path.
+    route: RouteStats,
     senders: Vec<SyncSender<Vec<ShardMsg>>>,
     batches: Vec<Vec<ShardMsg>>,
-    handles: Vec<JoinHandle<ShardResult>>,
+    /// Whether the last message staged to this shard is an `Access`
+    /// still eligible for coalescing (no flush or control message has
+    /// closed the window since).
+    staging_open: Vec<bool>,
+    handles: Vec<Option<JoinHandle<ShardResult>>>,
+    /// A worker died before its channel closed: `(shard, panic
+    /// message)`, reported on the next dispatch instead of profiling
+    /// into the void until join.
+    poisoned: Option<(usize, String)>,
     /// Contexts broadcast so far (defs are sent in id order).
     synced_ctxs: usize,
     next_idx: u64,
     events_on: bool,
     seq: Vec<SeqOp>,
-    scratch_evictions: Vec<u64>,
+    /// Per-access resolution scratch (evictions interleaved before the
+    /// runs that triggered them, in serial order).
+    scratch_ops: Vec<ResolvedOp>,
+    coalesce_on: bool,
+    read_coalesce: ReadCoalesce,
+    /// Accesses dispatched since the last epoch flush.
+    epoch_accesses: u64,
+    dispatch: DispatchStats,
+    /// Per-worker resident-chunk counts (elided mode), refreshed by each
+    /// worker after every batch — mid-run residency reads lag in-flight
+    /// batches; the post-join stats are exact.
+    resident_chunks: Vec<Arc<AtomicU64>>,
     /// Telemetry (obs-enabled runs only): batches sent per shard, and
     /// the workers' shared drain counters — their difference is the
     /// channel depth sampled into the timeseries at each flush.
     obs_on: bool,
     sent_batches: Vec<u64>,
     received_batches: Vec<Arc<AtomicU64>>,
+    /// Pre-built `shard.{i}.depth` gauge keys (no per-flush `format!`).
+    depth_keys: Vec<String>,
 }
 
 impl std::fmt::Debug for ShardEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardEngine")
             .field("shards", &self.shards)
+            .field("oracle_elided", &self.oracle.is_none())
             .field("synced_ctxs", &self.synced_ctxs)
             .field("dispatched_accesses", &self.next_idx)
             .finish_non_exhaustive()
@@ -294,14 +491,25 @@ impl std::fmt::Debug for ShardEngine {
 impl ShardEngine {
     pub(crate) fn new(config: &SigilConfig) -> Self {
         let shards = config.shards.max(2);
-        let mut oracle = match config.shadow_chunk_limit {
-            Some(limit) => ShadowTable::with_chunk_limit(limit, config.eviction),
-            None => ShadowTable::new(),
-        };
-        oracle.enable_eviction_log();
+        let oracle =
+            (config.shadow_chunk_limit.is_some() || config.force_dispatch_oracle).then(|| {
+                let mut oracle = match config.shadow_chunk_limit {
+                    Some(limit) => ShadowTable::with_chunk_limit(limit, config.eviction),
+                    None => ShadowTable::new(),
+                };
+                oracle.enable_eviction_log();
+                oracle
+            });
+        let read_coalesce =
+            if config.reuse_mode || config.record_events || config.phase_bucket_ops.is_some() {
+                ReadCoalesce::Strided
+            } else {
+                ReadCoalesce::Free
+            };
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         let mut received_batches = Vec::with_capacity(shards);
+        let mut resident_chunks = Vec::with_capacity(shards);
         let (reuse_mode, events_on) = (config.reuse_mode, config.record_events);
         let phase_bucket_ops = config.phase_bucket_ops;
         for shard in 0..shards {
@@ -309,34 +517,46 @@ impl ShardEngine {
             senders.push(tx);
             let received = Arc::new(AtomicU64::new(0));
             received_batches.push(Arc::clone(&received));
+            let resident = Arc::new(AtomicU64::new(0));
+            resident_chunks.push(Arc::clone(&resident));
             let spec = WorkerSpec {
                 shard,
                 reuse_mode,
                 events_on,
                 phase_bucket_ops,
                 batches_received: received,
+                resident_chunks: resident,
             };
-            handles.push(
+            handles.push(Some(
                 std::thread::Builder::new()
                     .name(format!("sigil-shard-{shard}"))
                     .spawn(move || shard_worker(spec, rx))
                     .expect("spawn shard worker"),
-            );
+            ));
         }
         ShardEngine {
             shards,
             oracle,
+            route: RouteStats::default(),
             senders,
             batches: (0..shards).map(|_| Vec::with_capacity(BATCH)).collect(),
+            staging_open: vec![false; shards],
             handles,
+            poisoned: None,
             synced_ctxs: 0,
             next_idx: 0,
             events_on,
             seq: Vec::new(),
-            scratch_evictions: Vec::new(),
+            scratch_ops: Vec::new(),
+            coalesce_on: !config.no_dispatch_coalesce,
+            read_coalesce,
+            epoch_accesses: 0,
+            dispatch: DispatchStats::default(),
+            resident_chunks,
             obs_on: sigil_obs::is_enabled(),
             sent_batches: vec![0; shards],
             received_batches,
+            depth_keys: (0..shards).map(|s| format!("shard.{s}.depth")).collect(),
         }
     }
 
@@ -345,11 +565,21 @@ impl ShardEngine {
         self.shards
     }
 
+    /// Whether dispatch runs without a residency oracle.
+    #[cfg(test)]
+    pub(crate) fn oracle_elided(&self) -> bool {
+        self.oracle.is_none()
+    }
+
     fn shard_of(&self, key: u64) -> usize {
         (key % self.shards as u64) as usize
     }
 
-    fn push_msg(&mut self, shard: usize, msg: ShardMsg) {
+    /// Stages a control message (context sync / eviction mirror),
+    /// closing the shard's coalescing window: per-byte replay order
+    /// within a shard is batch order, so nothing may merge across it.
+    fn push_ctl(&mut self, shard: usize, msg: ShardMsg) {
+        self.staging_open[shard] = false;
         let batch = &mut self.batches[shard];
         batch.push(msg);
         if batch.len() >= BATCH {
@@ -357,14 +587,54 @@ impl ShardEngine {
         }
     }
 
+    /// Stages one resolved run, extending the shard's open coalescing
+    /// train when legal.
+    fn stage_access(&mut self, shard: usize, rec: AccessRecord) {
+        if self.coalesce_on && self.staging_open[shard] {
+            if let Some(ShardMsg::Access(prev)) = self.batches[shard].last_mut() {
+                if can_coalesce(self.read_coalesce, prev, &rec) {
+                    prev.len += rec.len;
+                    prev.count += 1;
+                    debug_assert_eq!(
+                        chunk_key(prev.addr),
+                        chunk_key(prev.addr + u64::from(prev.len) - 1),
+                        "coalesced records never straddle chunks"
+                    );
+                    return;
+                }
+            }
+        }
+        self.dispatch.records += 1;
+        self.staging_open[shard] = true;
+        let batch = &mut self.batches[shard];
+        batch.push(ShardMsg::Access(rec));
+        if batch.len() >= BATCH {
+            self.flush_batch(shard);
+        }
+    }
+
     fn flush_batch(&mut self, shard: usize) {
+        self.staging_open[shard] = false;
         if self.batches[shard].is_empty() {
             return;
         }
         let batch = std::mem::replace(&mut self.batches[shard], Vec::with_capacity(BATCH));
-        // A send error means the worker died; its join below will
-        // surface the panic, so don't double-panic here.
-        let _ = self.senders[shard].send(batch);
+        if self.senders[shard].send(batch).is_err() {
+            // The worker hung up mid-run: join it now, capture the
+            // panic payload, and let the next dispatch fail fast with
+            // the culprit named instead of profiling into the void.
+            let message = match self.handles[shard].take() {
+                Some(handle) => match handle.join() {
+                    Err(payload) => panic_message(payload.as_ref()),
+                    Ok(_) => "worker exited before its channel closed".to_owned(),
+                },
+                None => "worker already joined".to_owned(),
+            };
+            if self.poisoned.is_none() {
+                self.poisoned = Some((shard, message));
+            }
+            return;
+        }
         if self.obs_on {
             self.sent_batches[shard] += 1;
             self.sample_depths(shard);
@@ -377,7 +647,7 @@ impl ShardEngine {
     fn sample_depths(&self, shard: usize) {
         let drained = self.received_batches[shard].load(Ordering::Relaxed);
         let depth = self.sent_batches[shard].saturating_sub(drained);
-        sigil_obs::timeseries::record_gauge(&format!("shard.{shard}.depth"), depth as f64);
+        sigil_obs::timeseries::record_gauge(&self.depth_keys[shard], depth as f64);
         let sent: u64 = self.sent_batches.iter().sum();
         let received: u64 = self
             .received_batches
@@ -392,15 +662,22 @@ impl ShardEngine {
     }
 
     /// Broadcasts any calltree contexts created since the last sync, so
-    /// workers can resolve producer functions from local state.
+    /// workers can resolve producer functions from local state. All
+    /// pending definitions travel in one `CtxDefs` message per shard
+    /// (sharing one allocation), not one message per context per shard.
     pub(crate) fn sync_ctxs(&mut self, tree: &CallTree) {
-        while self.synced_ctxs < tree.len() {
-            let ctx = ContextId(u32::try_from(self.synced_ctxs).expect("context count fits u32"));
-            let func = tree.node(ctx).func;
-            for shard in 0..self.shards {
-                self.push_msg(shard, ShardMsg::CtxDef { func });
-            }
-            self.synced_ctxs += 1;
+        if self.synced_ctxs >= tree.len() {
+            return;
+        }
+        let defs: Arc<[Option<FunctionId>]> = (self.synced_ctxs..tree.len())
+            .map(|i| {
+                let ctx = ContextId(u32::try_from(i).expect("context count fits u32"));
+                tree.node(ctx).func
+            })
+            .collect();
+        self.synced_ctxs = tree.len();
+        for shard in 0..self.shards {
+            self.push_ctl(shard, ShardMsg::CtxDefs(Arc::clone(&defs)));
         }
     }
 
@@ -445,9 +722,12 @@ impl ShardEngine {
         }
     }
 
-    /// Routes one shadow access: the oracle splits it into chunk runs
-    /// and decides evictions; each run (preceded by any evictions it
-    /// triggered) goes to the owning shard.
+    /// Routes one shadow access. Phase 1 resolves it into chunk runs
+    /// (and any evictions they trigger) against the global-order state;
+    /// phase 2 stages the resolved ops into per-shard batches,
+    /// coalescing where legal; every [`EPOCH_ACCESSES`] accesses all
+    /// staged batches flush so workers drain while dispatch resolves
+    /// ahead.
     #[allow(clippy::too_many_arguments)] // the flattened AccessRecord fields
     pub(crate) fn dispatch_access(
         &mut self,
@@ -460,73 +740,207 @@ impl ShardEngine {
         at: Timestamp,
         phase_at: u64,
     ) {
+        if let Some((shard, message)) = self.poisoned.take() {
+            panic!("shard worker {shard} panicked: {message}");
+        }
         let idx = self.next_idx;
         self.next_idx += 1;
+        self.dispatch.accesses += 1;
+        self.epoch_accesses += 1;
         if !write && self.events_on {
             self.seq.push(SeqOp::Read { idx });
         }
-        let mut part = 0u32;
-        let mut addr = addr;
-        let mut remaining = len;
-        while remaining > 0 {
-            let (_, consumed) = self.oracle.run_mut(addr, remaining);
-            // Mirror this run's evictions *before* the run itself: per
-            // victim chunk the eviction follows all its prior accesses
-            // (dispatch order) and precedes any re-creation.
-            if !self.oracle.evictions().is_empty() {
-                self.scratch_evictions.clear();
-                self.scratch_evictions
-                    .extend_from_slice(self.oracle.evictions());
-                self.oracle.clear_evictions();
-                for i in 0..self.scratch_evictions.len() {
-                    let key = self.scratch_evictions[i];
-                    self.push_msg(self.shard_of(key), ShardMsg::Evict { key });
+        let timer = self.obs_on.then(Instant::now);
+
+        // Phase 1: resolve into chunk runs + eviction mirrors.
+        self.scratch_ops.clear();
+        let mut runs_resolved = 0u32;
+        {
+            let scratch = &mut self.scratch_ops;
+            match self.oracle.as_mut() {
+                Some(oracle) => {
+                    let mut addr = addr;
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let (_, consumed) = oracle.run_mut(addr, remaining);
+                        // Mirror this run's evictions *before* the run
+                        // itself: per victim chunk the eviction follows
+                        // all its prior accesses (dispatch order) and
+                        // precedes any re-creation.
+                        if !oracle.evictions().is_empty() {
+                            scratch.extend(
+                                oracle
+                                    .evictions()
+                                    .iter()
+                                    .map(|&key| ResolvedOp::Evict { key }),
+                            );
+                            oracle.clear_evictions();
+                        }
+                        scratch.push(ResolvedOp::Run {
+                            addr,
+                            len: u32::try_from(consumed).expect("run fits a chunk"),
+                        });
+                        runs_resolved += 1;
+                        addr = addr.wrapping_add(consumed as u64);
+                        remaining -= consumed;
+                    }
+                }
+                None => {
+                    // Elided oracle: no evictions are possible, so
+                    // resolution is pure address arithmetic plus the
+                    // counter recurrence.
+                    let route = &mut self.route;
+                    let mut addr = addr;
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let (key, consumed) = chunk_run(addr, remaining);
+                        route.record_run(key, consumed as u64);
+                        scratch.push(ResolvedOp::Run {
+                            addr,
+                            len: u32::try_from(consumed).expect("run fits a chunk"),
+                        });
+                        runs_resolved += 1;
+                        addr = addr.wrapping_add(consumed as u64);
+                        remaining -= consumed;
+                    }
                 }
             }
-            let key = chunk_key(addr);
-            self.push_msg(
-                self.shard_of(key),
-                ShardMsg::Access(AccessRecord {
-                    idx,
-                    part,
-                    write,
-                    addr,
-                    len: u32::try_from(consumed).expect("run fits a chunk"),
-                    ctx,
-                    call,
-                    reader_fn,
-                    at,
-                    phase_at,
-                }),
-            );
-            part += 1;
-            addr = addr.wrapping_add(consumed as u64);
-            remaining -= consumed;
+        }
+        let resolve_done = timer.map(|_| Instant::now());
+
+        // Phase 2: stage (coalescing) and mirror evictions in order.
+        let mut part = 0u32;
+        for i in 0..self.scratch_ops.len() {
+            match self.scratch_ops[i] {
+                ResolvedOp::Evict { key } => {
+                    self.push_ctl(self.shard_of(key), ShardMsg::Evict { key });
+                }
+                ResolvedOp::Run { addr, len } => {
+                    let whole_read = !write && runs_resolved == 1;
+                    let shard = self.shard_of(chunk_key(addr));
+                    self.stage_access(
+                        shard,
+                        AccessRecord {
+                            idx,
+                            part,
+                            write,
+                            addr,
+                            len,
+                            count: 1,
+                            sub_len: if whole_read { len } else { 0 },
+                            ctx,
+                            call,
+                            reader_fn,
+                            at,
+                            phase_at,
+                        },
+                    );
+                    part += 1;
+                }
+            }
+        }
+        if self.epoch_accesses >= EPOCH_ACCESSES {
+            self.epoch_accesses = 0;
+            for shard in 0..self.shards {
+                self.flush_batch(shard);
+            }
+        }
+        if let (Some(t0), Some(t1)) = (timer, resolve_done) {
+            self.dispatch.resolve_ns +=
+                u64::try_from(t1.duration_since(t0).as_nanos()).unwrap_or(u64::MAX);
+            self.dispatch.busy_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
     }
 
-    /// The serial-equivalent shadow counters, from the residency oracle
-    /// (whose `T = ()` stores no bytes — residency is re-priced at the
-    /// serial table's slot size).
+    /// The serial-equivalent shadow counters.
+    ///
+    /// With a dispatch oracle these come straight from it (whose `T =
+    /// ()` stores no bytes — residency is re-priced at the serial
+    /// table's slot size) and are exact at any time. With the oracle
+    /// elided the access counters ([`RouteStats`]) are exact, and the
+    /// residency comes from the workers' per-batch snapshots — lagging
+    /// in-flight batches mid-run, exact after [`ShardEngine::finish`]
+    /// (which recomputes it from the joined workers' tables).
     pub(crate) fn memory_stats(&self) -> MemoryStats {
-        let mut stats = self.oracle.stats();
-        stats.resident_bytes = stats.resident_slots * std::mem::size_of::<ShadowObject>() as u64;
-        stats
+        match &self.oracle {
+            Some(oracle) => {
+                let mut stats = oracle.stats();
+                stats.resident_bytes =
+                    stats.resident_slots * std::mem::size_of::<ShadowObject>() as u64;
+                stats
+            }
+            None => {
+                let chunks: u64 = self
+                    .resident_chunks
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum();
+                self.elided_stats(chunks)
+            }
+        }
     }
 
-    /// Flushes outstanding batches, closes the channels, and joins the
-    /// workers.
-    pub(crate) fn finish(mut self) -> (Vec<ShardResult>, Vec<SeqOp>) {
+    fn elided_stats(&self, resident_chunks: u64) -> MemoryStats {
+        MemoryStats {
+            resident_chunks,
+            resident_slots: resident_chunks * CHUNK_SLOTS as u64,
+            resident_bytes: resident_chunks
+                * (CHUNK_SLOTS * std::mem::size_of::<ShadowObject>()) as u64,
+            evicted_chunks: 0,
+            accesses: self.route.accesses,
+            mru_hits: self.route.mru_hits,
+            table_probes: self.route.accesses - self.route.mru_hits,
+            runs: self.route.runs,
+            run_bytes: self.route.run_bytes,
+        }
+    }
+
+    /// Flushes outstanding batches, closes the channels, joins the
+    /// workers, and composes the final serial-equivalent memory stats.
+    pub(crate) fn finish(mut self) -> ShardFinish {
         for shard in 0..self.shards {
             self.flush_batch(shard);
         }
+        if let Some((shard, message)) = self.poisoned.take() {
+            panic!("shard worker {shard} panicked: {message}");
+        }
         self.senders.clear();
-        let results = self
+        let results: Vec<ShardResult> = self
             .handles
-            .drain(..)
-            .map(|handle| handle.join().expect("shard worker panicked"))
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, slot)| {
+                let handle = slot.take().expect("worker joined twice");
+                match handle.join() {
+                    Ok(result) => result,
+                    Err(payload) => panic!(
+                        "shard worker {shard} panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                }
+            })
             .collect();
-        (results, std::mem::take(&mut self.seq))
+        let memory = match &self.oracle {
+            Some(oracle) => {
+                let mut stats = oracle.stats();
+                stats.resident_bytes =
+                    stats.resident_slots * std::mem::size_of::<ShadowObject>() as u64;
+                stats
+            }
+            None => {
+                // The shards own disjoint chunk sets whose union is the
+                // serial footprint; the workers' own tables (T =
+                // ShadowObject) price bytes exactly like serial replay.
+                let chunks: u64 = results.iter().map(|r| r.stats.resident_chunks).sum();
+                self.elided_stats(chunks)
+            }
+        };
+        ShardFinish {
+            memory,
+            dispatch: self.dispatch,
+            results,
+            seq: std::mem::take(&mut self.seq),
+        }
     }
 }
 
@@ -540,6 +954,9 @@ struct WorkerSpec {
     /// Telemetry: batches this worker has drained, shared with the
     /// dispatcher's channel-depth sampling.
     batches_received: Arc<AtomicU64>,
+    /// Resident-chunk count of this worker's table, refreshed after
+    /// every batch for the dispatcher's elided-mode residency reads.
+    resident_chunks: Arc<AtomicU64>,
 }
 
 /// Per-worker replay state.
@@ -548,7 +965,7 @@ struct WorkerState {
     comm: Vec<CommStats>,
     edges: HashMap<(ContextId, ContextId), EdgeAccum>,
     reuse: Option<Vec<ContextReuse>>,
-    /// Context → function map, filled by `CtxDef` broadcasts.
+    /// Context → function map, filled by `CtxDefs` broadcasts.
     ctx_funcs: Vec<Option<FunctionId>>,
     transfers: TransferMap,
     phases: Option<PhaseBuilder>,
@@ -579,7 +996,7 @@ fn shard_worker(spec: WorkerSpec, rx: Receiver<Vec<ShardMsg>>) -> ShardResult {
         let work = Instant::now();
         for msg in batch {
             match msg {
-                ShardMsg::CtxDef { func } => state.ctx_funcs.push(func),
+                ShardMsg::CtxDefs(defs) => state.ctx_funcs.extend(defs.iter().copied()),
                 ShardMsg::Evict { key } => {
                     let evicted = state.table.evict_key(key);
                     debug_assert!(evicted, "mirrored victim must be resident");
@@ -589,6 +1006,8 @@ fn shard_worker(spec: WorkerSpec, rx: Receiver<Vec<ShardMsg>>) -> ShardResult {
                 ShardMsg::Access(rec) => apply_read(&mut state, rec),
             }
         }
+        spec.resident_chunks
+            .store(state.table.chunk_count() as u64, Ordering::Relaxed);
         busy_ns += u64::try_from(work.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
     // Flush outstanding reuse records (bytes still "live" at exit) —
@@ -614,30 +1033,89 @@ fn shard_worker(spec: WorkerSpec, rx: Receiver<Vec<ShardMsg>>) -> ShardResult {
     }
 }
 
-/// One read run: the serial `handle_read` per-byte loop, with producer
-/// functions resolved from the broadcast context map.
+/// One read record: splits a coalesced train back into its sub-accesses
+/// and replays each through the serial `handle_read` per-byte loop.
 fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
+    let WorkerState {
+        table,
+        comm,
+        edges,
+        reuse,
+        ctx_funcs,
+        transfers,
+        phases,
+        events_on,
+        ..
+    } = state;
+    let (slots, consumed) = table.run_mut(rec.addr, rec.len as usize);
+    debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
+    // Strided trains carry `count` whole accesses of `sub_len` bytes
+    // each; everything else (plain runs, straddle parts, free-mode
+    // trains) replays as one pass — free-mode records consume none of
+    // the per-access metadata reconstructed here.
+    let sub_len = if rec.count > 1 && rec.sub_len > 0 {
+        rec.sub_len as usize
+    } else {
+        rec.len as usize
+    };
+    // The producer-function memo is a pure cache over `ctx_funcs`, so
+    // it can persist across sub-access boundaries.
+    let mut producer_fn_memo: Option<(ContextId, Option<FunctionId>)> = None;
+    for (k, sub_slots) in slots.chunks_mut(sub_len).enumerate() {
+        let k = k as u64;
+        let sub = AccessRecord {
+            idx: rec.idx + k,
+            at: rec.at.advance(k),
+            phase_at: rec.phase_at + k,
+            ..rec
+        };
+        read_sub_access(
+            sub_slots,
+            &sub,
+            comm,
+            edges,
+            reuse,
+            ctx_funcs,
+            transfers,
+            phases,
+            *events_on,
+            &mut producer_fn_memo,
+        );
+    }
+}
+
+/// One read sub-access: the serial `handle_read` per-byte loop, with
+/// producer functions resolved from the broadcast context map.
+#[allow(clippy::too_many_arguments)] // flattened WorkerState fields
+fn read_sub_access(
+    slots: &mut [ShadowObject],
+    rec: &AccessRecord,
+    comm: &mut Vec<CommStats>,
+    edges: &mut HashMap<(ContextId, ContextId), EdgeAccum>,
+    reuse: &mut Option<Vec<ContextReuse>>,
+    ctx_funcs: &[Option<FunctionId>],
+    all_transfers: &mut TransferMap,
+    phases: &mut Option<PhaseBuilder>,
+    events_on: bool,
+    producer_fn_memo: &mut Option<(ContextId, Option<FunctionId>)>,
+) {
     let owner = Owner::new(rec.ctx.0, rec.call);
     let mut local_unique = 0u64;
     let mut local_nonunique = 0u64;
     let mut input_unique = 0u64;
     let mut input_nonunique = 0u64;
     let mut producer_seg: Option<(ContextId, EdgeAccum)> = None;
-    let mut producer_fn_memo: Option<(ContextId, Option<FunctionId>)> = None;
     let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
-    let events_on = state.events_on;
     // Phase-profile transfer segments, mirroring the serial path's
     // producer-context accumulation (see `SigilProfiler::handle_read`).
     let mut phase_transfers: Vec<(ContextId, u64)> = Vec::new();
-    let phases_on = state.phases.is_some();
+    let phases_on = phases.is_some();
 
-    let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
-    debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
     for obj in slots {
         let repeat = obj.is_repeat_read(owner);
         let producer = obj.last_writer;
 
-        if let Some(reuse_vec) = state.reuse.as_mut() {
+        if let Some(reuse_vec) = reuse.as_mut() {
             if !repeat {
                 if let Some(prev_reader) = obj.last_reader {
                     let info = obj.reuse;
@@ -653,11 +1131,11 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
             Some(p) => (ContextId(p.ctx), p.call),
             None => (ContextId::ROOT, CallNumber::ROOT),
         };
-        let producer_fn = match producer_fn_memo {
+        let producer_fn = match *producer_fn_memo {
             Some((memo_ctx, func)) if memo_ctx == producer_ctx => func,
             _ => {
-                let func = state.ctx_funcs[producer_ctx.index()];
-                producer_fn_memo = Some((producer_ctx, func));
+                let func = ctx_funcs[producer_ctx.index()];
+                *producer_fn_memo = Some((producer_ctx, func));
                 func
             }
         };
@@ -680,13 +1158,7 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
                 }
                 seg_slot => {
                     if let Some((prev_ctx, prev_seg)) = seg_slot.take() {
-                        SigilProfiler::flush_producer(
-                            &mut state.comm,
-                            &mut state.edges,
-                            prev_ctx,
-                            rec.ctx,
-                            prev_seg,
-                        );
+                        SigilProfiler::flush_producer(comm, edges, prev_ctx, rec.ctx, prev_seg);
                     }
                     let mut seg = EdgeAccum::default();
                     if repeat {
@@ -715,38 +1187,33 @@ fn apply_read(state: &mut WorkerState, rec: AccessRecord) {
     }
 
     if let Some((prev_ctx, prev_seg)) = producer_seg {
-        SigilProfiler::flush_producer(
-            &mut state.comm,
-            &mut state.edges,
-            prev_ctx,
-            rec.ctx,
-            prev_seg,
-        );
+        SigilProfiler::flush_producer(comm, edges, prev_ctx, rec.ctx, prev_seg);
     }
     // `bytes_read` is tallied once per access on the dispatch thread;
     // the worker only contributes the per-byte classification.
-    let consumer_stats = SigilProfiler::comm_entry(&mut state.comm, rec.ctx);
+    let consumer_stats = SigilProfiler::comm_entry(comm, rec.ctx);
     consumer_stats.local_unique_bytes += local_unique;
     consumer_stats.local_nonunique_bytes += local_nonunique;
     consumer_stats.input_unique_bytes += input_unique;
     consumer_stats.input_nonunique_bytes += input_nonunique;
     if !transfers.is_empty() {
-        state
-            .transfers
+        all_transfers
             .entry(rec.idx)
             .or_default()
             .push((rec.part, transfers));
     }
     if !phase_transfers.is_empty() {
-        let builder = state.phases.as_mut().expect("phases on");
+        let builder = phases.as_mut().expect("phases on");
         for (producer_ctx, bytes) in phase_transfers {
             builder.record_transfer(producer_ctx, rec.ctx, rec.phase_at, bytes);
         }
     }
 }
 
-/// One write run: the serial `handle_write` per-byte loop
-/// (`bytes_written` is tallied on the dispatch thread).
+/// One write record: the serial `handle_write` per-byte loop
+/// (`bytes_written` is tallied on the dispatch thread). A coalesced
+/// write train replays as one run — every byte sees the same owner, so
+/// sub-access boundaries are unobservable.
 fn apply_write(state: &mut WorkerState, rec: AccessRecord) {
     let owner = Owner::new(rec.ctx.0, rec.call);
     let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
@@ -938,5 +1405,159 @@ mod tests {
             })
             .collect();
         assert_eq!(transfer_bytes, vec![16], "parts coalesce in byte order");
+    }
+
+    fn rec(write: bool, idx: u64, addr: Addr, len: u32, whole_read: bool) -> AccessRecord {
+        AccessRecord {
+            idx,
+            part: 0,
+            write,
+            addr,
+            len,
+            count: 1,
+            sub_len: if !write && whole_read { len } else { 0 },
+            ctx: ContextId(3),
+            call: CallNumber::from_raw(7),
+            reader_fn: if write {
+                None
+            } else {
+                Some(FunctionId::from_raw(2))
+            },
+            at: Timestamp::from_raw(100 + idx),
+            phase_at: 200 + idx,
+        }
+    }
+
+    #[test]
+    fn writes_coalesce_in_both_modes_when_contiguous_and_same_owner() {
+        let prev = rec(true, 0, 0x1000, 16, false);
+        let next = rec(true, 1, 0x1010, 16, false);
+        assert!(can_coalesce(ReadCoalesce::Free, &prev, &next));
+        assert!(can_coalesce(ReadCoalesce::Strided, &prev, &next));
+
+        let gap = rec(true, 1, 0x1018, 16, false);
+        assert!(!can_coalesce(ReadCoalesce::Free, &prev, &gap), "gap");
+        let mut other_call = next;
+        other_call.call = CallNumber::from_raw(8);
+        assert!(
+            !can_coalesce(ReadCoalesce::Free, &prev, &other_call),
+            "owner changed"
+        );
+        let read = rec(false, 1, 0x1010, 16, true);
+        assert!(
+            !can_coalesce(ReadCoalesce::Free, &prev, &read),
+            "direction changed"
+        );
+    }
+
+    #[test]
+    fn strided_reads_require_the_exact_stride() {
+        let prev = rec(false, 0, 0x1000, 16, true);
+        let good = rec(false, 1, 0x1010, 16, true);
+        assert!(can_coalesce(ReadCoalesce::Strided, &prev, &good));
+
+        let mut wrong_len = good;
+        wrong_len.len = 8;
+        wrong_len.sub_len = 8;
+        wrong_len.addr = 0x1010;
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &prev, &wrong_len),
+            "stride length changed"
+        );
+
+        let mut straddle_part = good;
+        straddle_part.sub_len = 0;
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &prev, &straddle_part),
+            "straddle parts never merge in strided mode"
+        );
+        assert!(
+            can_coalesce(ReadCoalesce::Free, &prev, &straddle_part),
+            "but do in free mode"
+        );
+
+        let mut idx_gap = good;
+        idx_gap.idx = 2;
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &prev, &idx_gap),
+            "an intervening access broke the index stride"
+        );
+        let mut time_gap = good;
+        time_gap.at = Timestamp::from_raw(102);
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &prev, &time_gap),
+            "op clock advanced between the accesses"
+        );
+        let mut phase_gap = good;
+        phase_gap.phase_at = 202;
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &prev, &phase_gap),
+            "phase clock advanced between the accesses"
+        );
+    }
+
+    #[test]
+    fn coalesced_train_extends_by_stride() {
+        // After merging, the train's count/len admit exactly the next
+        // stride element — the induction `can_coalesce` relies on.
+        let mut train = rec(false, 0, 0x1000, 16, true);
+        for k in 1..8u64 {
+            let next = rec(false, k, 0x1000 + k * 16, 16, true);
+            assert!(can_coalesce(ReadCoalesce::Strided, &train, &next));
+            train.len += next.len;
+            train.count += 1;
+        }
+        assert_eq!(train.count, 8);
+        assert_eq!(train.len, 128);
+        let off_stride = rec(false, 9, 0x1000 + 8 * 16, 16, true);
+        assert!(
+            !can_coalesce(ReadCoalesce::Strided, &train, &off_stride),
+            "skipped index 8"
+        );
+    }
+
+    #[test]
+    fn route_stats_mirror_an_unbounded_table() {
+        // The elided-oracle recurrence must match a real unbounded
+        // ShadowTable driven through the identical access sequence.
+        let accesses: &[(Addr, usize)] = &[
+            (0x0000, 64),       // new chunk
+            (0x0040, 64),       // MRU hit
+            (0x0ff0, 64),       // straddles into chunk 1
+            (0x0ff0, 64),       // straddle again: miss (MRU is chunk 1), then hit
+            (0x2000, 1),        // new chunk 2
+            (0x2000, 4096),     // whole chunk, MRU hit
+            (0x0000, 3 * 4096), // spans chunks 0..3
+        ];
+        let mut table: ShadowTable<()> = ShadowTable::new();
+        let mut route = RouteStats::default();
+        for &(addr, len) in accesses {
+            let mut a = addr;
+            let mut remaining = len;
+            while remaining > 0 {
+                let (_, consumed) = table.run_mut(a, remaining);
+                let (key, split) = chunk_run(a, remaining);
+                assert_eq!(split, consumed, "chunk_run mirrors run_mut splitting");
+                route.record_run(key, consumed as u64);
+                a = a.wrapping_add(consumed as u64);
+                remaining -= consumed;
+            }
+        }
+        let stats = table.stats();
+        assert_eq!(route.accesses, stats.accesses);
+        assert_eq!(route.mru_hits, stats.mru_hits);
+        assert_eq!(route.runs, stats.runs);
+        assert_eq!(route.run_bytes, stats.run_bytes);
+        assert_eq!(route.accesses - route.mru_hits, stats.table_probes);
+    }
+
+    #[test]
+    fn engine_elides_the_oracle_exactly_when_unbounded() {
+        let unbounded = SigilConfig::default().with_shards(2);
+        assert!(ShardEngine::new(&unbounded).oracle_elided());
+        let forced = unbounded.with_forced_dispatch_oracle();
+        assert!(!ShardEngine::new(&forced).oracle_elided());
+        let limited = SigilConfig::default().with_shards(2).with_shadow_limit(4);
+        assert!(!ShardEngine::new(&limited).oracle_elided());
     }
 }

@@ -250,6 +250,12 @@ fn replay(steps: &[Step], config: SigilConfig) -> String {
     serde_json::to_string(&profiler.into_profile(symbols)).expect("profile serializes")
 }
 
+/// `None` (unbounded — the oracle-elided path) or a tiny chunk limit
+/// (the dispatch-oracle path with mid-access evictions).
+fn arb_limit() -> impl Strategy<Value = Option<usize>> {
+    (0u8..2, 1usize..4).prop_map(|(some, limit)| (some == 1).then_some(limit))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -274,5 +280,69 @@ proptest! {
         let serial = replay(&steps, config);
         let sharded = replay(&steps, config.with_shards(shards));
         prop_assert_eq!(serial, sharded);
+    }
+
+    /// Pipelined dispatch (run coalescing; oracle elided when
+    /// unbounded) is byte-identical to the pinned legacy path (one
+    /// record per run, forced dispatch oracle) and to serial replay —
+    /// under FIFO/LRU limits with mid-access evictions, and unbounded
+    /// where the elided path actually takes over. The generated
+    /// addresses straddle chunk boundaries, and every feature
+    /// consuming per-access metadata is on, so strided trains must
+    /// split back losslessly.
+    #[test]
+    fn pipelined_dispatch_matches_legacy_dispatch(
+        steps in proptest::collection::vec(arb_step(), 0..60),
+        shards in 2usize..9,
+        limit in arb_limit(),
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+        let mut config = SigilConfig::default()
+            .with_reuse_mode()
+            .with_line_mode(64)
+            .with_events()
+            .with_phases(7)
+            .with_eviction(policy);
+        if let Some(limit) = limit {
+            config = config.with_shadow_limit(limit);
+        }
+        let serial = replay(&steps, config);
+        let pipelined = replay(&steps, config.with_shards(shards));
+        let legacy = replay(
+            &steps,
+            config
+                .with_shards(shards)
+                .with_forced_dispatch_oracle()
+                .without_dispatch_coalescing(),
+        );
+        prop_assert_eq!(&pipelined, &legacy);
+        prop_assert_eq!(&pipelined, &serial);
+    }
+
+    /// Same equivalence in baseline mode, where reads coalesce *freely*
+    /// (no reuse/events/phases metadata to reconstruct) — straddle
+    /// parts and repeated reads may merge into long trains.
+    #[test]
+    fn free_read_coalescing_matches_legacy_dispatch(
+        steps in proptest::collection::vec(arb_step(), 0..60),
+        shards in 2usize..9,
+        limit in arb_limit(),
+    ) {
+        let mut config = SigilConfig::default().with_line_mode(64);
+        if let Some(limit) = limit {
+            config = config.with_shadow_limit(limit);
+        }
+        let serial = replay(&steps, config);
+        let pipelined = replay(&steps, config.with_shards(shards));
+        let legacy = replay(
+            &steps,
+            config
+                .with_shards(shards)
+                .with_forced_dispatch_oracle()
+                .without_dispatch_coalescing(),
+        );
+        prop_assert_eq!(&pipelined, &legacy);
+        prop_assert_eq!(&pipelined, &serial);
     }
 }

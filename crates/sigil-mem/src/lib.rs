@@ -32,4 +32,4 @@ pub mod table;
 pub use line::{LineShadow, LineStats};
 pub use object::{Owner, ReuseInfo, ShadowObject};
 pub use stats::MemoryStats;
-pub use table::{chunk_key, EvictionPolicy, RunsMut, ShadowTable, CHUNK_SLOTS};
+pub use table::{chunk_key, chunk_run, EvictionPolicy, RunsMut, ShadowTable, CHUNK_SLOTS};

@@ -28,6 +28,21 @@ pub fn chunk_key(addr: Addr) -> u64 {
     addr >> CHUNK_BITS
 }
 
+/// Splits the head of the range `addr..addr+len` at the table's chunk
+/// boundary: returns the covering chunk's key and the number of slots
+/// the range keeps inside that chunk (`min(len, slots left)`).
+///
+/// This is [`ShadowTable::run_mut`]'s address arithmetic without the
+/// table: a dispatcher that has elided its residency oracle (unbounded
+/// shadow memory never evicts) still splits accesses into the identical
+/// per-chunk runs by iterating `chunk_run` and advancing `addr` by
+/// `consumed`.
+#[inline]
+pub fn chunk_run(addr: Addr, len: usize) -> (u64, usize) {
+    let off = (addr & OFFSET_MASK) as usize;
+    (addr >> CHUNK_BITS, len.min(CHUNK_SLOTS - off))
+}
+
 /// Which chunk to evict when the memory limit is exceeded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EvictionPolicy {
@@ -856,6 +871,32 @@ mod tests {
         assert_eq!(chunk_key(CHUNK_SLOTS as u64 - 1), 0);
         assert_eq!(chunk_key(CHUNK_SLOTS as u64), 1);
         assert_eq!(chunk_key(u64::MAX), u64::MAX >> CHUNK_BITS);
+    }
+
+    #[test]
+    fn chunk_run_matches_run_mut_splitting() {
+        // The oracle-free split must agree with the table's own run
+        // boundaries on every shape: interior, boundary-straddling, and
+        // boundary-starting ranges.
+        let mut table: ShadowTable<u8> = ShadowTable::new();
+        for &(addr, len) in &[
+            (0u64, 8usize),
+            (4090, 12),
+            (4096, 5),
+            (CHUNK_SLOTS as u64 - 1, 1),
+            (1 << 40, CHUNK_SLOTS + 7),
+        ] {
+            let (mut a, mut remaining) = (addr, len);
+            while remaining > 0 {
+                let (key, consumed) = chunk_run(a, remaining);
+                let (_, table_consumed) = table.run_mut(a, remaining);
+                assert_eq!(consumed, table_consumed, "addr {a:#x} len {remaining}");
+                assert_eq!(key, chunk_key(a));
+                a = a.wrapping_add(consumed as u64);
+                remaining -= consumed;
+            }
+        }
+        assert_eq!(chunk_run(123, 0), (0, 0), "zero-length range is inert");
     }
 
     #[test]

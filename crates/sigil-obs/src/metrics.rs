@@ -235,6 +235,14 @@ pub fn set_counter(name: &str, value: u64) {
     }
 }
 
+/// Adds `n` to counter `name` (registering it if needed). Accumulation
+/// path for counters maintained elsewhere and folded in once per run —
+/// e.g. the sharded dispatcher's busy/resolve timers, which a sweep sums
+/// across workloads.
+pub fn add_counter(name: &str, n: u64) {
+    counter(name).add(n);
+}
+
 /// Sets gauge `name` to `value` (registering it if needed).
 pub fn set_gauge(name: &str, value: f64) {
     gauge(name).set(value);
@@ -398,13 +406,14 @@ mod tests {
         c.add(4);
         assert_eq!(c.get(), 5);
         counter("work.items").inc(); // same underlying cell
+        add_counter("work.items", 2); // shorthand hits the same cell too
         gauge("rate").set(0.75);
         let h = histogram("ms", &[10, 100]);
         h.observe(5);
         h.observe(50);
         h.observe(500);
         let snap = snapshot();
-        assert_eq!(snap["work.items"], MetricValue::Counter(6));
+        assert_eq!(snap["work.items"], MetricValue::Counter(8));
         assert_eq!(snap["rate"], MetricValue::Gauge(0.75));
         assert_eq!(
             snap["ms"],

@@ -113,6 +113,22 @@ pub fn differential_configs(
     limit_override: Option<usize>,
     shards_override: Option<usize>,
 ) -> Vec<(String, SigilConfig)> {
+    differential_configs_filtered(seed, limit_override, shards_override, false)
+}
+
+/// [`differential_configs`] with an optional restriction to the
+/// unbounded (oracle-elided) axis. Sharded unbounded entries come in
+/// two dispatch flavours: the default pipelined path (oracle elided,
+/// runs coalesced) and the pinned legacy path (forced dispatch oracle,
+/// one record per run) — both must project to the identical report, so
+/// the pipelined dispatch is differentially held to its predecessor on
+/// every seed.
+pub fn differential_configs_filtered(
+    seed: u64,
+    limit_override: Option<usize>,
+    shards_override: Option<usize>,
+    unbounded_only: bool,
+) -> Vec<(String, SigilConfig)> {
     let base = SigilConfig::default().with_reuse_mode().with_line_mode(64);
     let limit = limit_override.unwrap_or(1 + (seed % 3) as usize);
     let policy = if seed.is_multiple_of(2) {
@@ -120,13 +136,13 @@ pub fn differential_configs(
     } else {
         EvictionPolicy::Lru
     };
-    let bases = [
-        ("unbounded".to_owned(), base),
-        (
+    let mut bases = vec![("unbounded".to_owned(), base)];
+    if !unbounded_only {
+        bases.push((
             format!("limit={limit} policy={policy:?}"),
             base.with_shadow_limit(limit).with_eviction(policy),
-        ),
-    ];
+        ));
+    }
     let shard_axis: &[usize] = match &shards_override {
         Some(n) => std::slice::from_ref(n),
         None => &SHARD_AXIS,
@@ -134,16 +150,28 @@ pub fn differential_configs(
     shard_axis
         .iter()
         .flat_map(|&shards| {
-            bases.iter().map(move |(label, config)| {
-                if shards <= 1 {
-                    (label.clone(), *config)
-                } else {
-                    (
-                        format!("{label} shards={shards}"),
-                        config.with_shards(shards),
-                    )
-                }
-            })
+            let mut configs: Vec<(String, SigilConfig)> = bases
+                .iter()
+                .map(|(label, config)| {
+                    if shards <= 1 {
+                        (label.clone(), *config)
+                    } else {
+                        (
+                            format!("{label} shards={shards}"),
+                            config.with_shards(shards),
+                        )
+                    }
+                })
+                .collect();
+            if shards > 1 {
+                configs.push((
+                    format!("unbounded legacy-dispatch shards={shards}"),
+                    base.with_shards(shards)
+                        .with_forced_dispatch_oracle()
+                        .without_dispatch_coalescing(),
+                ));
+            }
+            configs
         })
         .collect()
 }
@@ -173,9 +201,20 @@ pub fn diff_seed(
     limit_override: Option<usize>,
     shards_override: Option<usize>,
 ) -> Vec<ConfigFailure> {
+    diff_seed_filtered(seed, limit_override, shards_override, false)
+}
+
+/// [`diff_seed`] restricted to [`differential_configs_filtered`]'s
+/// matrix (the `--unbounded` CLI axis).
+pub fn diff_seed_filtered(
+    seed: u64,
+    limit_override: Option<usize>,
+    shards_override: Option<usize>,
+    unbounded_only: bool,
+) -> Vec<ConfigFailure> {
     let program = GenProgram::generate(seed);
     let bundle = record_program(&program);
-    differential_configs(seed, limit_override, shards_override)
+    differential_configs_filtered(seed, limit_override, shards_override, unbounded_only)
         .into_iter()
         .filter_map(|(label, config)| {
             let divergences = compare(&bundle, config, None);

@@ -10,6 +10,8 @@
 //! - `SIGIL_DIFF_LIMIT`     — pin the constrained shadow-chunk limit
 //! - `SIGIL_DIFF_SHARDS`    — pin the shard count (default: the full
 //!   `SHARD_AXIS`, i.e. serial plus 2/4/8-way sharded replay)
+//! - `SIGIL_DIFF_UNBOUNDED` — set to `1` to restrict the matrix to the
+//!   no-limit axis (oracle-elided and pinned legacy dispatch)
 //!
 //! On any divergence the failing program is delta-debugged down to a
 //! minimal repro before the assert fires, so the panic message alone is
@@ -17,8 +19,7 @@
 
 use sigil_core::{PhaseBuilder, PhaseProfile, SigilConfig, SigilProfiler};
 use sigil_oracle::harness::{
-    self, diff_seed, golden_config, record_benchmark, record_program, shrink, TraceBundle,
-    SHARD_AXIS,
+    self, golden_config, record_benchmark, record_program, shrink, TraceBundle, SHARD_AXIS,
 };
 use sigil_oracle::{diff_reports, InjectedBug, OracleReport};
 use sigil_trace::io::replay;
@@ -49,8 +50,9 @@ fn random_programs_conform() {
     let base = env_u64("SIGIL_DIFF_SEED_BASE", 0);
     let limit = env_usize("SIGIL_DIFF_LIMIT");
     let shards = env_usize("SIGIL_DIFF_SHARDS");
+    let unbounded = env_u64("SIGIL_DIFF_UNBOUNDED", 0) != 0;
     for seed in base..base + seeds {
-        let failures = diff_seed(seed, limit, shards);
+        let failures = harness::diff_seed_filtered(seed, limit, shards, unbounded);
         if let Some(failure) = failures.first() {
             let minimized = shrink(&GenProgram::generate(seed), failure.config, None);
             panic!(

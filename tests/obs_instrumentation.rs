@@ -105,6 +105,48 @@ fn enabled_observability_captures_phases_and_shadow_counters() {
     metrics::clear();
 }
 
+/// A sharded run under obs must export the dispatch-thread telemetry:
+/// busy/resolve time, record and access counts, and the derived
+/// records-per-access gauge — with coalescing on, strictly fewer
+/// records than accesses-worth of runs is the whole point, so the
+/// gauge must stay finite and positive.
+#[test]
+fn sharded_runs_export_dispatch_telemetry() {
+    let _lock = obs_lock();
+    span::clear();
+    metrics::clear();
+    sigil::obs::set_enabled(true);
+    let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default().with_shards(4)));
+    Benchmark::Blackscholes.run(InputSize::SimSmall, &mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    let profile = profiler.into_profile(symbols);
+    sigil::obs::set_enabled(false);
+
+    let snap = metrics::snapshot();
+    let counter = |name: &str| match snap.get(name) {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("`{name}` should be a counter, got {other:?}"),
+    };
+    let accesses = counter("dispatch.accesses");
+    let records = counter("dispatch.records");
+    assert!(accesses > 0, "the workload dispatched accesses");
+    assert!(records > 0 && records <= profile.memory.runs);
+    assert!(
+        counter("dispatch.busy_ns") >= counter("dispatch.resolve_ns"),
+        "resolution is part of dispatch busy time"
+    );
+    match snap.get("dispatch.records_per_access") {
+        Some(MetricValue::Gauge(v)) => {
+            assert!(*v > 0.0, "records/access gauge is positive");
+            assert!((v - records as f64 / accesses as f64).abs() < 1e-9);
+        }
+        other => panic!("dispatch.records_per_access should be a gauge, got {other:?}"),
+    }
+
+    span::clear();
+    metrics::clear();
+}
+
 /// Writers on many threads hammer counters, gauges, histograms, and
 /// timeseries buckets while a reader repeatedly snapshots — every JSON
 /// export must stay well-formed mid-flight, and the final counter totals
