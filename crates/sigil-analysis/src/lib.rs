@@ -51,6 +51,7 @@ pub mod dot;
 pub mod inclusive;
 pub mod partition;
 pub mod reuse_analysis;
+pub mod scaling;
 pub mod schedule;
 pub mod streaming;
 pub mod whatif;

@@ -1,0 +1,276 @@
+//! Communication-vs-input-size scaling curves.
+//!
+//! The paper sweeps `simsmall`/`simmedium`/`simlarge` inputs to argue
+//! that function-level communication profiles are stable properties of
+//! the *algorithm*, not the input (§IV): a function whose unique input
+//! bytes grow as `a·N^b` at one size keeps that exponent at the next.
+//! This module fits those curves: profile a workload at each input-size
+//! factor, collect per-function communication totals, and fit
+//! `bytes ≈ a·N^b` by least squares in log-log space.
+//!
+//! Three per-function series are fitted independently — unique input
+//! bytes (same-thread, cross-function), unique **inter-thread** bytes
+//! (the cross-thread classification axis), and total bytes read — so
+//! sharing-heavy workloads expose whether their cross-thread traffic
+//! scales with the input (pipeline handoffs, exponent ≈ 1) or stays
+//! flat (fixed-size shared state, exponent ≈ 0).
+
+use serde::{Deserialize, Serialize};
+use sigil_core::Profile;
+
+/// A least-squares power-law fit `y ≈ coefficient · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerFit {
+    /// The multiplier `a` in `a·N^b`.
+    pub coefficient: f64,
+    /// The exponent `b` in `a·N^b`.
+    pub exponent: f64,
+    /// Coefficient of determination in log-log space (1.0 = perfect).
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ a·x^b` through `points` by linear least squares on
+/// `(ln x, ln y)`. Points with a non-positive coordinate are skipped
+/// (their logarithm is undefined); `None` if fewer than two usable
+/// points remain or all `x` coincide.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let var_x = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum::<f64>();
+    if var_x == 0.0 {
+        return None;
+    }
+    let cov = logs
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum::<f64>();
+    let exponent = cov / var_x;
+    let intercept = mean_y - exponent * mean_x;
+    let ss_tot = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum::<f64>();
+    let ss_res = logs
+        .iter()
+        .map(|(x, y)| (y - (intercept + exponent * x)).powi(2))
+        .sum::<f64>();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(PowerFit {
+        coefficient: intercept.exp(),
+        exponent,
+        r_squared,
+    })
+}
+
+/// One function's communication series across the input-size sweep,
+/// with the fitted curves. The `*_bytes` vectors are indexed like the
+/// sweep's factor list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionScaling {
+    /// Function symbol name.
+    pub name: String,
+    /// Dynamic calls at each factor.
+    pub calls: Vec<u64>,
+    /// Unique same-thread input bytes at each factor.
+    pub input_unique_bytes: Vec<u64>,
+    /// Unique inter-thread input bytes at each factor.
+    pub inter_thread_unique_bytes: Vec<u64>,
+    /// Total bytes read at each factor.
+    pub bytes_read: Vec<u64>,
+    /// Fit of `input_unique_bytes` against the factors.
+    pub input_fit: Option<PowerFit>,
+    /// Fit of `inter_thread_unique_bytes` against the factors.
+    pub inter_thread_fit: Option<PowerFit>,
+    /// Fit of `bytes_read` against the factors.
+    pub read_fit: Option<PowerFit>,
+}
+
+/// A workload's full input-size scaling record: per-function curves
+/// plus whole-program totals — the shape committed into results JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Workload name.
+    pub workload: String,
+    /// Input-size work factors the sweep profiled (e.g. `[1, 4, 16]`).
+    pub factors: Vec<u64>,
+    /// Per-function curves, sorted by bytes read at the largest factor,
+    /// descending.
+    pub functions: Vec<FunctionScaling>,
+    /// Whole-program unique inter-thread bytes at each factor.
+    pub total_inter_thread_bytes: Vec<u64>,
+    /// Whole-program bytes read at each factor.
+    pub total_bytes_read: Vec<u64>,
+    /// Fit of the whole-program inter-thread series.
+    pub total_inter_thread_fit: Option<PowerFit>,
+    /// Fit of the whole-program bytes-read series.
+    pub total_read_fit: Option<PowerFit>,
+}
+
+fn fit_series(factors: &[u64], series: &[u64]) -> Option<PowerFit> {
+    let points: Vec<(f64, f64)> = factors
+        .iter()
+        .zip(series)
+        .map(|(&f, &y)| (f as f64, y as f64))
+        .collect();
+    fit_power_law(&points)
+}
+
+/// Builds the scaling record from one profile per input-size factor.
+/// `profiles[i]` must be the run at `factors[i]`; functions absent from
+/// a run contribute zeros at that factor.
+///
+/// # Panics
+///
+/// Panics if `factors` and `profiles` have different lengths.
+pub fn scaling_report(workload: &str, factors: &[u64], profiles: &[Profile]) -> ScalingReport {
+    assert_eq!(
+        factors.len(),
+        profiles.len(),
+        "one profile per input-size factor"
+    );
+    let n = factors.len();
+    let mut order: Vec<String> = Vec::new();
+    let mut by_name: std::collections::HashMap<String, FunctionScaling> =
+        std::collections::HashMap::new();
+    for (i, profile) in profiles.iter().enumerate() {
+        for row in profile.function_rows() {
+            let entry = by_name.entry(row.name.clone()).or_insert_with(|| {
+                order.push(row.name.clone());
+                FunctionScaling {
+                    name: row.name.clone(),
+                    calls: vec![0; n],
+                    input_unique_bytes: vec![0; n],
+                    inter_thread_unique_bytes: vec![0; n],
+                    bytes_read: vec![0; n],
+                    input_fit: None,
+                    inter_thread_fit: None,
+                    read_fit: None,
+                }
+            });
+            entry.calls[i] = row.calls;
+            entry.input_unique_bytes[i] = row.comm.input_unique_bytes;
+            entry.inter_thread_unique_bytes[i] = row.comm.inter_thread_unique_bytes;
+            entry.bytes_read[i] = row.comm.bytes_read;
+        }
+    }
+    let mut functions: Vec<FunctionScaling> = order
+        .into_iter()
+        .map(|name| {
+            let mut f = by_name.remove(&name).expect("inserted above");
+            f.input_fit = fit_series(factors, &f.input_unique_bytes);
+            f.inter_thread_fit = fit_series(factors, &f.inter_thread_unique_bytes);
+            f.read_fit = fit_series(factors, &f.bytes_read);
+            f
+        })
+        .collect();
+    functions.sort_by(|a, b| {
+        let (la, lb) = (a.bytes_read[n - 1], b.bytes_read[n - 1]);
+        lb.cmp(&la).then_with(|| a.name.cmp(&b.name))
+    });
+    let total_inter: Vec<u64> = (0..n)
+        .map(|i| {
+            functions
+                .iter()
+                .map(|f| f.inter_thread_unique_bytes[i])
+                .sum()
+        })
+        .collect();
+    let total_read: Vec<u64> = (0..n)
+        .map(|i| functions.iter().map(|f| f.bytes_read[i]).sum())
+        .collect();
+    ScalingReport {
+        workload: workload.to_owned(),
+        factors: factors.to_vec(),
+        total_inter_thread_fit: fit_series(factors, &total_inter),
+        total_read_fit: fit_series(factors, &total_read),
+        total_inter_thread_bytes: total_inter,
+        total_bytes_read: total_read,
+        functions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovers_parameters() {
+        // y = 3 · x^2
+        let points: Vec<(f64, f64)> = [1.0, 4.0, 16.0].iter().map(|&x| (x, 3.0 * x * x)).collect();
+        let fit = fit_power_law(&points).expect("fits");
+        assert!((fit.coefficient - 3.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.exponent - 2.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.r_squared - 1.0).abs() < 1e-9, "{fit:?}");
+    }
+
+    #[test]
+    fn linear_scaling_has_unit_exponent() {
+        let points = [(1.0, 100.0), (4.0, 400.0), (16.0, 1600.0)];
+        let fit = fit_power_law(&points).expect("fits");
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_series_has_zero_exponent() {
+        let points = [(1.0, 64.0), (4.0, 64.0), (16.0, 64.0)];
+        let fit = fit_power_law(&points).expect("fits");
+        assert!(fit.exponent.abs() < 1e-9);
+        assert!((fit.coefficient - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none());
+        // Zeros are skipped, leaving one usable point.
+        assert!(fit_power_law(&[(1.0, 0.0), (4.0, 8.0)]).is_none());
+        // Identical x cannot determine an exponent.
+        assert!(fit_power_law(&[(2.0, 1.0), (2.0, 9.0)]).is_none());
+    }
+
+    #[test]
+    fn scaling_report_fits_workload_series() {
+        use sigil_core::{SigilConfig, SigilProfiler};
+        use sigil_trace::Engine;
+        let factors = [1u64, 4, 16];
+        let profiles: Vec<Profile> = factors
+            .iter()
+            .map(|&f| {
+                let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+                engine.scoped_named("main", |e| {
+                    for i in 0..f {
+                        e.write(0x1000 + i * 8, 8);
+                    }
+                    e.scoped_named("consume", |e| {
+                        for i in 0..f {
+                            e.read(0x1000 + i * 8, 8);
+                        }
+                    });
+                });
+                let (p, s) = engine.finish_with_symbols();
+                p.into_profile(s)
+            })
+            .collect();
+        let report = scaling_report("toy", &factors, &profiles);
+        assert_eq!(report.factors, factors);
+        let consume = report
+            .functions
+            .iter()
+            .find(|f| f.name == "consume")
+            .expect("consume profiled");
+        assert_eq!(consume.input_unique_bytes, vec![8, 32, 128]);
+        let fit = consume.input_fit.expect("linear series fits");
+        assert!((fit.exponent - 1.0).abs() < 1e-9, "{fit:?}");
+        assert!(report.total_read_fit.is_some());
+    }
+}

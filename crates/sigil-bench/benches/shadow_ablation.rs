@@ -23,14 +23,14 @@ fn strided_addrs() -> impl Iterator<Item = u64> {
 }
 
 fn run_table(addrs: impl Iterator<Item = u64>, table: &mut ShadowTable<ShadowObject>) {
-    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1));
+    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1), 0);
     for addr in addrs {
         table.slot_mut(addr).record_write(owner);
     }
 }
 
 fn run_hashmap(addrs: impl Iterator<Item = u64>, map: &mut HashMap<u64, ShadowObject>) {
-    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1));
+    let owner = sigil_mem::Owner::new(1, CallNumber::from_raw(1), 0);
     for addr in addrs {
         map.entry(addr).or_default().record_write(owner);
     }

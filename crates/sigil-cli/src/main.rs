@@ -19,7 +19,8 @@
 //! sigil trace <benchmark> -o <file.sgtr>        # record a platform-independent trace
 //! sigil replay <file.sgtr> [--reuse] [...]      # profile from a recorded trace
 //! sigil sweep <all|b1,b2,..> [--jobs N] [--json] # profile many workloads, optionally in parallel
-//! sigil diff [random] [--seeds N] [--seed-base N] [--limit N] [--shards N]
+//! sigil scaling <all|b1,b2,..> [--json] [-o F]  # communication-vs-input-size curves (a·N^b fits)
+//! sigil diff [random] [--seeds N] [--seed-base N] [--limit N] [--shards N] [--threads N]
 //!                                               # differential oracle conformance on random programs
 //! sigil diff golden [--golden-dir D] [--shards N] [--connect A]
 //!                                               # check the golden corpus against oracle + production
@@ -63,14 +64,15 @@ use sigil_trace::Engine;
 use sigil_workloads::{Benchmark, InputSize};
 
 fn usage() -> &'static str {
-    "usage: sigil <profile|partition|reuse|critpath|phases|schedule|calltree|dot|run|trace|replay|sweep|diff|events|serve|client|list> [target] [options]\n\
+    "usage: sigil <profile|partition|reuse|critpath|phases|schedule|calltree|dot|run|trace|replay|sweep|scaling|diff|events|serve|client|list> [target] [options]\n\
      events:  sigil events <dump|pack|unpack|stat> <target> [-o <file>] [--chunk-records <n>] [--verify]\n\
      phases:  sigil phases <benchmark|--from-events <file>> [--bucket-ops <n>] [--json|--table]\n\
+     scaling: sigil scaling <all|b1,b2,..> [--json] [-o <file>]   fit bytes ~ a*N^b per function\n\
      serve:   sigil serve [--listen <addr|path>] [--credits <n>] [--idle-timeout-ms <n>]\n\
      client:  sigil client <benchmark|file.evb|shutdown> --connect <addr|path> [--check]\n\
-     options: --size <simsmall|simmedium|simlarge> --reuse --lines <bytes> --events\n\
+     options: --size <simsmall|simmedium|simlarge> (alias: --scale) --reuse --lines <bytes> --events\n\
               --limit <chunks> --cores <n> --jobs <n> --shards <n> -o <file> --json --table\n\
-              --seeds <n> --seed-base <n> --golden-dir <dir> --bless --unbounded\n\
+              --seeds <n> --seed-base <n> --threads <n> --golden-dir <dir> --bless --unbounded\n\
               --from-events <file> --chunk-records <n> --verify\n\
               --listen <addr|path> --connect <addr|path> --credits <n> --idle-timeout-ms <n> --check\n\
               --bucket-ops <n> (alias: --bucket-us) phase bucket width in retired ops\n\
@@ -143,6 +145,8 @@ struct Options {
     /// `sigil diff --unbounded`: restrict the differential matrix to
     /// the no-limit axis (oracle-elided + pinned legacy dispatch).
     unbounded: bool,
+    /// Guest threads for `sigil diff` random-program generation.
+    threads: u32,
 }
 
 impl Options {
@@ -188,11 +192,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         idle_timeout_ms: 30_000,
         check: false,
         unbounded: false,
+        threads: 1,
     };
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--size" => {
+            "--size" | "--scale" => {
                 let value = it.next().ok_or("--size needs a value")?;
                 opts.size = match value.as_str() {
                     "simsmall" => InputSize::SimSmall,
@@ -286,6 +291,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed-base" => {
                 let value = it.next().ok_or("--seed-base needs a value")?;
                 opts.seed_base = value.parse().map_err(|_| "bad --seed-base value")?;
+            }
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a value")?;
+                opts.threads = value.parse().map_err(|_| "bad --threads value")?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
             }
             "--golden-dir" => {
                 let value = it.next().ok_or("--golden-dir needs a directory")?;
@@ -760,6 +772,82 @@ fn print_sweep_telemetry(shards: usize) {
     }
 }
 
+/// Profiles each selected workload at every input size and fits
+/// per-function communication-vs-input-size power laws (`a·N^b`); the
+/// paper's stability argument (§IV) is that these exponents are
+/// properties of the algorithm, so they should hold as inputs grow.
+fn cmd_scaling(opts: &Options) -> Result<(), String> {
+    use sigil_analysis::scaling::{scaling_report, ScalingReport};
+    let benches = Benchmark::parse_selection(&opts.target).map_err(|e| e.to_string())?;
+    let factors: Vec<u64> = InputSize::ALL.iter().map(|s| s.factor()).collect();
+    let reports: Vec<ScalingReport> = benches
+        .iter()
+        .map(|bench| {
+            let profiles: Vec<Profile> = InputSize::ALL
+                .iter()
+                .map(|&size| {
+                    let mut engine = Engine::new(SigilProfiler::new(sigil_config(opts)));
+                    bench.run(size, &mut engine);
+                    let (profiler, symbols) = engine.finish_with_symbols();
+                    profiler.into_profile(symbols)
+                })
+                .collect();
+            scaling_report(bench.name(), &factors, &profiles)
+        })
+        .collect();
+    // JSON goes to `-o <file>` when given, stdout with `--json`; the
+    // human-readable table renders unless `--json` asked for JSON only.
+    if opts.json || opts.output.is_some() {
+        let json = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+        if let Some(path) = &opts.output {
+            std::fs::write(path, json + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!(
+                "wrote scaling curves for {} workload(s) to {path}",
+                reports.len()
+            );
+        } else {
+            println!("{json}");
+        }
+        if opts.json {
+            return Ok(());
+        }
+    }
+    let fmt_fit = |fit: &Option<sigil_analysis::scaling::PowerFit>| match fit {
+        Some(f) => format!("N^{:.2} (r2 {:.3})", f.exponent, f.r_squared),
+        None => "-".to_owned(),
+    };
+    for report in &reports {
+        println!(
+            "# {} scaling over factors {:?} (unique bytes per function)",
+            report.workload, report.factors
+        );
+        println!(
+            "{:>12} {:>12} {:>12} {:>18} {:>18}  function",
+            "input@max", "inter@max", "read@max", "input fit", "inter fit"
+        );
+        let last = report.factors.len() - 1;
+        for f in report.functions.iter().take(12) {
+            println!(
+                "{:>12} {:>12} {:>12} {:>18} {:>18}  {}",
+                f.input_unique_bytes[last],
+                f.inter_thread_unique_bytes[last],
+                f.bytes_read[last],
+                fmt_fit(&f.input_fit),
+                fmt_fit(&f.inter_thread_fit),
+                f.name
+            );
+        }
+        println!(
+            "# totals: inter-thread {:?} [{}], bytes read {:?} [{}]",
+            report.total_inter_thread_bytes,
+            fmt_fit(&report.total_inter_thread_fit),
+            report.total_bytes_read,
+            fmt_fit(&report.total_read_fit)
+        );
+    }
+    Ok(())
+}
+
 fn cmd_trace(opts: &Options) -> Result<(), String> {
     let bench = opts.bench()?;
     let output = opts.output.as_deref().ok_or("trace needs -o <file>")?;
@@ -943,14 +1031,16 @@ fn cmd_diff_random(opts: &Options) -> Result<(), String> {
     let end = opts.seed_base + opts.seeds;
     let mut configs_checked = 0usize;
     for seed in opts.seed_base..end {
-        let failures = harness::diff_seed_filtered(seed, limit, opts.shards, opts.unbounded);
+        let failures =
+            harness::diff_seed_mt(seed, opts.threads, limit, opts.shards, opts.unbounded);
         configs_checked +=
             harness::differential_configs_filtered(seed, limit, opts.shards, opts.unbounded).len();
         if let Some(failure) = failures.first() {
-            let program = sigil_vm::GenProgram::generate(seed);
+            let program = sigil_vm::GenProgram::generate_mt(seed, opts.threads);
             let minimized = harness::shrink(&program, failure.config, None);
             return Err(format!(
-                "seed {seed} diverged under config `{}` ({} field(s))\n\n{}",
+                "seed {seed} ({} guest thread(s)) diverged under config `{}` ({} field(s))\n\n{}",
+                opts.threads,
                 failure.label,
                 failure.divergences.len(),
                 harness::render_repro(&minimized, failure.config, None)
@@ -962,8 +1052,8 @@ fn cmd_diff_random(opts: &Options) -> Result<(), String> {
         }
     }
     println!(
-        "{} seeds ({} seed/config replays): zero divergences",
-        opts.seeds, configs_checked
+        "{} seeds x {} guest thread(s) ({} seed/config replays): zero divergences",
+        opts.seeds, opts.threads, configs_checked
     );
     Ok(())
 }
@@ -1386,6 +1476,7 @@ fn main() -> ExitCode {
             "trace" => cmd_trace(&opts),
             "replay" => cmd_replay(&opts),
             "sweep" => cmd_sweep(&opts),
+            "scaling" => cmd_scaling(&opts),
             "diff" => cmd_diff(&opts),
             "serve" => cmd_serve(&opts),
             "client" => cmd_client(&opts),
@@ -1615,6 +1706,26 @@ mod tests {
         assert!(parse_options(&args(&["random", "--seeds", "x"])).is_err());
         assert!(parse_options(&args(&["random", "--seed-base"])).is_err());
         assert!(parse_options(&args(&["random", "--golden-dir"])).is_err());
+    }
+
+    #[test]
+    fn parse_thread_flags() {
+        let opts = parse_options(&args(&["random"])).expect("parses");
+        assert_eq!(opts.threads, 1);
+
+        let opts = parse_options(&args(&["random", "--threads", "4"])).expect("parses");
+        assert_eq!(opts.threads, 4);
+
+        assert!(parse_options(&args(&["random", "--threads", "0"])).is_err());
+        assert!(parse_options(&args(&["random", "--threads", "x"])).is_err());
+        assert!(parse_options(&args(&["random", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn parse_scale_is_an_alias_for_size() {
+        let opts = parse_options(&args(&["mtpipe", "--scale", "simlarge"])).expect("parses");
+        assert_eq!(opts.size, InputSize::SimLarge);
+        assert!(parse_options(&args(&["mtpipe", "--scale", "huge"])).is_err());
     }
 
     #[test]

@@ -297,7 +297,8 @@ impl SigilProfiler {
         // tag, and the reader's function identity are fixed for the whole
         // access.
         let frame = self.current_frame();
-        let owner = Owner::new(frame.ctx.0, frame.call);
+        let thread = self.current_thread;
+        let owner = Owner::new(frame.ctx.0, frame.call, thread);
         let reader_fn = self.cg.tree().node(frame.ctx).func;
         if let Some(lines) = self.lines.as_mut() {
             lines.record_access(access, at);
@@ -311,6 +312,8 @@ impl SigilProfiler {
         let mut local_nonunique = 0u64;
         let mut input_unique = 0u64;
         let mut input_nonunique = 0u64;
+        let mut inter_unique = 0u64;
+        let mut inter_nonunique = 0u64;
         let mut producer_seg: Option<(ContextId, EdgeAccum)> = None;
         // Producer-function resolution memoized on the producer context:
         // consecutive bytes overwhelmingly share one last writer.
@@ -366,13 +369,21 @@ impl SigilProfiler {
                         func
                     }
                 };
-                let is_local = producer.is_some() && producer_fn == reader_fn;
+                // A last writer on another guest thread makes the byte
+                // inter-thread input — disjoint from (and checked before)
+                // the local class, so a thread re-reading data a sibling
+                // wrote into "its own" function is still charged with the
+                // cross-thread transfer.
+                let is_inter = producer.is_some_and(|p| p.thread != thread);
+                let is_local = !is_inter && producer.is_some() && producer_fn == reader_fn;
 
-                match (is_local, repeat) {
-                    (true, false) => local_unique += 1,
-                    (true, true) => local_nonunique += 1,
-                    (false, false) => input_unique += 1,
-                    (false, true) => input_nonunique += 1,
+                match (is_inter, is_local, repeat) {
+                    (true, _, false) => inter_unique += 1,
+                    (true, _, true) => inter_nonunique += 1,
+                    (false, true, false) => local_unique += 1,
+                    (false, true, true) => local_nonunique += 1,
+                    (false, false, false) => input_unique += 1,
+                    (false, false, true) => input_nonunique += 1,
                 }
                 if !is_local {
                     match &mut producer_seg {
@@ -441,6 +452,8 @@ impl SigilProfiler {
         consumer_stats.local_nonunique_bytes += local_nonunique;
         consumer_stats.input_unique_bytes += input_unique;
         consumer_stats.input_nonunique_bytes += input_nonunique;
+        consumer_stats.inter_thread_unique_bytes += inter_unique;
+        consumer_stats.inter_thread_nonunique_bytes += inter_nonunique;
         if !transfers.is_empty() {
             // Flush the consumer's pending ops first so they precede the
             // transfers; subsequent per-byte flushes would push zero-op
@@ -469,7 +482,7 @@ impl SigilProfiler {
             return;
         }
         let frame = self.current_frame();
-        let owner = Owner::new(frame.ctx.0, frame.call);
+        let owner = Owner::new(frame.ctx.0, frame.call, self.current_thread);
         if let Some(lines) = self.lines.as_mut() {
             lines.record_access(access, at);
         }
@@ -583,6 +596,7 @@ impl SigilProfiler {
             access.len(),
             frame.ctx,
             frame.call,
+            self.current_thread,
             reader_fn,
             at,
             self.phase_clock,
@@ -1233,6 +1247,79 @@ mod tests {
             serde_json::to_string(&sharded).unwrap()
         );
         assert!(serial.events.as_ref().is_some_and(|ev| !ev.is_empty()));
+    }
+
+    #[test]
+    fn cross_thread_read_is_inter_thread_input() {
+        use sigil_trace::ThreadId;
+        let profile = run(SigilConfig::default(), |e| {
+            e.scoped_named("main", |e| {
+                e.scoped_named("produce", |e| e.write(0x100, 16));
+                e.switch_thread(ThreadId::from_raw(1));
+                e.scoped_named("consume", |e| {
+                    e.read(0x100, 16);
+                    e.read(0x100, 16); // same-call re-read: non-unique
+                });
+                e.switch_thread(ThreadId::MAIN);
+            });
+        });
+        let consume = profile.function_by_name("consume").expect("consume");
+        assert_eq!(consume.comm.inter_thread_unique_bytes, 16);
+        assert_eq!(consume.comm.inter_thread_nonunique_bytes, 16);
+        assert_eq!(consume.comm.input_unique_bytes, 0);
+        assert_eq!(consume.comm.local_unique_bytes, 0);
+        assert_eq!(consume.comm.bytes_read, 32);
+        // The producer's output tallies and the edge are unchanged by the
+        // new axis: inter-thread bytes still cross the boundary.
+        let produce = profile.function_by_name("produce").expect("produce");
+        assert_eq!(produce.comm.output_unique_bytes, 16);
+        assert_eq!(produce.comm.output_nonunique_bytes, 16);
+    }
+
+    #[test]
+    fn same_function_cross_thread_read_is_inter_not_local() {
+        use sigil_trace::ThreadId;
+        // Thread 1 re-reading bytes that thread 0 wrote inside the *same
+        // function* is still a cross-thread transfer, never "local".
+        let profile = run(SigilConfig::default(), |e| {
+            e.scoped_named("main", |e| {
+                e.scoped_named("worker", |e| e.write(0x200, 8));
+                e.switch_thread(ThreadId::from_raw(1));
+                e.scoped_named("worker", |e| e.read(0x200, 8));
+                e.switch_thread(ThreadId::MAIN);
+            });
+        });
+        let worker = profile.function_by_name("worker").expect("worker");
+        assert_eq!(worker.comm.inter_thread_unique_bytes, 8);
+        assert_eq!(worker.comm.local_unique_bytes, 0);
+        assert_eq!(worker.comm.input_unique_bytes, 0);
+        // The producer side of the same function still records output.
+        assert_eq!(worker.comm.output_unique_bytes, 8);
+    }
+
+    #[test]
+    fn same_thread_classification_is_unchanged() {
+        use sigil_trace::ThreadId;
+        // A round-trip through another thread that never touches the data
+        // leaves every existing class exactly as the single-threaded run.
+        let profile = run(SigilConfig::default(), |e| {
+            e.scoped_named("main", |e| {
+                e.scoped_named("f", |e| {
+                    e.write(0x300, 8);
+                    e.read(0x300, 8);
+                });
+                e.switch_thread(ThreadId::from_raw(1));
+                e.op(sigil_trace::OpClass::IntArith, 3);
+                e.switch_thread(ThreadId::MAIN);
+                e.scoped_named("g", |e| e.read(0x300, 8));
+            });
+        });
+        let f = profile.function_by_name("f").expect("f");
+        assert_eq!(f.comm.local_unique_bytes, 8);
+        assert_eq!(f.comm.inter_thread_bytes(), 0);
+        let g = profile.function_by_name("g").expect("g");
+        assert_eq!(g.comm.input_unique_bytes, 8);
+        assert_eq!(g.comm.inter_thread_bytes(), 0);
     }
 
     #[test]

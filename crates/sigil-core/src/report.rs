@@ -6,18 +6,27 @@ use crate::profile::Profile;
 
 /// Renders the per-function communication table: calls, cycles, and the
 /// input/output/local × unique/non-unique breakdown, sorted by cycles.
+/// Profiles with cross-thread traffic grow an extra inter-thread column
+/// pair (`it.uniq`/`it.reuse`); single-threaded reports are unchanged.
 pub fn communication_table(profile: &Profile, max_rows: usize) -> String {
     let rows = profile.function_rows();
+    let inter = rows
+        .iter()
+        .any(|r| r.comm.inter_thread_unique_bytes + r.comm.inter_thread_nonunique_bytes > 0);
     let mut out = String::new();
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  function",
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "calls", "cycles", "in.uniq", "in.reuse", "out.uniq", "out.reuse", "loc.uniq", "loc.reuse"
     );
+    if inter {
+        let _ = write!(out, " {:>10} {:>10}", "it.uniq", "it.reuse");
+    }
+    out.push_str("  function\n");
     for row in rows.iter().take(max_rows) {
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {}",
+            "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
             row.calls,
             row.cycles,
             row.comm.input_unique_bytes,
@@ -26,8 +35,15 @@ pub fn communication_table(profile: &Profile, max_rows: usize) -> String {
             row.comm.output_nonunique_bytes,
             row.comm.local_unique_bytes,
             row.comm.local_nonunique_bytes,
-            row.name
         );
+        if inter {
+            let _ = write!(
+                out,
+                " {:>10} {:>10}",
+                row.comm.inter_thread_unique_bytes, row.comm.inter_thread_nonunique_bytes
+            );
+        }
+        let _ = writeln!(out, "  {}", row.name);
     }
     out
 }
@@ -135,6 +151,22 @@ mod tests {
         assert!(text.contains("main"));
         assert!(text.contains(" w"));
         assert!(text.contains(" r"));
+        // Single-threaded: no inter-thread columns.
+        assert!(!text.contains("it.uniq"));
+    }
+
+    #[test]
+    fn communication_table_adds_inter_thread_columns_when_present() {
+        use sigil_trace::ThreadId;
+        let mut engine = Engine::new(SigilProfiler::new(SigilConfig::default()));
+        engine.scoped_named("main", |e| e.write(0x40, 8));
+        engine.switch_thread(ThreadId::from_raw(1));
+        engine.scoped_named("consume", |e| e.read(0x40, 8));
+        engine.switch_thread(ThreadId::MAIN);
+        let (p, s) = engine.finish_with_symbols();
+        let text = communication_table(&p.into_profile(s), 10);
+        assert!(text.contains("it.uniq"));
+        assert!(text.contains("consume"));
     }
 
     #[test]

@@ -125,6 +125,10 @@ struct AccessRecord {
     ctx: ContextId,
     /// Its dynamic call number.
     call: CallNumber,
+    /// Guest thread the access ran on (raw thread id) — part of the
+    /// owner identity, and the discriminant for inter-thread
+    /// classification.
+    thread: u32,
     /// The reader's function identity (reads only).
     reader_fn: Option<FunctionId>,
     /// Op-clock timestamp of the (first) access.
@@ -394,9 +398,13 @@ impl ShardResult {
 /// ([`ReadCoalesce::Strided`]), which is precisely the shape
 /// `apply_read` can split back losslessly.
 fn can_coalesce(mode: ReadCoalesce, prev: &AccessRecord, cand: &AccessRecord) -> bool {
+    // The thread is part of the owner identity: root frames across
+    // guest threads share `(ctx, call)`, so merging across a thread
+    // boundary would conflate distinct owners.
     if prev.write != cand.write
         || prev.ctx != cand.ctx
         || prev.call != cand.call
+        || prev.thread != cand.thread
         || prev.reader_fn != cand.reader_fn
         || prev.addr.wrapping_add(u64::from(prev.len)) != cand.addr
     {
@@ -736,6 +744,7 @@ impl ShardEngine {
         len: usize,
         ctx: ContextId,
         call: CallNumber,
+        thread: u32,
         reader_fn: Option<FunctionId>,
         at: Timestamp,
         phase_at: u64,
@@ -830,6 +839,7 @@ impl ShardEngine {
                             sub_len: if whole_read { len } else { 0 },
                             ctx,
                             call,
+                            thread,
                             reader_fn,
                             at,
                             phase_at,
@@ -1099,11 +1109,13 @@ fn read_sub_access(
     events_on: bool,
     producer_fn_memo: &mut Option<(ContextId, Option<FunctionId>)>,
 ) {
-    let owner = Owner::new(rec.ctx.0, rec.call);
+    let owner = Owner::new(rec.ctx.0, rec.call, rec.thread);
     let mut local_unique = 0u64;
     let mut local_nonunique = 0u64;
     let mut input_unique = 0u64;
     let mut input_nonunique = 0u64;
+    let mut inter_unique = 0u64;
+    let mut inter_nonunique = 0u64;
     let mut producer_seg: Option<(ContextId, EdgeAccum)> = None;
     let mut transfers: Vec<(CallNumber, u64)> = Vec::new();
     // Phase-profile transfer segments, mirroring the serial path's
@@ -1139,13 +1151,19 @@ fn read_sub_access(
                 func
             }
         };
-        let is_local = producer.is_some() && producer_fn == rec.reader_fn;
+        // Same rule as the serial path: a last writer on another guest
+        // thread is inter-thread input, disjoint from (and checked
+        // before) the local class.
+        let is_inter = producer.is_some_and(|p| p.thread != rec.thread);
+        let is_local = !is_inter && producer.is_some() && producer_fn == rec.reader_fn;
 
-        match (is_local, repeat) {
-            (true, false) => local_unique += 1,
-            (true, true) => local_nonunique += 1,
-            (false, false) => input_unique += 1,
-            (false, true) => input_nonunique += 1,
+        match (is_inter, is_local, repeat) {
+            (true, _, false) => inter_unique += 1,
+            (true, _, true) => inter_nonunique += 1,
+            (false, true, false) => local_unique += 1,
+            (false, true, true) => local_nonunique += 1,
+            (false, false, false) => input_unique += 1,
+            (false, false, true) => input_nonunique += 1,
         }
         if !is_local {
             match &mut producer_seg {
@@ -1196,6 +1214,8 @@ fn read_sub_access(
     consumer_stats.local_nonunique_bytes += local_nonunique;
     consumer_stats.input_unique_bytes += input_unique;
     consumer_stats.input_nonunique_bytes += input_nonunique;
+    consumer_stats.inter_thread_unique_bytes += inter_unique;
+    consumer_stats.inter_thread_nonunique_bytes += inter_nonunique;
     if !transfers.is_empty() {
         all_transfers
             .entry(rec.idx)
@@ -1215,7 +1235,7 @@ fn read_sub_access(
 /// write train replays as one run — every byte sees the same owner, so
 /// sub-access boundaries are unobservable.
 fn apply_write(state: &mut WorkerState, rec: AccessRecord) {
-    let owner = Owner::new(rec.ctx.0, rec.call);
+    let owner = Owner::new(rec.ctx.0, rec.call, rec.thread);
     let (slots, consumed) = state.table.run_mut(rec.addr, rec.len as usize);
     debug_assert_eq!(consumed, rec.len as usize, "records never straddle chunks");
     for obj in slots {
@@ -1418,6 +1438,7 @@ mod tests {
             sub_len: if !write && whole_read { len } else { 0 },
             ctx: ContextId(3),
             call: CallNumber::from_raw(7),
+            thread: 0,
             reader_fn: if write {
                 None
             } else {
@@ -1442,6 +1463,12 @@ mod tests {
         assert!(
             !can_coalesce(ReadCoalesce::Free, &prev, &other_call),
             "owner changed"
+        );
+        let mut other_thread = next;
+        other_thread.thread = 1;
+        assert!(
+            !can_coalesce(ReadCoalesce::Free, &prev, &other_thread),
+            "thread is part of the owner identity"
         );
         let read = rec(false, 1, 0x1010, 16, true);
         assert!(

@@ -1,28 +1,45 @@
 //! Communication counters and edges.
 
-use serde::{Deserialize, Serialize};
+use serde::{map_get, Content, DeError, Deserialize, Serialize};
 use sigil_callgrind::ContextId;
 
 /// Per-context communication totals, classified along the paper's two
-/// axes: input/output/local × unique/non-unique (§II-A).
+/// axes: input/output/local × unique/non-unique (§II-A), plus the
+/// inter-thread axis: a read whose last writer ran on *another guest
+/// thread* counts as inter-thread input, disjoint from the local and
+/// same-thread-input classes.
 ///
 /// All counters are in bytes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the inter-thread counters are skipped
+/// when zero (and default to zero when absent), so profiles of
+/// single-threaded traces serialize byte-identically to the pre-thread
+/// format — the golden corpus depends on this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
-    /// Bytes read whose producer is a *different* function, first time
-    /// this call reads them — the true input set.
+    /// Bytes read whose producer is a *different* function on the same
+    /// thread, first time this call reads them — the true input set.
     pub input_unique_bytes: u64,
-    /// Bytes re-read from a different producer by the same call.
+    /// Bytes re-read from a different same-thread producer by the same
+    /// call.
     pub input_nonunique_bytes: u64,
-    /// Bytes read that this function itself produced, first read.
+    /// Bytes read that this function itself produced on the same thread,
+    /// first read.
     pub local_unique_bytes: u64,
-    /// Re-reads of self-produced bytes.
+    /// Re-reads of self-produced same-thread bytes.
     pub local_nonunique_bytes: u64,
     /// Bytes this context produced that another function consumed
     /// (first-time reads by the consumer) — the true output set.
     pub output_unique_bytes: u64,
     /// Re-reads by other functions of bytes this context produced.
     pub output_nonunique_bytes: u64,
+    /// Bytes read whose last writer ran on another guest thread, first
+    /// time this call reads them — cross-thread communication this
+    /// context consumes. Zero (and absent from JSON) on single-threaded
+    /// traces.
+    pub inter_thread_unique_bytes: u64,
+    /// Re-reads by the same call of bytes produced on another thread.
+    pub inter_thread_nonunique_bytes: u64,
     /// Total bytes read (all classes).
     pub bytes_read: u64,
     /// Total bytes written.
@@ -30,22 +47,28 @@ pub struct CommStats {
 }
 
 impl CommStats {
-    /// Unique bytes consumed, regardless of producer (input + local).
-    /// This is the "total unique data bytes processed" measure used for
-    /// Figure 9's function ranking.
+    /// Unique bytes consumed, regardless of producer (input + local +
+    /// inter-thread). This is the "total unique data bytes processed"
+    /// measure used for Figure 9's function ranking.
     pub fn unique_bytes_consumed(&self) -> u64 {
-        self.input_unique_bytes + self.local_unique_bytes
+        self.input_unique_bytes + self.local_unique_bytes + self.inter_thread_unique_bytes
     }
 
     /// Total non-unique (re-read) bytes.
     pub fn nonunique_bytes(&self) -> u64 {
-        self.input_nonunique_bytes + self.local_nonunique_bytes
+        self.input_nonunique_bytes + self.local_nonunique_bytes + self.inter_thread_nonunique_bytes
     }
 
     /// Unique communication crossing the function boundary (the quantity
     /// the partitioning heuristic charges to an accelerator's bus).
+    /// Inter-thread bytes cross the boundary by definition.
     pub fn boundary_unique_bytes(&self) -> u64 {
-        self.input_unique_bytes + self.output_unique_bytes
+        self.input_unique_bytes + self.output_unique_bytes + self.inter_thread_unique_bytes
+    }
+
+    /// Unique bytes consumed across a thread boundary.
+    pub fn inter_thread_bytes(&self) -> u64 {
+        self.inter_thread_unique_bytes + self.inter_thread_nonunique_bytes
     }
 
     /// Component-wise accumulation.
@@ -56,8 +79,90 @@ impl CommStats {
         self.local_nonunique_bytes += other.local_nonunique_bytes;
         self.output_unique_bytes += other.output_unique_bytes;
         self.output_nonunique_bytes += other.output_nonunique_bytes;
+        self.inter_thread_unique_bytes += other.inter_thread_unique_bytes;
+        self.inter_thread_nonunique_bytes += other.inter_thread_nonunique_bytes;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
+    }
+}
+
+impl Serialize for CommStats {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![
+            (
+                Content::Str("input_unique_bytes".into()),
+                Content::U64(self.input_unique_bytes),
+            ),
+            (
+                Content::Str("input_nonunique_bytes".into()),
+                Content::U64(self.input_nonunique_bytes),
+            ),
+            (
+                Content::Str("local_unique_bytes".into()),
+                Content::U64(self.local_unique_bytes),
+            ),
+            (
+                Content::Str("local_nonunique_bytes".into()),
+                Content::U64(self.local_nonunique_bytes),
+            ),
+            (
+                Content::Str("output_unique_bytes".into()),
+                Content::U64(self.output_unique_bytes),
+            ),
+            (
+                Content::Str("output_nonunique_bytes".into()),
+                Content::U64(self.output_nonunique_bytes),
+            ),
+        ];
+        // Skipped when zero so single-threaded profiles keep the
+        // pre-thread serialization byte-for-byte.
+        if self.inter_thread_unique_bytes != 0 {
+            entries.push((
+                Content::Str("inter_thread_unique_bytes".into()),
+                Content::U64(self.inter_thread_unique_bytes),
+            ));
+        }
+        if self.inter_thread_nonunique_bytes != 0 {
+            entries.push((
+                Content::Str("inter_thread_nonunique_bytes".into()),
+                Content::U64(self.inter_thread_nonunique_bytes),
+            ));
+        }
+        entries.push((
+            Content::Str("bytes_read".into()),
+            Content::U64(self.bytes_read),
+        ));
+        entries.push((
+            Content::Str("bytes_written".into()),
+            Content::U64(self.bytes_written),
+        ));
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for CommStats {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("CommStats map", content))?;
+        let field = |name: &str| -> Result<u64, DeError> {
+            match map_get(entries, name) {
+                Some(value) => u64::from_content(value),
+                None => Ok(0),
+            }
+        };
+        Ok(CommStats {
+            input_unique_bytes: field("input_unique_bytes")?,
+            input_nonunique_bytes: field("input_nonunique_bytes")?,
+            local_unique_bytes: field("local_unique_bytes")?,
+            local_nonunique_bytes: field("local_nonunique_bytes")?,
+            output_unique_bytes: field("output_unique_bytes")?,
+            output_nonunique_bytes: field("output_nonunique_bytes")?,
+            inter_thread_unique_bytes: field("inter_thread_unique_bytes")?,
+            inter_thread_nonunique_bytes: field("inter_thread_nonunique_bytes")?,
+            bytes_read: field("bytes_read")?,
+            bytes_written: field("bytes_written")?,
+        })
     }
 }
 
@@ -101,6 +206,7 @@ mod tests {
             output_nonunique_bytes: 1,
             bytes_read: 20,
             bytes_written: 12,
+            ..CommStats::default()
         };
         assert_eq!(stats.unique_bytes_consumed(), 15);
         assert_eq!(stats.nonunique_bytes(), 5);
@@ -124,6 +230,54 @@ mod tests {
         assert_eq!(a.input_unique_bytes, 3);
         assert_eq!(a.output_unique_bytes, 4);
         assert_eq!(a.bytes_read, 4);
+    }
+
+    #[test]
+    fn inter_thread_fields_merge_and_sum() {
+        let mut a = CommStats {
+            inter_thread_unique_bytes: 8,
+            inter_thread_nonunique_bytes: 2,
+            input_unique_bytes: 1,
+            ..CommStats::default()
+        };
+        let b = CommStats {
+            inter_thread_unique_bytes: 4,
+            ..CommStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.inter_thread_unique_bytes, 12);
+        assert_eq!(a.inter_thread_bytes(), 14);
+        assert_eq!(a.unique_bytes_consumed(), 13);
+        assert_eq!(a.boundary_unique_bytes(), 13);
+        assert_eq!(a.nonunique_bytes(), 2);
+    }
+
+    #[test]
+    fn single_threaded_stats_serialize_without_inter_fields() {
+        // Golden-corpus compatibility: the inter-thread counters must be
+        // invisible in JSON when zero and round-trip when absent.
+        let stats = CommStats {
+            input_unique_bytes: 5,
+            bytes_read: 5,
+            ..CommStats::default()
+        };
+        let json = serde_json::to_string(&stats).expect("serializes");
+        assert!(
+            !json.contains("inter_thread"),
+            "zero fields must be skipped: {json}"
+        );
+        let back: CommStats = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, stats);
+
+        let mt = CommStats {
+            inter_thread_unique_bytes: 3,
+            ..stats
+        };
+        let json = serde_json::to_string(&mt).expect("serializes");
+        assert!(json.contains("inter_thread_unique_bytes"));
+        assert!(!json.contains("inter_thread_nonunique_bytes"));
+        let back: CommStats = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, mt);
     }
 
     #[test]

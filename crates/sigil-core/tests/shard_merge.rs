@@ -26,15 +26,17 @@ use sigil_trace::{Engine, OpClass, ThreadId};
 // ---------------------------------------------------------------------
 
 fn arb_comm() -> impl Strategy<Value = CommStats> {
-    proptest::collection::vec(0u64..200, 8..9).prop_map(|v| CommStats {
+    proptest::collection::vec(0u64..200, 10..11).prop_map(|v| CommStats {
         input_unique_bytes: v[0],
         input_nonunique_bytes: v[1],
         local_unique_bytes: v[2],
         local_nonunique_bytes: v[3],
         output_unique_bytes: v[4],
         output_nonunique_bytes: v[5],
-        bytes_read: v[6],
-        bytes_written: v[7],
+        inter_thread_unique_bytes: v[6],
+        inter_thread_nonunique_bytes: v[7],
+        bytes_read: v[8],
+        bytes_written: v[9],
     })
 }
 

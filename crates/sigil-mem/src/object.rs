@@ -9,19 +9,26 @@ use sigil_trace::{CallNumber, Timestamp};
 ///
 /// The paper's shadow object stores a "pointer to function" plus a "call
 /// number"; we store a dense context index plus the global call number,
-/// which carries the same information without raw pointers.
+/// which carries the same information without raw pointers. The guest
+/// thread is carried alongside: call numbers are globally unique, so two
+/// owners can only collide across threads at the shared root frame
+/// (`call == 0`), and the thread field is what keeps per-thread root
+/// frames distinct — and what lets the profiler classify a read whose
+/// last writer ran on another thread as inter-thread input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Owner {
     /// Dense index of the owning function context.
     pub ctx: u32,
+    /// Guest thread the access ran on (raw [`sigil_trace::ThreadId`]).
+    pub thread: u32,
     /// Dynamic call during which the access happened.
     pub call: CallNumber,
 }
 
 impl Owner {
     /// Creates an owner record.
-    pub const fn new(ctx: u32, call: CallNumber) -> Self {
-        Owner { ctx, call }
+    pub const fn new(ctx: u32, call: CallNumber, thread: u32) -> Self {
+        Owner { ctx, call, thread }
     }
 }
 
@@ -115,7 +122,7 @@ mod tests {
     use super::*;
 
     fn owner(ctx: u32, call: u64) -> Owner {
-        Owner::new(ctx, CallNumber::from_raw(call))
+        Owner::new(ctx, CallNumber::from_raw(call), 0)
     }
 
     #[test]
@@ -146,6 +153,16 @@ mod tests {
         assert!(!obj.is_repeat_read(owner(1, 7)));
         // Different function, same call number: unique.
         assert!(!obj.is_repeat_read(owner(2, 5)));
+    }
+
+    #[test]
+    fn repeat_read_distinguishes_threads_at_the_root_frame() {
+        // Root frames share (ctx, call) across guest threads; only the
+        // thread field keeps their reads distinct.
+        let mut obj = ShadowObject::default();
+        obj.record_read(Owner::new(0, CallNumber::ROOT, 0));
+        assert!(obj.is_repeat_read(Owner::new(0, CallNumber::ROOT, 0)));
+        assert!(!obj.is_repeat_read(Owner::new(0, CallNumber::ROOT, 1)));
     }
 
     #[test]

@@ -34,12 +34,17 @@ pub struct TraceBundle {
     pub events: Vec<RuntimeEvent>,
 }
 
-/// Runs a generated program once, recording its event stream.
+/// Runs a generated program once, recording its event stream. The
+/// program's `schedule_seed` drives the guest-thread scheduler, so
+/// multithreaded recordings replay the exact interleaving the generator
+/// committed to — and shrunk copies (which carry the seed unchanged)
+/// keep reproducing it.
 pub fn record_program(program: &GenProgram) -> TraceBundle {
     let built = program.build();
     let mut engine = Engine::new(RecordingObserver::new());
     let _ = Interpreter::new(&built)
         .with_fuel(GEN_FUEL)
+        .with_schedule_seed(program.schedule_seed)
         .run(&mut engine);
     let (observer, symbols) = engine.finish_with_symbols();
     TraceBundle {
@@ -212,7 +217,24 @@ pub fn diff_seed_filtered(
     shards_override: Option<usize>,
     unbounded_only: bool,
 ) -> Vec<ConfigFailure> {
-    let program = GenProgram::generate(seed);
+    diff_seed_mt(seed, 1, limit_override, shards_override, unbounded_only)
+}
+
+/// [`diff_seed_filtered`] with a guest-thread axis: the seed's program
+/// is generated with `threads` guest threads (`1` = the classic
+/// single-threaded program, bit-identical to [`diff_seed_filtered`]),
+/// recorded once under the generator-committed interleaving, and held
+/// to the same configuration matrix — so cross-thread classification is
+/// differentially verified against the oracle across every shard count
+/// and eviction limit.
+pub fn diff_seed_mt(
+    seed: u64,
+    threads: u32,
+    limit_override: Option<usize>,
+    shards_override: Option<usize>,
+    unbounded_only: bool,
+) -> Vec<ConfigFailure> {
+    let program = GenProgram::generate_mt(seed, threads);
     let bundle = record_program(&program);
     differential_configs_filtered(seed, limit_override, shards_override, unbounded_only)
         .into_iter()

@@ -15,24 +15,24 @@ use crate::report::{function_name, EdgeReport, FunctionReport, OracleReport, Reu
 /// root (code running outside any call).
 type FuncKey = Option<FunctionId>;
 
-/// Who touched a byte: the function and the global dynamic call number.
+/// Who touched a byte: the function, the global dynamic call number,
+/// and the guest thread.
 ///
 /// Call numbers are globally unique across all functions and threads
 /// (both profilers bump one counter on every `Call`/`SyscallEnter`), so
 /// comparing `(func, call)` pairs is equivalent to the production
 /// profiler's `(context, call)` owner comparison: equal call numbers
-/// imply the very same dynamic call, and the `call == 0` root frames
-/// agree on `func == None` everywhere.
+/// imply the very same dynamic call. The one collision is the `call ==
+/// 0` root frame, which every thread shares — the `thread` field is
+/// what keeps per-thread root frames distinct, mirroring the production
+/// `Owner`'s thread field, and is the discriminant for inter-thread
+/// classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct OwnerRec {
     func: FuncKey,
     call: u64,
+    thread: u32,
 }
-
-const ROOT_OWNER: OwnerRec = OwnerRec {
-    func: None,
-    call: 0,
-};
 
 /// Flat per-byte shadow record: last writer, last reader, and the
 /// reuse-mode triple — the paper's Table I, nothing else.
@@ -70,6 +70,11 @@ pub enum InjectedBug {
     /// A write fails to invalidate the last-reader field, so a reader's
     /// later re-read of the *new* value still counts as a repeat.
     WriteKeepsReader,
+    /// Inter-thread classification is skipped entirely: a read whose
+    /// last writer ran on another thread falls back to the pre-thread
+    /// input/local rule — exactly what forgetting the thread axis in a
+    /// refactor would do. Only manifests on multithreaded traces.
+    InterThreadAsInput,
 }
 
 /// The naive reference implementation of the Sigil byte classification.
@@ -149,18 +154,24 @@ impl OracleProfiler {
         self.stacks
             .get(&self.current_thread)
             .and_then(|s| s.last().copied())
-            .unwrap_or(ROOT_OWNER)
+            .unwrap_or(OwnerRec {
+                func: None,
+                call: 0,
+                thread: self.current_thread,
+            })
     }
 
     fn handle_enter(&mut self, func: FunctionId) {
         self.call_counter += 1;
         let call = self.call_counter;
+        let thread = self.current_thread;
         self.stacks
             .entry(self.current_thread)
             .or_default()
             .push(OwnerRec {
                 func: Some(func),
                 call,
+                thread,
             });
         self.functions.entry(Some(func)).or_default().calls += 1;
     }
@@ -260,17 +271,24 @@ impl OracleProfiler {
             byte.reader = Some(cur);
             self.shadow.insert(addr, byte);
 
-            // Table-I classification, function-level.
+            // Table-I classification, function-level, with the
+            // inter-thread axis: a last writer on another guest thread
+            // is inter-thread input, disjoint from (and checked before)
+            // the local class.
             let producer_fn = producer.and_then(|p| p.func);
-            let is_local = producer.is_some() && producer_fn == cur.func;
+            let is_inter = self.bug != Some(InjectedBug::InterThreadAsInput)
+                && producer.is_some_and(|p| p.thread != cur.thread);
+            let is_local = !is_inter && producer.is_some() && producer_fn == cur.func;
             {
                 let consumer = self.functions.entry(cur.func).or_default();
                 consumer.comm.bytes_read += 1;
-                match (is_local, repeat) {
-                    (true, false) => consumer.comm.local_unique_bytes += 1,
-                    (true, true) => consumer.comm.local_nonunique_bytes += 1,
-                    (false, false) => consumer.comm.input_unique_bytes += 1,
-                    (false, true) => consumer.comm.input_nonunique_bytes += 1,
+                match (is_inter, is_local, repeat) {
+                    (true, _, false) => consumer.comm.inter_thread_unique_bytes += 1,
+                    (true, _, true) => consumer.comm.inter_thread_nonunique_bytes += 1,
+                    (false, true, false) => consumer.comm.local_unique_bytes += 1,
+                    (false, true, true) => consumer.comm.local_nonunique_bytes += 1,
+                    (false, false, false) => consumer.comm.input_unique_bytes += 1,
+                    (false, false, true) => consumer.comm.input_nonunique_bytes += 1,
                 }
             }
             if !is_local {

@@ -23,7 +23,8 @@ pub(crate) fn function_name(key: Option<FunctionId>, symbols: &SymbolTable) -> S
 pub struct FunctionReport {
     /// Dynamic calls of the function (0 for the root).
     pub calls: u64,
-    /// The eight Table-I counters plus raw read/write totals.
+    /// The Table-I counters (including the inter-thread pair) plus raw
+    /// read/write totals.
     pub comm: CommStats,
 }
 
@@ -186,7 +187,7 @@ fn field(
     });
 }
 
-fn comm_fields(stats: &CommStats) -> [(&'static str, u64); 8] {
+fn comm_fields(stats: &CommStats) -> [(&'static str, u64); 10] {
     [
         ("input_unique_bytes", stats.input_unique_bytes),
         ("input_nonunique_bytes", stats.input_nonunique_bytes),
@@ -194,6 +195,11 @@ fn comm_fields(stats: &CommStats) -> [(&'static str, u64); 8] {
         ("local_nonunique_bytes", stats.local_nonunique_bytes),
         ("output_unique_bytes", stats.output_unique_bytes),
         ("output_nonunique_bytes", stats.output_nonunique_bytes),
+        ("inter_thread_unique_bytes", stats.inter_thread_unique_bytes),
+        (
+            "inter_thread_nonunique_bytes",
+            stats.inter_thread_nonunique_bytes,
+        ),
         ("bytes_read", stats.bytes_read),
         ("bytes_written", stats.bytes_written),
     ]

@@ -134,6 +134,21 @@ impl<O: ExecutionObserver> Engine<O> {
     /// Switches execution to `thread` (a no-op if it is already
     /// current), emitting a `ThreadSwitch` event. A previously unseen
     /// thread starts with an empty call stack.
+    ///
+    /// # Attribution semantics
+    ///
+    /// Every event is attributed to the thread that is current *when it
+    /// is emitted*; a switch takes effect only for subsequent events.
+    /// Events are atomic — there is no partially-emitted memory access
+    /// to strand — so a read emitted before a switch and a write after
+    /// it belong to different threads by construction (that is exactly
+    /// how inter-thread communication is expressed). Call frames and
+    /// syscall state are per-thread: a `ret` or `syscall_exit` issued on
+    /// a thread with no matching `call`/`syscall_enter` is a strict-mode
+    /// panic even if another thread has an open frame, and
+    /// [`Engine::validate`] sums open frames across *all* threads, so a
+    /// thread that is switched away from and never resumed still fails
+    /// balance checks if it left frames open.
     pub fn switch_thread(&mut self, thread: ThreadId) {
         if thread == self.current {
             return;
@@ -407,6 +422,72 @@ mod tests {
         assert_eq!(e.current_function(), Some(a));
         e.ret();
         assert_eq!(e.depth(), 0);
+    }
+
+    #[test]
+    fn switch_between_accesses_attributes_each_side_to_its_thread() {
+        // A "pending" access cannot straddle a switch: events are atomic,
+        // so the read lands on MAIN and the write on thread 1, with the
+        // ThreadSwitch ordered strictly between them.
+        let mut e = Engine::new(RecordingObserver::new());
+        let f = e.symbols_mut().intern("f");
+        e.call(f);
+        e.read(0x100, 8);
+        e.switch_thread(ThreadId::from_raw(1));
+        e.write(0x100, 8);
+        e.switch_thread(ThreadId::MAIN);
+        e.ret();
+        let events = e.finish().into_events();
+        assert!(matches!(events[1], RuntimeEvent::Read { .. }));
+        assert!(matches!(
+            events[2],
+            RuntimeEvent::ThreadSwitch { thread } if thread == ThreadId::from_raw(1)
+        ));
+        assert!(matches!(events[3], RuntimeEvent::Write { .. }));
+    }
+
+    #[test]
+    fn switch_to_never_resumed_thread_is_balanced_if_it_left_no_frames() {
+        let mut e = Engine::new(CountingObserver::new());
+        e.switch_thread(ThreadId::from_raw(9));
+        e.op(OpClass::IntArith, 1);
+        e.switch_thread(ThreadId::MAIN);
+        assert!(e.validate().is_ok());
+        assert_eq!(e.finish().counts().thread_switches, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed call frames")]
+    fn abandoned_thread_with_open_frame_fails_balance() {
+        let mut e = Engine::new(CountingObserver::new());
+        let f = e.symbols_mut().intern("f");
+        e.switch_thread(ThreadId::from_raw(3));
+        e.call(f);
+        // Switch away and never resume thread 3: its open frame must
+        // still be caught at finish.
+        e.switch_thread(ThreadId::MAIN);
+        let _ = e.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "return event without an active call")]
+    fn ret_on_wrong_thread_panics_despite_open_frame_elsewhere() {
+        let mut e = Engine::new(CountingObserver::new());
+        let f = e.symbols_mut().intern("f");
+        e.call(f);
+        e.switch_thread(ThreadId::from_raw(1));
+        // MAIN has an open frame, but thread 1 does not: stacks are
+        // per-thread, so this return has no matching call.
+        e.ret();
+    }
+
+    #[test]
+    #[should_panic(expected = "syscall exit without a matching syscall enter")]
+    fn syscall_exit_on_wrong_thread_panics() {
+        let mut e = Engine::new(CountingObserver::new());
+        e.syscall_enter("read");
+        e.switch_thread(ThreadId::from_raw(1));
+        e.syscall_exit();
     }
 
     #[test]

@@ -275,9 +275,10 @@ fn parse_instruction(
             Some(value) => fb.ret_reg(parse_reg(value, line)?),
             None => fb.ret(),
         },
-        "call" => {
+        "call" | "spawn" => {
             parse_call(fb, ids, &tokens.join(" "), line)?;
         }
+        "join" => fb.join(parse_reg(tok(1)?, line)?),
         first if first.starts_with("store") => {
             // storeN [rB+off], rS
             let size: u8 = first[5..]
@@ -312,7 +313,7 @@ fn parse_instruction(
                 fb.load(dst, base, offset, size);
             } else if rhs == "alloc" {
                 fb.alloc(dst, parse_reg(tok(3)?, line)?);
-            } else if rhs == "call" {
+            } else if rhs == "call" || rhs == "spawn" {
                 parse_call(fb, ids, &tokens.join(" "), line)?;
             } else if rhs.starts_with('r') {
                 fb.mov(dst, parse_reg(rhs, line)?);
@@ -330,15 +331,17 @@ fn parse_instruction(
     Ok(())
 }
 
-/// Parses `call name(r1, r2) [-> rD]` or `rD = call name(r1)`.
+/// Parses `call name(r1, r2) [-> rD]` or `rD = call name(r1)`; the
+/// `spawn` keyword uses the same grammar and lowers to [`Inst::Spawn`](crate::isa::Inst::Spawn).
 fn parse_call(
     fb: &mut FunctionBuilder<'_>,
     ids: &HashMap<&str, FuncId>,
     text: &str,
     line: usize,
 ) -> Result<(), AsmError> {
+    let is_kw = |s: &str| s.starts_with("call") || s.starts_with("spawn");
     let (dst, rest) = match text.split_once("=") {
-        Some((lhs, rhs)) if lhs.trim().starts_with('r') && rhs.trim().starts_with("call") => {
+        Some((lhs, rhs)) if lhs.trim().starts_with('r') && is_kw(rhs.trim()) => {
             (Some(parse_reg(lhs.trim(), line)?), rhs.trim())
         }
         _ => match text.split_once("->") {
@@ -346,9 +349,11 @@ fn parse_call(
             None => (None, text),
         },
     };
+    let spawns = rest.starts_with("spawn");
     let body = rest
         .strip_prefix("call")
-        .ok_or_else(|| AsmError::new(line, "expected `call`"))?
+        .or_else(|| rest.strip_prefix("spawn"))
+        .ok_or_else(|| AsmError::new(line, "expected `call` or `spawn`"))?
         .trim();
     let open = body
         .find('(')
@@ -367,7 +372,11 @@ fn parse_call(
         .filter(|s| !s.is_empty())
         .map(|s| parse_reg(s, line))
         .collect::<Result<_, _>>()?;
-    fb.call(func, &args, dst);
+    if spawns {
+        fb.spawn(func, &args, dst);
+    } else {
+        fb.call(func, &args, dst);
+    }
     Ok(())
 }
 

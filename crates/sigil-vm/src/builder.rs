@@ -251,6 +251,21 @@ impl FunctionBuilder<'_> {
         });
     }
 
+    /// `dst = spawn func(args...)` — start a guest thread, storing its
+    /// handle.
+    pub fn spawn(&mut self, func: FuncId, args: &[Reg], dst: Option<Reg>) {
+        self.push(Inst::Spawn {
+            func,
+            args: args.to_vec(),
+            dst,
+        });
+    }
+
+    /// `join src` — wait for the thread whose handle is in `src`.
+    pub fn join(&mut self, src: Reg) {
+        self.push(Inst::Join { src });
+    }
+
     /// Terminates the current block with an unconditional jump.
     pub fn jmp(&mut self, target: BlockId) {
         self.terminate(Terminator::Jmp { target });

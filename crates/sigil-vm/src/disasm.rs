@@ -25,13 +25,22 @@ pub fn inst_to_string(inst: &Inst) -> String {
             size,
         } => format!("store{size} [r{base}{offset:+}] = r{src}"),
         Inst::Alloc { dst, size } => format!("r{dst} = alloc r{size}"),
-        Inst::Call { func, args, dst } => {
-            let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
-            match dst {
-                Some(d) => format!("r{d} = call {func}({})", args.join(", ")),
-                None => format!("call {func}({})", args.join(", ")),
-            }
-        }
+        Inst::Call { func, args, dst } => render_callish("call", *func, args, *dst),
+        Inst::Spawn { func, args, dst } => render_callish("spawn", *func, args, *dst),
+        Inst::Join { src } => format!("join r{src}"),
+    }
+}
+
+fn render_callish(
+    kw: &str,
+    func: crate::program::FuncId,
+    args: &[crate::isa::Reg],
+    dst: Option<crate::isa::Reg>,
+) -> String {
+    let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
+    match dst {
+        Some(d) => format!("r{d} = {kw} {func}({})", args.join(", ")),
+        None => format!("{kw} {func}({})", args.join(", ")),
     }
 }
 
@@ -96,6 +105,17 @@ mod tests {
         assert!(text.contains("load8"));
         assert!(text.contains("call f"));
         assert!(text.contains("ret r"));
+    }
+
+    #[test]
+    fn spawn_and_join_disassemble() {
+        let spawn = Inst::Spawn {
+            func: crate::program::FuncId(2),
+            args: vec![0, 1],
+            dst: Some(3),
+        };
+        assert_eq!(inst_to_string(&spawn), "r3 = spawn f2(r0, r1)");
+        assert_eq!(inst_to_string(&Inst::Join { src: 3 }), "join r3");
     }
 
     #[test]

@@ -105,6 +105,24 @@ pub enum GenInst {
     },
     /// Guarded self-recursion: `if depth > 0 { depth -= 1; self(...) }`.
     SelfCall,
+    /// Spawn a guest thread running a strictly higher-indexed function
+    /// with the same shared-buffer argument layout as [`GenInst::Call`],
+    /// so spawned threads alias the same memory as every other function
+    /// — the cross-thread communication the profiler must classify.
+    Spawn {
+        /// Index into [`GenProgram::funcs`]; always greater than the
+        /// spawning function's own index.
+        callee: u8,
+        /// Handle register slot the thread handle is stored into.
+        handle: u8,
+    },
+    /// Join the thread whose handle sits in a handle register slot.
+    /// Slots default to zero, and joining handle 0 is a no-op, so a
+    /// `Join` whose `Spawn` was delta-minimized away stays valid.
+    Join {
+        /// Handle register slot to read.
+        handle: u8,
+    },
 }
 
 /// A generated function: a name and a flat body.
@@ -127,14 +145,31 @@ pub struct GenProgram {
     pub buffers: Vec<u64>,
     /// Initial self-recursion depth budget passed down every call.
     pub depth: u64,
+    /// Seed for the interpreter's guest-thread scheduler. Equal to the
+    /// generation seed, carried on the program so shrunk copies replay
+    /// the same interleaving (`drop_range` clones it unchanged).
+    pub schedule_seed: u64,
     /// The functions; `funcs[0]` is the entry.
     pub funcs: Vec<GenFunc>,
 }
 
 impl GenProgram {
-    /// Generates a program from `seed`. The same seed always yields the
-    /// same program.
+    /// Generates a single-threaded program from `seed`. The same seed
+    /// always yields the same program. Equivalent to
+    /// [`GenProgram::generate_mt`] with one thread.
     pub fn generate(seed: u64) -> Self {
+        Self::generate_mt(seed, 1)
+    }
+
+    /// Generates a program from `seed` whose entry spawns `threads - 1`
+    /// guest threads (and joins each of them). All injection draws happen
+    /// strictly after the base program's draws, so
+    /// `generate_mt(seed, 1)` is bit-identical to [`GenProgram::generate`]
+    /// and raising the thread count never reshuffles the underlying
+    /// program. Spawned threads receive the shared buffer bases through
+    /// the standard argument layout, so every thread aliases the same
+    /// memory — the cross-thread traffic the profiler must classify.
+    pub fn generate_mt(seed: u64, threads: u32) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let n_bufs = rng.gen_range(2..5usize);
         let mut buffers = vec![BIG_BUFFER];
@@ -181,11 +216,33 @@ impl GenProgram {
             }
             funcs.push(GenFunc { name, body });
         }
-        GenProgram {
+        let mut prog = GenProgram {
             buffers,
             depth,
+            schedule_seed: seed,
             funcs,
+        };
+        // Thread injection: every draw below happens after the base
+        // program is fully generated, preserving single-thread identity.
+        // Each extra thread gets a Spawn at a random point in the entry
+        // body and a Join strictly after it, rotating through the handle
+        // register slots.
+        for t in 1..threads {
+            let callee = rng.gen_range(1..prog.funcs.len());
+            let handle = u8::try_from((t - 1) % u32::from(HANDLE_SLOTS)).expect("few slots");
+            let main = &mut prog.funcs[0].body;
+            let spawn_at = rng.gen_range(0..main.len() + 1);
+            main.insert(
+                spawn_at,
+                GenInst::Spawn {
+                    callee: u8::try_from(callee).expect("few functions"),
+                    handle,
+                },
+            );
+            let join_at = rng.gen_range(spawn_at + 1..main.len() + 1);
+            main.insert(join_at, GenInst::Join { handle });
         }
+        prog
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -353,6 +410,12 @@ impl GenProgram {
 /// How many general registers the bodies address.
 const GENERAL_REGS: u8 = 6;
 
+/// How many thread-handle register slots the layout reserves. Spawns
+/// rotate through them, so at most this many outstanding handles are
+/// distinguishable — plenty for the differential thread axis (≤ 4
+/// guest threads).
+const HANDLE_SLOTS: u8 = 4;
+
 /// ALU ops the generator draws from — excludes `Div`/`Rem`, which trap
 /// on zero divisors.
 const ALU_OPS_N: u8 = 10;
@@ -379,8 +442,10 @@ const FALU_OPS: [crate::FaluOp; FALU_OPS_N as usize] = [
 /// Fixed register layout shared by every generated function.
 ///
 /// `r0..rB-1` hold the buffer bases, `rB` the depth budget (both passed
-/// as call arguments in this order), then six general registers and two
-/// scratch registers for the `SelfCall` guard.
+/// as call arguments in this order), then six general registers, two
+/// scratch registers for the `SelfCall` guard, and [`HANDLE_SLOTS`]
+/// thread-handle slots. Handle slots start at zero and joining handle 0
+/// is a no-op, so a `Join` survives its `Spawn` being shrunk away.
 struct RegLayout {
     n_bufs: u16,
 }
@@ -398,8 +463,11 @@ impl RegLayout {
     fn scratch(&self, s: u8) -> u16 {
         self.n_bufs + 1 + u16::from(GENERAL_REGS) + u16::from(s)
     }
+    fn handle(&self, h: u8) -> u16 {
+        self.n_bufs + 1 + u16::from(GENERAL_REGS) + 2 + u16::from(h % HANDLE_SLOTS)
+    }
     fn n_regs(&self) -> u16 {
-        self.n_bufs + 1 + u16::from(GENERAL_REGS) + 2
+        self.n_bufs + 1 + u16::from(GENERAL_REGS) + 2 + u16::from(HANDLE_SLOTS)
     }
     /// The argument list every call forwards: all buffers, then depth.
     fn args(&self) -> Vec<u16> {
@@ -454,6 +522,14 @@ fn lower_inst(
         GenInst::Call { callee } => {
             fb.call(ids[usize::from(callee)], &layout.args(), None);
         }
+        GenInst::Spawn { callee, handle } => {
+            fb.spawn(
+                ids[usize::from(callee)],
+                &layout.args(),
+                Some(layout.handle(handle)),
+            );
+        }
+        GenInst::Join { handle } => fb.join(layout.handle(handle)),
         GenInst::SelfCall => {
             // if 0 < depth { depth -= 1; self(bufs..., depth) }
             let s1 = layout.scratch(0);
@@ -589,6 +665,99 @@ mod tests {
                 .run(&mut engine)
                 .expect("shrunk program runs");
             engine.finish();
+        }
+    }
+
+    #[test]
+    fn single_thread_generation_is_bit_identical_to_generate() {
+        // The thread axis must not reshuffle committed seeds: with one
+        // thread, generate_mt takes zero extra RNG draws.
+        for seed in 0..30 {
+            assert_eq!(GenProgram::generate(seed), GenProgram::generate_mt(seed, 1));
+        }
+    }
+
+    #[test]
+    fn multithreaded_generation_is_deterministic_and_balanced() {
+        for seed in 0..20 {
+            let a = GenProgram::generate_mt(seed, 4);
+            assert_eq!(a, GenProgram::generate_mt(seed, 4));
+            assert_eq!(a.schedule_seed, seed);
+            let main = &a.funcs[0].body;
+            let spawns: Vec<usize> = main
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, GenInst::Spawn { .. }))
+                .map(|(p, _)| p)
+                .collect();
+            let joins: Vec<usize> = main
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, GenInst::Join { .. }))
+                .map(|(p, _)| p)
+                .collect();
+            assert_eq!(spawns.len(), 3, "seed {seed}: expected 3 spawns");
+            assert_eq!(joins.len(), 3, "seed {seed}: expected 3 joins");
+            // Every handle slot's spawn precedes its join, so the join
+            // always observes the live handle.
+            for (handle, spawn_at) in main.iter().enumerate().filter_map(|(p, i)| match *i {
+                GenInst::Spawn { handle, .. } => Some((handle, p)),
+                _ => None,
+            }) {
+                let join_at = main
+                    .iter()
+                    .position(|i| matches!(*i, GenInst::Join { handle: h } if h == handle))
+                    .expect("matching join");
+                assert!(spawn_at < join_at, "seed {seed}: join before spawn");
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_programs_build_and_run() {
+        for seed in 0..30 {
+            for threads in [2u32, 4] {
+                let gen = GenProgram::generate_mt(seed, threads);
+                let program = gen.build();
+                let mut engine = Engine::new(CountingObserver::new());
+                let result = crate::Interpreter::new(&program)
+                    .with_fuel(4_000_000)
+                    .with_schedule_seed(gen.schedule_seed)
+                    .run(&mut engine);
+                assert!(
+                    result.is_ok(),
+                    "seed {seed} threads {threads} trapped: {result:?}"
+                );
+                let counts = engine.finish().into_counts();
+                assert_eq!(
+                    counts.calls, counts.returns,
+                    "seed {seed} threads {threads} unbalanced"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrunk_multithreaded_programs_stay_valid() {
+        // ddmin may drop a Spawn while keeping its Join (join of the
+        // zero-initialised handle is a no-op) or vice versa (the spawned
+        // thread just runs to completion unjoined). Every drop window
+        // must still build and run trap-free.
+        let gen = GenProgram::generate_mt(7, 4);
+        let n = gen.inst_count();
+        for start in 0..n {
+            let smaller = gen.drop_range(start, 3);
+            assert!(smaller.inst_count() < n);
+            assert_eq!(smaller.schedule_seed, gen.schedule_seed);
+            let program = smaller.build();
+            let mut engine = Engine::new(CountingObserver::new());
+            crate::Interpreter::new(&program)
+                .with_fuel(4_000_000)
+                .with_schedule_seed(smaller.schedule_seed)
+                .run(&mut engine)
+                .expect("shrunk multithreaded program runs");
+            let counts = engine.finish().into_counts();
+            assert_eq!(counts.calls, counts.returns, "start {start} unbalanced");
         }
     }
 

@@ -178,6 +178,28 @@ pub enum Inst {
         /// Register receiving the callee's return value, if any.
         dst: Option<Reg>,
     },
+    /// Start a new guest thread running `func(args...)`, optionally
+    /// storing the non-zero thread handle. The spawned thread's entry
+    /// call event is emitted when the scheduler first runs it, so the
+    /// interleaved trace stays causally ordered.
+    Spawn {
+        /// Entry function of the new thread.
+        func: FuncId,
+        /// Registers copied into the thread's `r0..rN`.
+        args: Vec<Reg>,
+        /// Register receiving the thread handle, if any.
+        dst: Option<Reg>,
+    },
+    /// Block until the thread whose handle is in `src` finishes.
+    ///
+    /// Joining handle 0 (the main thread), the current thread, an
+    /// unknown handle, or an already-finished thread is a no-op — so a
+    /// `Join` stays valid when the matching `Spawn` is delta-minimized
+    /// away.
+    Join {
+        /// Register holding the thread handle.
+        src: Reg,
+    },
 }
 
 /// A block terminator. Every basic block ends with exactly one.

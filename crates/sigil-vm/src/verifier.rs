@@ -185,7 +185,13 @@ pub fn verify(program: &Program) -> Result<(), VerifyError> {
                         check_reg(*dst)?;
                         check_reg(*size)?;
                     }
+                    Inst::Join { src } => check_reg(*src)?,
                     Inst::Call {
+                        func: callee,
+                        args,
+                        dst,
+                    }
+                    | Inst::Spawn {
                         func: callee,
                         args,
                         dst,
@@ -304,6 +310,31 @@ mod tests {
         func.blocks[0].term = Some(Terminator::Ret { value: None });
         let err = verify(&single_fn_program(func)).unwrap_err();
         assert!(matches!(err, VerifyError::FunctionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn spawn_checked_like_call() {
+        let mut func = VmFunction::new("f", 1);
+        func.blocks[0].insts.push(Inst::Spawn {
+            func: FuncId(5),
+            args: vec![],
+            dst: None,
+        });
+        func.blocks[0].term = Some(Terminator::Ret { value: None });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(err, VerifyError::FunctionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn join_register_bounds_checked() {
+        let mut func = VmFunction::new("f", 1);
+        func.blocks[0].insts.push(Inst::Join { src: 3 });
+        func.blocks[0].term = Some(Terminator::Ret { value: None });
+        let err = verify(&single_fn_program(func)).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::RegisterOutOfRange { reg: 3, .. }
+        ));
     }
 
     #[test]

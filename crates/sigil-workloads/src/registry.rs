@@ -27,11 +27,14 @@ pub enum Benchmark {
     Vips,
     X264,
     Libquantum,
+    Mtpipe,
+    Mtshare,
 }
 
 impl Benchmark {
-    /// Every benchmark, PARSEC first, `libquantum` last.
-    pub const ALL: [Benchmark; 14] = [
+    /// Every benchmark: PARSEC first, then SPEC's `libquantum`, then the
+    /// sharing-heavy multithreaded workloads.
+    pub const ALL: [Benchmark; 16] = [
         Benchmark::Blackscholes,
         Benchmark::Bodytrack,
         Benchmark::Canneal,
@@ -46,13 +49,26 @@ impl Benchmark {
         Benchmark::Vips,
         Benchmark::X264,
         Benchmark::Libquantum,
+        Benchmark::Mtpipe,
+        Benchmark::Mtshare,
     ];
 
-    /// The PARSEC subset (everything except SPEC's libquantum).
+    /// The PARSEC subset (everything except SPEC's `libquantum` and the
+    /// multithreaded sharing workloads).
     pub fn parsec() -> impl Iterator<Item = Benchmark> {
-        Self::ALL
-            .into_iter()
-            .filter(|b| *b != Benchmark::Libquantum)
+        Self::ALL.into_iter().filter(|b| {
+            !matches!(
+                b,
+                Benchmark::Libquantum | Benchmark::Mtpipe | Benchmark::Mtshare
+            )
+        })
+    }
+
+    /// The sharing-heavy multithreaded workloads: the subjects of the
+    /// inter-thread classification axis and the input-size scaling
+    /// curves.
+    pub fn sharing() -> impl Iterator<Item = Benchmark> {
+        [Benchmark::Mtpipe, Benchmark::Mtshare].into_iter()
     }
 
     /// Canonical lowercase name.
@@ -72,6 +88,8 @@ impl Benchmark {
             Benchmark::Vips => "vips",
             Benchmark::X264 => "x264",
             Benchmark::Libquantum => "libquantum",
+            Benchmark::Mtpipe => "mtpipe",
+            Benchmark::Mtshare => "mtshare",
         }
     }
 
@@ -101,6 +119,8 @@ impl Benchmark {
             Benchmark::Vips => suite::vips::Vips::new(size).run(engine),
             Benchmark::X264 => suite::x264::X264::new(size).run(engine),
             Benchmark::Libquantum => suite::libquantum::Libquantum::new(size).run(engine),
+            Benchmark::Mtpipe => suite::mtpipe::Mtpipe::new(size).run(engine),
+            Benchmark::Mtshare => suite::mtshare::Mtshare::new(size).run(engine),
         }
     }
 }
@@ -163,7 +183,7 @@ mod tests {
 
     #[test]
     fn selection_parses_all_lists_and_rejects_unknowns() {
-        assert_eq!(Benchmark::parse_selection("all").unwrap().len(), 14);
+        assert_eq!(Benchmark::parse_selection("all").unwrap().len(), 16);
         assert_eq!(
             Benchmark::parse_selection("vips, dedup,canneal").unwrap(),
             vec![Benchmark::Vips, Benchmark::Dedup, Benchmark::Canneal]
@@ -172,9 +192,21 @@ mod tests {
     }
 
     #[test]
-    fn parsec_excludes_libquantum() {
+    fn parsec_excludes_libquantum_and_sharing_workloads() {
         let parsec: Vec<Benchmark> = Benchmark::parsec().collect();
         assert_eq!(parsec.len(), 13);
         assert!(!parsec.contains(&Benchmark::Libquantum));
+        assert!(!parsec.contains(&Benchmark::Mtpipe));
+        assert!(!parsec.contains(&Benchmark::Mtshare));
+    }
+
+    #[test]
+    fn sharing_workloads_emit_inter_thread_traffic() {
+        for bench in Benchmark::sharing() {
+            let mut e = Engine::new(CountingObserver::new());
+            bench.run(InputSize::SimSmall, &mut e);
+            let counts = e.finish().into_counts();
+            assert!(counts.thread_switches > 0, "{bench} never switched threads");
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! The synthetic benchmark suite: one module per PARSEC 2.1 benchmark
-//! the paper profiles, plus SPEC's `libquantum`.
+//! the paper profiles, plus SPEC's `libquantum` and two sharing-heavy
+//! multithreaded workloads (`mtpipe`, `mtshare`) exercising the
+//! inter-thread communication axis.
 //!
 //! See the crate docs for the substitution rationale. Each module's docs
 //! describe which paper findings its communication skeleton reproduces.
@@ -13,6 +15,8 @@ pub mod ferret;
 pub mod fluidanimate;
 pub mod freqmine;
 pub mod libquantum;
+pub mod mtpipe;
+pub mod mtshare;
 pub mod raytrace;
 pub mod streamcluster;
 pub mod swaptions;

@@ -1,0 +1,141 @@
+//! `mtpipe`: a multithreaded producer → filter → reduce pipeline over a
+//! shared ring buffer — the sharing-heavy counterpart to `dedup`'s
+//! serial pipeline.
+//!
+//! Three guest threads cooperate on every chunk: the main thread
+//! *produces* a chunk into a shared ring slot, thread 1 *filters* it
+//! into a shared output buffer, and thread 2 *reduces* the output into
+//! a running digest. Each stage reads bytes whose last writer is the
+//! previous stage's thread, so nearly all pipeline traffic is
+//! **inter-thread input** under the cross-thread classification rule —
+//! the communication the paper's function-level analysis would have to
+//! surface before suggesting a pipeline offload.
+//!
+//! Inter-thread bytes scale linearly with input size (every chunk is
+//! handed across twice), making this a fitting subject for the
+//! communication-vs-input-size curves: the fitted exponent should sit
+//! near 1.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass, ThreadId};
+
+use crate::common::{AddrSpace, InputSize};
+
+const CHUNKS_PER_UNIT: u64 = 48;
+const CHUNK_BYTES: u64 = 1024;
+const RING_SLOTS: u64 = 4;
+
+/// The mtpipe workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Mtpipe {
+    size: InputSize,
+}
+
+impl Mtpipe {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Mtpipe { size }
+    }
+
+    /// Chunks pushed through the pipeline.
+    pub fn chunk_count(&self) -> u64 {
+        CHUNKS_PER_UNIT * self.size.factor()
+    }
+
+    /// Bytes handed from the producer to the filter stage (and again
+    /// from the filter to the reducer): the inter-thread floor.
+    pub fn handoff_bytes(&self) -> u64 {
+        self.chunk_count() * CHUNK_BYTES
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let filter_thread = ThreadId::from_raw(1);
+        let reduce_thread = ThreadId::from_raw(2);
+        let chunks = self.chunk_count();
+        let mut space = AddrSpace::new();
+        let ring = space.alloc(RING_SLOTS * CHUNK_BYTES);
+        let out = space.alloc(RING_SLOTS * CHUNK_BYTES);
+        let digest = space.alloc(64);
+
+        // Each stage's scoped call opens and closes on its own thread,
+        // so every per-thread stack stays balanced; the interleaving is
+        // a fixed produce → filter → reduce rotation per chunk.
+        engine.scoped_named("main", |e| {
+            e.write(digest.base, 32);
+            for c in 0..chunks {
+                let slot = ring.addr((c % RING_SLOTS) * CHUNK_BYTES);
+                let slot_out = out.addr((c % RING_SLOTS) * CHUNK_BYTES);
+
+                e.switch_thread(ThreadId::MAIN);
+                e.scoped_named("produce_chunk", |e| {
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.op(OpClass::IntArith, 3);
+                        e.write(slot + off, 8);
+                        off += 8;
+                    }
+                });
+
+                e.switch_thread(filter_thread);
+                e.scoped_named("filter_chunk", |e| {
+                    // Every read's last writer is the main thread:
+                    // chunk-sized inter-thread input.
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.read(slot + off, 8);
+                        e.op(OpClass::IntArith, 5);
+                        e.write(slot_out + off, 8);
+                        off += 8;
+                    }
+                });
+
+                e.switch_thread(reduce_thread);
+                e.scoped_named("reduce_chunk", |e| {
+                    // Inter-thread from the filter thread, folded into a
+                    // digest this thread keeps rewriting (same-thread
+                    // repeat traffic after the first chunk).
+                    let mut off = 0;
+                    while off < CHUNK_BYTES {
+                        e.read(slot_out + off, 8);
+                        e.op(OpClass::IntArith, 4);
+                        off += 16;
+                    }
+                    e.read(digest.base, 32);
+                    e.op(OpClass::IntArith, 12);
+                    e.write(digest.base, 32);
+                });
+            }
+            e.switch_thread(ThreadId::MAIN);
+            // The producer collects the digest: one last cross-thread hop.
+            e.scoped_named("collect_digest", |e| {
+                e.read(digest.base, 32);
+                e.op(OpClass::IntArith, 8);
+                e.write(digest.addr(32), 8);
+            });
+        });
+        engine.switch_thread(ThreadId::MAIN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced_and_switches_threads() {
+        let mut e = Engine::new(CountingObserver::new());
+        Mtpipe::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.thread_switches > 0, "mtpipe must switch threads");
+    }
+
+    #[test]
+    fn handoff_scales_with_input_size() {
+        let small = Mtpipe::new(InputSize::SimSmall).handoff_bytes();
+        let large = Mtpipe::new(InputSize::SimLarge).handoff_bytes();
+        assert_eq!(large, small * 16);
+    }
+}

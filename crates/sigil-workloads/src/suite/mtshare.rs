@@ -1,0 +1,113 @@
+//! `mtshare`: four guest threads hammering a small set of shared
+//! counters while streaming through thread-private arrays — the
+//! contention-heavy sharing pattern (think `canneal`'s shared netlist
+//! or a lock-protected work queue).
+//!
+//! Under round-robin scheduling every counter read observes a value
+//! last written by the *previous* thread, so the shared-counter traffic
+//! is almost entirely **inter-thread input**, while the private-array
+//! traffic stays same-thread — the classifier must separate the two
+//! even though both flow through the same functions. Unlike `mtpipe`'s
+//! bulk handoffs, the inter-thread bytes here are small and frequent
+//! (8-byte read-modify-write), probing per-access classification rather
+//! than bulk ranges.
+
+use sigil_trace::{Engine, ExecutionObserver, OpClass, ThreadId};
+
+use crate::common::{AddrSpace, InputSize};
+
+const ROUNDS_PER_UNIT: u64 = 64;
+const WORKERS: u64 = 4;
+const COUNTERS: u64 = 8;
+const PRIVATE_BYTES: u64 = 512;
+
+/// The mtshare workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Mtshare {
+    size: InputSize,
+}
+
+impl Mtshare {
+    /// Creates the workload at the given input size.
+    pub fn new(size: InputSize) -> Self {
+        Mtshare { size }
+    }
+
+    /// Update rounds (each round visits every worker once).
+    pub fn round_count(&self) -> u64 {
+        ROUNDS_PER_UNIT * self.size.factor()
+    }
+
+    /// Runs the workload.
+    pub fn run<O: ExecutionObserver>(&self, engine: &mut Engine<O>) {
+        let rounds = self.round_count();
+        let mut space = AddrSpace::new();
+        let counters = space.alloc(COUNTERS * 8);
+        let privates: Vec<_> = (0..WORKERS).map(|_| space.alloc(PRIVATE_BYTES)).collect();
+
+        engine.scoped_named("main", |e| {
+            // Seed every counter so round-one reads have a producer.
+            for c in 0..COUNTERS {
+                e.write(counters.elem(c, 8), 8);
+            }
+            e.op(OpClass::IntArith, COUNTERS as u32);
+            for round in 0..rounds {
+                for w in 0..WORKERS {
+                    e.switch_thread(ThreadId::from_raw(w as u32));
+                    let private = privates[usize::try_from(w).expect("few workers")];
+                    e.scoped_named("update_counter", |e| {
+                        // Read-modify-write a rotating shared counter:
+                        // its last writer is (almost) always another
+                        // thread under the round-robin rotation.
+                        let c = counters.elem((round + w) % COUNTERS, 8);
+                        e.read(c, 8);
+                        e.op(OpClass::IntArith, 6);
+                        e.write(c, 8);
+                    });
+                    e.scoped_named("scan_private", |e| {
+                        // Same-thread traffic through the same function
+                        // shape: the classifier must keep this out of
+                        // the inter-thread tally.
+                        let off = (round * 64) % PRIVATE_BYTES;
+                        e.read(private.addr(off), 8);
+                        e.op(OpClass::IntArith, 4);
+                        e.write(private.addr(off), 8);
+                    });
+                }
+            }
+            e.switch_thread(ThreadId::MAIN);
+            e.scoped_named("sum_counters", |e| {
+                for c in 0..COUNTERS {
+                    e.read(counters.elem(c, 8), 8);
+                    e.op(OpClass::IntArith, 2);
+                }
+                e.write(counters.base, 8);
+            });
+        });
+        engine.switch_thread(ThreadId::MAIN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigil_trace::observer::CountingObserver;
+
+    #[test]
+    fn trace_is_balanced_and_switches_threads() {
+        let mut e = Engine::new(CountingObserver::new());
+        Mtshare::new(InputSize::SimSmall).run(&mut e);
+        assert!(e.validate().is_ok());
+        let counts = e.finish().into_counts();
+        assert_eq!(counts.calls, counts.returns);
+        assert!(counts.thread_switches > 0, "mtshare must switch threads");
+    }
+
+    #[test]
+    fn rounds_scale_with_input_size() {
+        assert_eq!(
+            Mtshare::new(InputSize::SimLarge).round_count(),
+            Mtshare::new(InputSize::SimSmall).round_count() * 16
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //!   `SHARD_AXIS`, i.e. serial plus 2/4/8-way sharded replay)
 //! - `SIGIL_DIFF_UNBOUNDED` — set to `1` to restrict the matrix to the
 //!   no-limit axis (oracle-elided and pinned legacy dispatch)
+//! - `SIGIL_DIFF_THREADS`   — pin the guest-thread count for
+//!   `random_programs_conform` (default 1; CI's thread-axis job sets 2
+//!   and 4). `multithreaded_programs_conform` always sweeps {2, 4}.
 //!
 //! On any divergence the failing program is delta-debugged down to a
 //! minimal repro before the assert fires, so the panic message alone is
@@ -51,15 +54,52 @@ fn random_programs_conform() {
     let limit = env_usize("SIGIL_DIFF_LIMIT");
     let shards = env_usize("SIGIL_DIFF_SHARDS");
     let unbounded = env_u64("SIGIL_DIFF_UNBOUNDED", 0) != 0;
+    let threads = u32::try_from(env_u64("SIGIL_DIFF_THREADS", 1)).expect("sane thread count");
     for seed in base..base + seeds {
-        let failures = harness::diff_seed_filtered(seed, limit, shards, unbounded);
+        let failures = harness::diff_seed_mt(seed, threads, limit, shards, unbounded);
         if let Some(failure) = failures.first() {
-            let minimized = shrink(&GenProgram::generate(seed), failure.config, None);
+            let minimized = shrink(
+                &GenProgram::generate_mt(seed, threads),
+                failure.config,
+                None,
+            );
             panic!(
-                "seed {seed} diverged under `{}`:\n{}",
+                "seed {seed} threads {threads} diverged under `{}`:\n{}",
                 failure.label,
                 harness::render_repro(&minimized, failure.config, None)
             );
+        }
+    }
+}
+
+/// Multithreaded seeded programs — whose entry spawns and joins guest
+/// threads sharing every buffer — produce identical reports from the
+/// production profiler and the oracle across the full configuration
+/// matrix (serial, 2/4/8-way sharded, constrained shadow memory). This
+/// is the differential proof behind the inter-thread classification
+/// axis: both sides attribute every cross-thread byte independently.
+#[test]
+fn multithreaded_programs_conform() {
+    let default_seeds = if cfg!(debug_assertions) { 20 } else { 100 };
+    let seeds = env_u64("SIGIL_DIFF_MT_SEEDS", default_seeds);
+    let base = env_u64("SIGIL_DIFF_SEED_BASE", 0);
+    let limit = env_usize("SIGIL_DIFF_LIMIT");
+    let shards = env_usize("SIGIL_DIFF_SHARDS");
+    for seed in base..base + seeds {
+        for threads in [2u32, 4] {
+            let failures = harness::diff_seed_mt(seed, threads, limit, shards, false);
+            if let Some(failure) = failures.first() {
+                let minimized = shrink(
+                    &GenProgram::generate_mt(seed, threads),
+                    failure.config,
+                    None,
+                );
+                panic!(
+                    "seed {seed} threads {threads} diverged under `{}`:\n{}",
+                    failure.label,
+                    harness::render_repro(&minimized, failure.config, None)
+                );
+            }
         }
     }
 }
@@ -100,6 +140,42 @@ fn injected_bugs_are_caught_and_shrink() {
             );
         }
     }
+}
+
+/// A mutant oracle that misclassifies inter-thread reads as ordinary
+/// same-thread input is caught by the multithreaded differential axis —
+/// and only there: single-threaded traces have no inter-thread bytes, so
+/// the bug is invisible to them. This proves the thread axis adds real
+/// discriminating power rather than re-testing what single-threaded
+/// seeds already cover.
+#[test]
+fn inter_thread_misclassification_is_caught_only_by_mt_seeds() {
+    let bug = InjectedBug::InterThreadAsInput;
+    let config = golden_config();
+    for seed in 0..10 {
+        assert!(
+            !harness::diverges(&GenProgram::generate(seed), config, Some(bug)),
+            "seed {seed}: InterThreadAsInput manifested on a single-threaded trace"
+        );
+    }
+    let seed = (0..50)
+        .find(|&s| harness::diverges(&GenProgram::generate_mt(s, 4), config, Some(bug)))
+        .expect("InterThreadAsInput never manifested in 50 multithreaded seeds");
+    let minimized = shrink(&GenProgram::generate_mt(seed, 4), config, Some(bug));
+    assert!(
+        harness::diverges(&minimized, config, Some(bug)),
+        "shrink lost the inter-thread divergence"
+    );
+    assert!(
+        minimized.inst_count() <= 30,
+        "minimized inter-thread repro has {} instructions (> 30)",
+        minimized.inst_count()
+    );
+    let bundle = harness::record_program(&minimized);
+    assert!(
+        harness::first_divergent_access(&bundle, config, Some(bug)).is_some(),
+        "no first divergent access located for the inter-thread bug"
+    );
 }
 
 /// Replays `bundle` through the production profiler and returns the full

@@ -53,12 +53,14 @@ fn two_thread_profile() -> Profile {
 }
 
 #[test]
-fn cross_thread_communication_is_input_output() {
+fn cross_thread_communication_is_inter_thread_input() {
     let profile = two_thread_profile();
     let consumer = profile.function_by_name("consumer_loop").expect("consumer");
     // 8*8 bytes of early data + 8 bytes of late data, all produced on the
-    // other thread: unique inputs.
-    assert_eq!(consumer.comm.input_unique_bytes, 72);
+    // other thread: unique inter-thread inputs, disjoint from the
+    // same-thread input class.
+    assert_eq!(consumer.comm.inter_thread_unique_bytes, 72);
+    assert_eq!(consumer.comm.input_unique_bytes, 0);
     assert_eq!(consumer.comm.local_unique_bytes, 0);
     let producer = profile.function_by_name("producer_loop").expect("producer");
     assert_eq!(producer.comm.output_unique_bytes, 72);
@@ -136,6 +138,119 @@ fn trace_io_round_trips_thread_switches() {
     sigil::trace::io::write_trace(&mut buf, &symbols, &events).expect("write");
     let (_, loaded) = sigil::trace::io::read_trace(&mut buf.as_slice()).expect("read");
     assert_eq!(events, loaded);
+}
+
+/// A sharing-heavy interleaving touching several shadow chunks from
+/// both threads, with re-reads, overwrites, and cross-thread traffic in
+/// both directions — the scenario every multithreaded equivalence test
+/// below replays.
+fn sharing_scenario(engine: &mut Engine<SigilProfiler>) {
+    let main_fn = engine.symbols_mut().intern("main");
+    let stage_a = engine.symbols_mut().intern("stage_a");
+    let stage_b = engine.symbols_mut().intern("stage_b");
+    let worker = ThreadId::from_raw(1);
+
+    engine.call(main_fn);
+    engine.write(0x1000, 64); // main seeds a buffer
+    engine.write(0x3FF8, 16); // straddles a chunk boundary
+
+    engine.switch_thread(worker);
+    engine.call(stage_a);
+    engine.read(0x1000, 64); // inter-thread input
+    engine.read(0x3FF8, 16); // straddling inter-thread input
+    engine.write(0x2000, 32); // worker produces
+    engine.write(0x1000, 16); // overwrites part of main's buffer
+    engine.op(OpClass::IntArith, 7);
+
+    engine.switch_thread(ThreadId::MAIN);
+    engine.call(stage_b);
+    engine.read(0x2000, 32); // inter-thread input from the worker
+    engine.read(0x2000, 32); // non-unique re-read
+    engine.read(0x1000, 64); // mixed: 16 inter (worker wrote), 48 local-ish
+    engine.write(0x8000, 8);
+
+    engine.switch_thread(worker);
+    engine.read(0x8000, 8); // inter-thread input back the other way
+    engine.ret(); // stage_a
+
+    engine.switch_thread(ThreadId::MAIN);
+    engine.ret(); // stage_b
+    engine.ret(); // main
+}
+
+fn run_sharing(config: SigilConfig) -> Profile {
+    let mut engine = Engine::new(SigilProfiler::new(config));
+    sharing_scenario(&mut engine);
+    let (profiler, symbols) = engine.finish_with_symbols();
+    profiler.into_profile(symbols)
+}
+
+#[test]
+fn multithreaded_sharded_matches_serial_byte_for_byte() {
+    // Inter-thread classification must survive the sharded replay path
+    // identically: same owner threads, same coalescing legality.
+    let base = SigilConfig::default()
+        .with_reuse_mode()
+        .with_line_mode(64)
+        .with_events()
+        .with_phases(5);
+    let serial = run_sharing(base);
+    assert!(
+        serial
+            .contexts
+            .iter()
+            .any(|c| c.comm.inter_thread_unique_bytes > 0),
+        "scenario produces inter-thread traffic"
+    );
+    for shards in [2, 4, 8] {
+        let sharded = run_sharing(base.with_shards(shards));
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn multithreaded_eviction_matches_serial() {
+    use sigil::mem::EvictionPolicy;
+    // Chunk eviction interleaved with thread switches: the residency
+    // oracle replays the same victim sequence, so sharded == serial even
+    // when evicted bytes re-classify as root input mid-scenario.
+    for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+        for limit in [1, 2, 3] {
+            let base = SigilConfig::default()
+                .with_reuse_mode()
+                .with_events()
+                .with_shadow_limit(limit)
+                .with_eviction(policy);
+            let serial = run_sharing(base);
+            let sharded = run_sharing(base.with_shards(4));
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&sharded).unwrap(),
+                "policy={policy:?} limit={limit}"
+            );
+            assert!(
+                serial.memory.evicted_chunks >= 1,
+                "limit {limit} must actually evict"
+            );
+        }
+    }
+}
+
+#[test]
+fn eviction_never_undercounts_inter_thread_bytes_as_local() {
+    // An evicted byte loses its last-writer tag and re-reads as root
+    // input — the degradation direction is inter→input, never
+    // inter→local (which would hide a cross-thread dependency entirely).
+    let bounded = run_sharing(SigilConfig::default().with_shadow_limit(1));
+    for ctx in &bounded.contexts {
+        // stage_b's 48 main-written bytes are "input" (ROOT differs from
+        // stage_b), so local stays zero everywhere in this scenario.
+        assert_eq!(ctx.comm.local_unique_bytes, 0, "ctx {:?}", ctx.ctx);
+    }
 }
 
 #[test]
